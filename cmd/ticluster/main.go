@@ -1,0 +1,156 @@
+// Command ticluster boots a complete emulated N-site tele-immersive
+// session in one process: a membership server plus N rendezvous points on
+// loopback TCP, with WAN latency emulated from real geographic distances.
+// Subscriptions are derived from per-display fields of view via the
+// session package, so the whole Figure 3 pipeline runs end to end.
+//
+// Example:
+//
+//	ticluster -n 4 -duration 3s -algo CO-RJ
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/tele3d/tele3d/internal/membership"
+	"github.com/tele3d/tele3d/internal/metrics"
+	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/rp"
+	"github.com/tele3d/tele3d/internal/session"
+	"github.com/tele3d/tele3d/internal/stream"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 4, "number of sites")
+		cameras  = flag.Int("cameras", 8, "cameras per site")
+		displays = flag.Int("displays", 2, "displays per site")
+		algo     = flag.String("algo", "RJ", "overlay algorithm: RJ, CO-RJ, LTF, STF, MCTF")
+		seed     = flag.Int64("seed", 42, "session seed")
+		duration = flag.Duration("duration", 3*time.Second, "streaming duration")
+	)
+	flag.Parse()
+
+	alg, err := parseAlgo(*algo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Plan the session: sites, FOV-derived subscriptions, expected forest.
+	plan, err := session.Build(session.Spec{
+		N: *n, CamerasPerSite: *cameras, DisplaysPerSite: *displays,
+		Algorithm: alg, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ticluster: %d sites:", *n)
+	for _, node := range plan.Sites.Nodes {
+		fmt.Printf(" %s;", node.City.Name)
+	}
+	fmt.Printf("\n  planned forest: %d trees, rejection %.3f, bound %.0f ms\n",
+		len(plan.Forest.Trees()), metrics.Rejection(plan.Forest), plan.Problem.Bcost)
+
+	srv, err := membership.New(membership.Config{
+		N: *n, Cost: plan.Sites.Cost, Bcost: plan.Problem.Bcost, Algorithm: alg, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		if err := srv.Serve(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	profile := stream.Profile{Width: 160, Height: 120, FPS: 15, CompressionRatio: 26}
+	nodes := make([]*rp.Node, *n)
+	var wg sync.WaitGroup
+	for i := 0; i < *n; i++ {
+		node, err := rp.New(rp.Config{
+			Site: i, Membership: srv.Addr(),
+			In: 20, Out: 20,
+			Cameras: *cameras, Profile: profile, Seed: int64(i),
+			Subscriptions: plan.Workload.Subs[i],
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := node.Start(ctx); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	wg.Wait()
+	defer func() {
+		for _, node := range nodes {
+			node.Close()
+		}
+	}()
+
+	interval := time.Duration(profile.FrameIntervalMs() * float64(time.Millisecond))
+	deadline := time.Now().Add(*duration)
+	ticks := 0
+	for time.Now().Before(deadline) {
+		for _, node := range nodes {
+			if err := node.PublishTick(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		ticks++
+		time.Sleep(interval)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	fmt.Printf("  streamed %d ticks (%d frames/site)\n", ticks, ticks**cameras)
+	for i, node := range nodes {
+		stats := node.Stats()
+		var frames int
+		var lat float64
+		ids := make([]stream.ID, 0, len(stats))
+		for id := range stats {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a].Less(ids[b]) })
+		for _, id := range ids {
+			frames += stats[id].Frames
+			lat += stats[id].MeanLatMs * float64(stats[id].Frames)
+		}
+		mean := 0.0
+		if frames > 0 {
+			mean = lat / float64(frames)
+		}
+		fmt.Printf("  site %d: %d streams subscribed, %5d frames delivered, mean latency %6.1f ms\n",
+			i, len(plan.Workload.Subs[i]), frames, mean)
+	}
+}
+
+func parseAlgo(s string) (overlay.Algorithm, error) {
+	switch strings.ToUpper(s) {
+	case "RJ":
+		return overlay.RJ{}, nil
+	case "CO-RJ", "CORJ":
+		return overlay.CORJ{}, nil
+	case "LTF":
+		return overlay.LTF{}, nil
+	case "STF":
+		return overlay.STF{}, nil
+	case "MCTF":
+		return overlay.MCTF{}, nil
+	default:
+		return nil, fmt.Errorf("ticluster: unknown algorithm %q", s)
+	}
+}

@@ -1,0 +1,145 @@
+// Command tisim regenerates the paper's evaluation figures on the
+// reconstructed simulation substrates.
+//
+// Usage:
+//
+//	tisim -fig 8a|8b|8c|8d|9|10|11|all [-samples 200] [-seed 1] [-csv]
+//	tisim -fig ablation    # reservation-mode and join-policy ablations
+//	tisim -fig capacity    # the §1 capacity back-of-envelope table
+//
+// Output is an aligned text table per figure (or CSV with -csv).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/tele3d/tele3d/internal/experiments"
+	"github.com/tele3d/tele3d/internal/metrics"
+	"github.com/tele3d/tele3d/internal/stream"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 8a, 8b, 8c, 8d, 9, 10, 11, ablation, capacity, all")
+		samples = flag.Int("samples", 200, "workload samples per data point (paper: 200)")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *fig, *samples, *seed, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "tisim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, fig string, samples int, seed int64, csv bool) error {
+	r, err := experiments.NewRunner(experiments.Config{Samples: samples, Seed: seed})
+	if err != nil {
+		return err
+	}
+	emit := func(title, xLabel string, series []metrics.Series) error {
+		if csv {
+			return experiments.WriteCSV(w, xLabel, series)
+		}
+		if err := experiments.WriteTable(w, title, xLabel, series); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	figures := []string{fig}
+	if fig == "all" {
+		figures = []string{"8a", "8b", "8c", "8d", "9", "10", "11", "ablation", "capacity"}
+	}
+	for _, f := range figures {
+		switch f {
+		case "8a", "8b", "8c", "8d":
+			series, err := r.Fig8(experiments.Fig8Variant(f))
+			if err != nil {
+				return err
+			}
+			if err := emit("Figure "+f+": average rejection ratio vs number of sites", "N", series); err != nil {
+				return err
+			}
+		case "9":
+			s, err := r.Fig9()
+			if err != nil {
+				return err
+			}
+			if err := emit("Figure 9: impact of granularity on rejection ratio (N=10)", "g", []metrics.Series{s}); err != nil {
+				return err
+			}
+		case "10":
+			series, err := r.Fig10()
+			if err != nil {
+				return err
+			}
+			if err := emit("Figure 10: average out-degree utilization (RJ)", "N", series); err != nil {
+				return err
+			}
+		case "11":
+			series, err := r.Fig11()
+			if err != nil {
+				return err
+			}
+			if err := emit("Figure 11: weighted rejection ratio X' (Eq. 3), RJ vs CO-RJ", "N", series); err != nil {
+				return err
+			}
+		case "ablation":
+			dyn, err := r.AblationDynamic()
+			if err != nil {
+				return err
+			}
+			if err := emit("Ablation: incremental churn vs full rebuild (N=8, 30% churn)", "x", dyn); err != nil {
+				return err
+			}
+			res, err := r.AblationReservation()
+			if err != nil {
+				return err
+			}
+			if err := emit("Ablation: reservation mode (x: 0=rank-only 1=blocking 2=off), N=10", "mode", res); err != nil {
+				return err
+			}
+			pol, err := r.AblationJoinPolicy()
+			if err != nil {
+				return err
+			}
+			if err := emit("Ablation: join policy (max-rfc vs relay-first), N=10", "x", pol); err != nil {
+				return err
+			}
+		case "capacity":
+			if err := capacityTable(w); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown figure %q", f)
+		}
+	}
+	return nil
+}
+
+// capacityTable prints the §1 back-of-envelope numbers that motivate the
+// publish-subscribe model: raw and reduced stream bandwidth, the per-
+// display rendering budget, and the all-to-all bandwidth demand that makes
+// three-site full-mesh collaboration infeasible.
+func capacityTable(w io.Writer) error {
+	p := stream.DefaultProfile()
+	rawMbps := float64(stream.RawStreamBps) / 1e6
+	redMbps := p.Bps() / 1e6
+	fmt.Fprintf(w, "# Capacity table (paper §1)\n")
+	fmt.Fprintf(w, "raw 3D stream (640x480x15fps x 5B/px)   %8.1f Mbps\n", rawMbps)
+	fmt.Fprintf(w, "reduced stream (paper pipeline)          %8.1f Mbps\n", redMbps)
+	fmt.Fprintf(w, "render cost per stream                       10.0 ms\n")
+	fmt.Fprintf(w, "render budget per display @15fps             66.7 ms -> max 6 streams\n")
+	for _, n := range []int{2, 3, 4} {
+		// All-to-all: each site sends its ~10 streams to N-1 others.
+		const streamsPerSite = 10
+		demand := float64((n-1)*streamsPerSite) * redMbps
+		fmt.Fprintf(w, "all-to-all egress per site, N=%d, 10 streams/site: %7.1f Mbps (Internet2 sites measured 40-150 Mbps)\n", n, demand)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,19 @@
+// Package tele3d is a reproduction of "Towards Multi-Site Collaboration
+// in 3D Tele-Immersive Environments" (Wu, Yang, Gupta, Nahrstedt,
+// ICDCS 2008): a publish-subscribe model for multi-site 3D tele-immersion
+// whose core is the static construction of a dissemination overlay — a
+// forest of multicast trees over per-site rendezvous points — under
+// bandwidth and latency constraints.
+//
+// The implementation lives under internal/: the overlay construction
+// algorithms (internal/overlay), the FOV subscription framework
+// (internal/fov), workload and topology substrates (internal/workload,
+// internal/topology, internal/geo), the stream model (internal/stream),
+// a real TCP data plane (internal/transport, internal/rp,
+// internal/membership), a discrete-event data-plane simulator
+// (internal/sim), and the experiment harness regenerating every figure of
+// the paper's evaluation (internal/experiments, cmd/tisim).
+//
+// The root package carries the repository-level benchmarks: one per paper
+// table/figure (bench_test.go).
+package tele3d

@@ -1,0 +1,51 @@
+// Quickstart: assemble a four-site tele-immersive session, construct the
+// dissemination overlay with Random Join, and print the multicast forest
+// with its rejection and utilization metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/tele3d/tele3d/internal/metrics"
+	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/session"
+)
+
+func main() {
+	s, err := session.Build(session.Spec{
+		N:               4,
+		CamerasPerSite:  8,
+		DisplaysPerSite: 2,
+		Algorithm:       overlay.RJ{},
+		Seed:            42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("sites:")
+	for i, node := range s.Sites.Nodes {
+		fmt.Printf("  site %d: %s (%s)\n", i, node.City.Name, node.City.Country)
+	}
+	fmt.Printf("\nlatency bound: %.1f ms (median pairwise cost %.1f ms)\n",
+		s.Problem.Bcost, s.Sites.MedianCost())
+	fmt.Printf("subscription requests: %d\n", len(s.Problem.Requests))
+
+	fmt.Println("\nmulticast forest:")
+	for _, t := range s.Forest.Trees() {
+		fmt.Printf("  tree %-6s rooted at site %d:", t.Stream, t.Source)
+		for _, e := range t.Edges() {
+			fmt.Printf(" %d->%d", e[0], e[1])
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nrejection ratio: %.3f\n", metrics.Rejection(s.Forest))
+	u := metrics.MeasureUtilization(s.Forest)
+	fmt.Printf("out-degree utilization: %.1f%% (relay share %.1f%%)\n",
+		100*u.MeanOut, 100*u.RelayFraction)
+	for _, r := range s.Forest.Rejected() {
+		fmt.Printf("rejected: %v\n", r)
+	}
+}

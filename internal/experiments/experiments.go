@@ -1,0 +1,385 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§5) on the reconstructed substrates: the Figure 8 rejection-ratio
+// sweeps, the Figure 9 granularity analysis, the Figure 10 load-balancing
+// measurements, and the Figure 11 correlation (CO-RJ) comparison, plus the
+// §1 capacity table and two ablations on design choices DESIGN.md calls
+// out (the reservation mode and the join policy).
+//
+// All runners share one calibrated configuration (see EXPERIMENTS.md,
+// "Calibration"): coverage-mode workloads with SubscribeFraction 0.12 on
+// the geographic backbone topology, latency bound 3× the median pairwise
+// cost, and 200 samples per point.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/tele3d/tele3d/internal/geo"
+	"github.com/tele3d/tele3d/internal/metrics"
+	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/stream"
+	"github.com/tele3d/tele3d/internal/topology"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Samples per data point; the paper uses 200. 0 means 200.
+	Samples int
+	// Seed makes the whole run reproducible. 0 means 1.
+	Seed int64
+	// SubscribeFraction overrides the calibrated workload density; 0
+	// means the calibrated 0.12.
+	SubscribeFraction float64
+	// BcostMultiplier scales the median pairwise cost into the latency
+	// bound; 0 means the calibrated 3.0.
+	BcostMultiplier float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Samples == 0 {
+		c.Samples = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.SubscribeFraction == 0 {
+		c.SubscribeFraction = 0.12
+	}
+	if c.BcostMultiplier == 0 {
+		c.BcostMultiplier = 3.0
+	}
+	return c
+}
+
+// Runner owns the shared backbone topology.
+type Runner struct {
+	cfg      Config
+	backbone *topology.Graph
+}
+
+// NewRunner builds a runner over the default backbone.
+func NewRunner(cfg Config) (*Runner, error) {
+	g, err := topology.Backbone(geo.DefaultLatencyModel())
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg.withDefaults(), backbone: g}, nil
+}
+
+// point is one (N, workload kind) cell: it evaluates callbacks over the
+// sample batch.
+type sampleStats struct {
+	rejection    float64
+	weightedRaw  float64
+	weightedNorm float64
+	util         metrics.Utilization
+}
+
+// runPoint constructs forests with alg over cfg.Samples instances at the
+// given session size and workload kinds, returning per-sample means.
+func (r *Runner) runPoint(n int, capk workload.CapacityKind, popk workload.PopularityKind, zipfExp float64, frac float64, alg overlay.Algorithm) (sampleStats, error) {
+	var agg sampleStats
+	for s := 0; s < r.cfg.Samples; s++ {
+		// One deterministic sub-seed per sample; the same instance is
+		// presented to every algorithm (paired comparison, as in the
+		// paper's averaging over 200 fixed samples).
+		rng := rand.New(rand.NewSource(r.cfg.Seed + int64(s)*1_000_003 + int64(n)*7919))
+		sites, err := topology.SelectSites(r.backbone, n, rng)
+		if err != nil {
+			return agg, err
+		}
+		w, err := workload.Generate(workload.Config{
+			N:                 n,
+			Capacity:          capk,
+			Popularity:        popk,
+			Mode:              workload.ModeCoverage,
+			CoverageRate:      1.0,
+			ZipfExponent:      zipfExp,
+			SubscribeFraction: frac,
+		}, rng)
+		if err != nil {
+			return agg, err
+		}
+		p, err := overlay.FromWorkload(w, sites.Cost, sites.MedianCost()*r.cfg.BcostMultiplier)
+		if err != nil {
+			return agg, err
+		}
+		f, err := alg.Construct(p, rand.New(rand.NewSource(r.cfg.Seed+int64(s))))
+		if err != nil {
+			return agg, err
+		}
+		if err := f.Validate(); err != nil {
+			return agg, fmt.Errorf("experiments: %s produced invalid forest: %w", alg.Name(), err)
+		}
+		agg.rejection += metrics.Rejection(f)
+		agg.weightedRaw += metrics.WeightedRejectionRaw(f)
+		agg.weightedNorm += metrics.WeightedRejection(f)
+		u := metrics.MeasureUtilization(f)
+		agg.util.MeanOut += u.MeanOut
+		agg.util.StdDevOut += u.StdDevOut
+		agg.util.RelayFraction += u.RelayFraction
+	}
+	k := float64(r.cfg.Samples)
+	agg.rejection /= k
+	agg.weightedRaw /= k
+	agg.weightedNorm /= k
+	agg.util.MeanOut /= k
+	agg.util.StdDevOut /= k
+	agg.util.RelayFraction /= k
+	return agg, nil
+}
+
+// Fig8Variant names one of the four subfigures of Figure 8.
+type Fig8Variant string
+
+// The four Figure 8 panels.
+const (
+	Fig8a Fig8Variant = "8a" // Zipf workload, heterogeneous nodes
+	Fig8b Fig8Variant = "8b" // Zipf workload, uniform nodes
+	Fig8c Fig8Variant = "8c" // random workload, heterogeneous nodes
+	Fig8d Fig8Variant = "8d" // random workload, uniform nodes
+)
+
+func (v Fig8Variant) kinds() (workload.CapacityKind, workload.PopularityKind, error) {
+	switch v {
+	case Fig8a:
+		return workload.CapacityHeterogeneous, workload.PopularityZipf, nil
+	case Fig8b:
+		return workload.CapacityUniform, workload.PopularityZipf, nil
+	case Fig8c:
+		return workload.CapacityHeterogeneous, workload.PopularityRandom, nil
+	case Fig8d:
+		return workload.CapacityUniform, workload.PopularityRandom, nil
+	default:
+		return 0, 0, fmt.Errorf("experiments: unknown Figure 8 variant %q", v)
+	}
+}
+
+// Fig8 reproduces one panel of Figure 8: average rejection ratio versus
+// the number of sites (3..10) for STF, LTF, MCTF and RJ.
+func (r *Runner) Fig8(v Fig8Variant) ([]metrics.Series, error) {
+	capk, popk, err := v.kinds()
+	if err != nil {
+		return nil, err
+	}
+	var out []metrics.Series
+	for _, alg := range overlay.Algorithms() {
+		s := metrics.Series{Label: alg.Name()}
+		for n := 3; n <= 10; n++ {
+			st, err := r.runPoint(n, capk, popk, 1.0, r.cfg.SubscribeFraction, alg)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(n), st.rejection)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig9 reproduces the granularity analysis of Figure 9: average rejection
+// ratio of Gran-LTF at N=10 under random workload and uniform nodes, as
+// the granularity g sweeps from 1 (LTF) toward F (RJ).
+func (r *Runner) Fig9() (metrics.Series, error) {
+	s := metrics.Series{Label: "Gran-LTF"}
+	for _, g := range []int{1, 2, 5, 10, 20, 40, 70, 100, 150, 200} {
+		st, err := r.runPoint(10, workload.CapacityUniform, workload.PopularityRandom, 1.0,
+			r.cfg.SubscribeFraction, overlay.GranLTF{G: g})
+		if err != nil {
+			return s, err
+		}
+		s.Add(float64(g), st.rejection)
+	}
+	return s, nil
+}
+
+// Fig10 reproduces the load-balancing measurements of Figure 10: RJ's
+// average out-degree utilization and the fraction of out-degree used for
+// relaying, for N = 4..20 under random workload and uniform nodes. The
+// third series carries the per-sample standard deviation of utilization
+// (the paper reports it stays below 3%).
+func (r *Runner) Fig10() ([]metrics.Series, error) {
+	util := metrics.Series{Label: "average out-degree utilization"}
+	relay := metrics.Series{Label: "average fraction used for relaying"}
+	sd := metrics.Series{Label: "stddev of out-degree utilization"}
+	for n := 4; n <= 20; n += 2 {
+		st, err := r.runPoint(n, workload.CapacityUniform, workload.PopularityRandom, 1.0,
+			r.cfg.SubscribeFraction, overlay.RJ{})
+		if err != nil {
+			return nil, err
+		}
+		util.Add(float64(n), st.util.MeanOut)
+		relay.Add(float64(n), st.util.RelayFraction)
+		sd.Add(float64(n), st.util.StdDevOut)
+	}
+	return []metrics.Series{util, relay, sd}, nil
+}
+
+// Fig11 reproduces the correlation experiment of Figure 11: the
+// correlation-weighted rejection ratio X′ (Equation 3) of RJ versus CO-RJ
+// under Zipf workload and heterogeneous nodes, N = 3..10. The workload
+// uses the site-skewed Zipf variant so per-pair subscription counts
+// u_{i→j} spread widely — the regime the criticality optimization
+// exploits. Values are the literal Equation 3 averaged over samples.
+func (r *Runner) Fig11() ([]metrics.Series, error) {
+	// Denser fill than Fig. 8 so criticality classes are well populated.
+	frac := r.cfg.SubscribeFraction + 0.08
+	var out []metrics.Series
+	for _, alg := range []overlay.Algorithm{overlay.RJ{}, overlay.CORJ{}} {
+		s := metrics.Series{Label: alg.Name()}
+		for n := 3; n <= 10; n++ {
+			st, err := r.runPoint(n, workload.CapacityHeterogeneous, workload.PopularityZipfSites, 1.6, frac, alg)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(n), st.weightedRaw)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// AblationReservation measures the rejection cost of the three readings
+// of the reservation mechanism at N=10 (random workload, uniform nodes),
+// for LTF and RJ.
+func (r *Runner) AblationReservation() ([]metrics.Series, error) {
+	modes := []overlay.ReservationMode{
+		overlay.ReservationRankOnly, overlay.ReservationBlocking, overlay.ReservationOff,
+	}
+	var out []metrics.Series
+	for _, alg := range []overlay.Algorithm{overlay.LTF{}, overlay.RJ{}} {
+		s := metrics.Series{Label: alg.Name()}
+		for mi, mode := range modes {
+			st, err := r.runPointWithProblem(10, mode, overlay.PolicyMaxRFC, alg)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(mi), st.rejection)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// AblationJoinPolicy compares the two parent-selection readings of the
+// Appendix pseudocode at N=10 for RJ.
+func (r *Runner) AblationJoinPolicy() ([]metrics.Series, error) {
+	var out []metrics.Series
+	for _, pol := range []overlay.JoinPolicy{overlay.PolicyMaxRFC, overlay.PolicyRelayFirst} {
+		s := metrics.Series{Label: pol.String()}
+		st, err := r.runPointWithProblem(10, overlay.ReservationRankOnly, pol, overlay.RJ{})
+		if err != nil {
+			return nil, err
+		}
+		s.Add(0, st.rejection)
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// runPointWithProblem mirrors runPoint but lets the caller override the
+// problem-level knobs (reservation mode, join policy).
+func (r *Runner) runPointWithProblem(n int, mode overlay.ReservationMode, pol overlay.JoinPolicy, alg overlay.Algorithm) (sampleStats, error) {
+	var agg sampleStats
+	for s := 0; s < r.cfg.Samples; s++ {
+		rng := rand.New(rand.NewSource(r.cfg.Seed + int64(s)*1_000_003 + int64(n)*7919))
+		sites, err := topology.SelectSites(r.backbone, n, rng)
+		if err != nil {
+			return agg, err
+		}
+		w, err := workload.Generate(workload.Config{
+			N: n, Capacity: workload.CapacityUniform, Popularity: workload.PopularityRandom,
+			Mode: workload.ModeCoverage, CoverageRate: 1.0,
+			SubscribeFraction: r.cfg.SubscribeFraction,
+		}, rng)
+		if err != nil {
+			return agg, err
+		}
+		p, err := overlay.FromWorkload(w, sites.Cost, sites.MedianCost()*r.cfg.BcostMultiplier)
+		if err != nil {
+			return agg, err
+		}
+		p.Reservation = mode
+		p.JoinPolicy = pol
+		f, err := alg.Construct(p, rand.New(rand.NewSource(r.cfg.Seed+int64(s))))
+		if err != nil {
+			return agg, err
+		}
+		agg.rejection += metrics.Rejection(f)
+	}
+	agg.rejection /= float64(r.cfg.Samples)
+	return agg, nil
+}
+
+// AblationDynamic measures the cost of incremental reconfiguration (the
+// §6 future-work extension implemented in overlay's dynamic operations):
+// starting from an RJ forest, a churn phase re-points 30% of the requests
+// (unsubscribe + subscribe of a fresh stream); the resulting rejection
+// ratio is compared against a full static rebuild of the final workload.
+// The returned series hold one point each: incremental and rebuilt.
+func (r *Runner) AblationDynamic() ([]metrics.Series, error) {
+	const n = 8
+	var incSum, rebuildSum float64
+	for s := 0; s < r.cfg.Samples; s++ {
+		rng := rand.New(rand.NewSource(r.cfg.Seed + int64(s)*1_000_003))
+		sites, err := topology.SelectSites(r.backbone, n, rng)
+		if err != nil {
+			return nil, err
+		}
+		w, err := workload.Generate(workload.Config{
+			N: n, Capacity: workload.CapacityUniform, Popularity: workload.PopularityRandom,
+			Mode: workload.ModeCoverage, CoverageRate: 1.0,
+			SubscribeFraction: r.cfg.SubscribeFraction,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		p, err := overlay.FromWorkload(w, sites.Cost, sites.MedianCost()*r.cfg.BcostMultiplier)
+		if err != nil {
+			return nil, err
+		}
+		f, err := overlay.RJ{}.Construct(p, rand.New(rand.NewSource(r.cfg.Seed+int64(s))))
+		if err != nil {
+			return nil, err
+		}
+		// Churn 30% of the requests: drop one, subscribe to a different
+		// stream of the same site.
+		churn := len(p.Requests) * 3 / 10
+		for c := 0; c < churn && len(f.Problem().Requests) > 0; c++ {
+			reqs := f.Problem().Requests
+			old := reqs[rng.Intn(len(reqs))]
+			if err := f.Unsubscribe(old); err != nil {
+				return nil, err
+			}
+			repl := overlay.Request{
+				Node:   old.Node,
+				Stream: stream.ID{Site: old.Stream.Site, Index: rng.Intn(w.Sites[old.Stream.Site].NumStreams)},
+			}
+			if _, err := f.Subscribe(repl); err != nil {
+				// Duplicate of an existing subscription: put the old one
+				// back so demand stays comparable.
+				if _, err := f.Subscribe(old); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: churned forest invalid: %w", err)
+		}
+		incSum += metrics.Rejection(f)
+
+		// Full static rebuild of the post-churn workload.
+		rebuilt, err := overlay.RJ{}.Construct(f.Problem(), rand.New(rand.NewSource(r.cfg.Seed+int64(s)+500)))
+		if err != nil {
+			return nil, err
+		}
+		rebuildSum += metrics.Rejection(rebuilt)
+	}
+	k := float64(r.cfg.Samples)
+	return []metrics.Series{
+		{Label: "incremental", X: []float64{0}, Y: []float64{incSum / k}},
+		{Label: "full rebuild", X: []float64{0}, Y: []float64{rebuildSum / k}},
+	}, nil
+}

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/tele3d/tele3d/internal/metrics"
+)
+
+// quick returns a runner with a small sample count for tests.
+func quickRunner(t *testing.T, samples int) *Runner {
+	t.Helper()
+	r, err := NewRunner(Config{Samples: samples, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFig8ShapesAndOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical experiment; skipped in -short")
+	}
+	r := quickRunner(t, 40)
+	for _, v := range []Fig8Variant{Fig8c, Fig8d} {
+		series, err := r.Fig8(v)
+		if err != nil {
+			t.Fatalf("Fig8(%s): %v", v, err)
+		}
+		if len(series) != 4 {
+			t.Fatalf("Fig8(%s): %d series, want 4", v, len(series))
+		}
+		byName := map[string]metrics.Series{}
+		for _, s := range series {
+			byName[s.Label] = s
+			if len(s.X) != 8 {
+				t.Errorf("series %s has %d points, want 8 (N=3..10)", s.Label, len(s.X))
+			}
+			for _, y := range s.Y {
+				if y < 0 || y > 1 {
+					t.Errorf("series %s: rejection %v outside [0,1]", s.Label, y)
+				}
+			}
+		}
+		// Rising trend: rejection at N=10 must exceed rejection at N=3
+		// for every algorithm (the paper's first observation).
+		for name, s := range byName {
+			if s.Y[len(s.Y)-1] <= s.Y[0] {
+				t.Errorf("%s/%s: rejection not rising (%.3f at N=3, %.3f at N=10)", v, name, s.Y[0], s.Y[len(s.Y)-1])
+			}
+		}
+		// Ordering at N=10: STF must not beat RJ, and LTF must not lose
+		// to STF (the paper's second and third observations).
+		last := func(name string) float64 { s := byName[name]; return s.Y[len(s.Y)-1] }
+		if last("RJ") > last("STF") {
+			t.Errorf("%s: RJ %.4f worse than STF %.4f at N=10", v, last("RJ"), last("STF"))
+		}
+		if last("LTF") > last("STF")*1.01 {
+			t.Errorf("%s: LTF %.4f worse than STF %.4f at N=10", v, last("LTF"), last("STF"))
+		}
+	}
+}
+
+func TestFig9GranularityDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical experiment; skipped in -short")
+	}
+	r := quickRunner(t, 40)
+	s, err := r.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.X) < 5 {
+		t.Fatalf("granularity sweep has %d points", len(s.X))
+	}
+	// The paper's observation: larger granularity does not hurt. Compare
+	// the ends with a tolerance for sampling noise.
+	first, lastV := s.Y[0], s.Y[len(s.Y)-1]
+	if lastV > first*1.02 {
+		t.Errorf("rejection rises with granularity: g=1 %.4f -> g=max %.4f", first, lastV)
+	}
+}
+
+func TestFig10UtilizationProperties(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical experiment; skipped in -short")
+	}
+	r := quickRunner(t, 30)
+	series, err := r.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("%d series, want 3", len(series))
+	}
+	util, relay, sd := series[0], series[1], series[2]
+	for i := range util.X {
+		if util.Y[i] < 0.85 || util.Y[i] > 1.0 {
+			t.Errorf("N=%v: out-degree utilization %.3f outside [0.85, 1.0]", util.X[i], util.Y[i])
+		}
+		if relay.Y[i] < 0 || relay.Y[i] > util.Y[i] {
+			t.Errorf("N=%v: relay fraction %.3f outside [0, util]", relay.X[i], relay.Y[i])
+		}
+		if sd.Y[i] > 0.15 {
+			t.Errorf("N=%v: utilization stddev %.3f too high", sd.X[i], sd.Y[i])
+		}
+	}
+}
+
+func TestFig11CORJWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical experiment; skipped in -short")
+	}
+	r := quickRunner(t, 40)
+	series, err := r.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series, want 2 (RJ, CO-RJ)", len(series))
+	}
+	rj, co := series[0], series[1]
+	if rj.Label != "RJ" || co.Label != "CO-RJ" {
+		t.Fatalf("labels = %q, %q", rj.Label, co.Label)
+	}
+	// At N=10, CO-RJ must be substantially better than RJ on X', and the
+	// advantage must grow with N.
+	lastRJ, lastCO := rj.Y[len(rj.Y)-1], co.Y[len(co.Y)-1]
+	if lastCO >= lastRJ {
+		t.Errorf("CO-RJ X'=%.3f not better than RJ X'=%.3f at N=10", lastCO, lastRJ)
+	}
+	factor10 := lastRJ / lastCO
+	factor3 := rj.Y[0] / co.Y[0]
+	if factor10 < 1.3 {
+		t.Errorf("CO-RJ advantage factor %.2f at N=10, want >= 1.3", factor10)
+	}
+	if factor10 <= factor3 {
+		t.Errorf("CO-RJ advantage not growing with N: factor %.2f at N=3, %.2f at N=10", factor3, factor10)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical experiment; skipped in -short")
+	}
+	r := quickRunner(t, 25)
+	res, err := r.AblationReservation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("reservation ablation: %d series", len(res))
+	}
+	for _, s := range res {
+		if len(s.Y) != 3 {
+			t.Fatalf("series %s has %d modes, want 3", s.Label, len(s.Y))
+		}
+		// Blocking reservations must cost strictly more than rank-only.
+		if s.Y[1] <= s.Y[0] {
+			t.Errorf("%s: blocking (%.3f) not worse than rank-only (%.3f)", s.Label, s.Y[1], s.Y[0])
+		}
+	}
+	pol, err := r.AblationJoinPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pol) != 2 {
+		t.Fatalf("join policy ablation: %d series", len(pol))
+	}
+}
+
+func TestWriteTableAndCSV(t *testing.T) {
+	series := []metrics.Series{
+		{Label: "a", X: []float64{1, 2}, Y: []float64{0.5, 0.25}},
+		{Label: "b", X: []float64{2, 3}, Y: []float64{0.75, 0.1}},
+	}
+	var tbl bytes.Buffer
+	if err := WriteTable(&tbl, "demo", "N", series); err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"# demo", "N", "a", "b", "0.5000", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	if err := WriteCSV(&csv, "N", series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv has %d lines, want 4:\n%s", len(lines), csv.String())
+	}
+	if lines[0] != "N,a,b" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "1,0.500000,") {
+		t.Errorf("csv row 1 = %q", lines[1])
+	}
+}
+
+func TestWriteTableRejectsInvalidSeries(t *testing.T) {
+	bad := []metrics.Series{{Label: "x", X: []float64{1}, Y: nil}}
+	if err := WriteTable(&bytes.Buffer{}, "t", "N", bad); err == nil {
+		t.Error("invalid series accepted by WriteTable")
+	}
+	if err := WriteCSV(&bytes.Buffer{}, "N", bad); err == nil {
+		t.Error("invalid series accepted by WriteCSV")
+	}
+}
+
+func TestFig8UnknownVariant(t *testing.T) {
+	r := quickRunner(t, 1)
+	if _, err := r.Fig8(Fig8Variant("9z")); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Samples != 200 || c.Seed != 1 || c.SubscribeFraction != 0.12 || c.BcostMultiplier != 3.0 {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+func TestAblationDynamic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical experiment; skipped in -short")
+	}
+	r := quickRunner(t, 15)
+	series, err := r.AblationDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series, want 2", len(series))
+	}
+	inc, rebuild := series[0].Y[0], series[1].Y[0]
+	if inc < 0 || inc > 1 || rebuild < 0 || rebuild > 1 {
+		t.Fatalf("out of range: inc=%v rebuild=%v", inc, rebuild)
+	}
+	// Incremental reconfiguration may be somewhat worse than a clean
+	// rebuild (it inherits stale placements) but must stay in the same
+	// regime.
+	if inc > rebuild+0.10 {
+		t.Errorf("incremental %.3f much worse than rebuild %.3f", inc, rebuild)
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+// render.go turns experiment series into the textual tables cmd/tisim
+// prints: one row per x value, one column per series, plus a CSV form for
+// plotting.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/tele3d/tele3d/internal/metrics"
+)
+
+// WriteTable renders the series as an aligned ASCII table. All series are
+// joined on their x values; missing cells render as "-".
+func WriteTable(w io.Writer, title, xLabel string, series []metrics.Series) error {
+	for i := range series {
+		if err := series[i].Validate(); err != nil {
+			return err
+		}
+	}
+	xs := unionX(series)
+	if _, err := fmt.Fprintf(w, "# %s\n", title); err != nil {
+		return err
+	}
+	header := []string{xLabel}
+	for _, s := range series {
+		header = append(header, s.Label)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range series {
+			if y, ok := lookup(s, x); ok {
+				row = append(row, fmt.Sprintf("%.4f", y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[c]-len(cell)))
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the series as a CSV table joined on x.
+func WriteCSV(w io.Writer, xLabel string, series []metrics.Series) error {
+	for i := range series {
+		if err := series[i].Validate(); err != nil {
+			return err
+		}
+	}
+	cols := []string{xLabel}
+	for _, s := range series {
+		cols = append(cols, s.Label)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, x := range unionX(series) {
+		row := []string{trimFloat(x)}
+		for _, s := range series {
+			if y, ok := lookup(s, x); ok {
+				row = append(row, fmt.Sprintf("%.6f", y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func unionX(series []metrics.Series) []float64 {
+	seen := make(map[float64]bool)
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func lookup(s metrics.Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

@@ -1,0 +1,77 @@
+package geo
+
+// City is a named point of presence on the backbone map.
+type City struct {
+	Name    string
+	Country string
+	Coordinate
+}
+
+// Cities returns the built-in PoP database: 40 metro areas that appear in
+// public backbone maps (Abilene/Internet2, GÉANT, APAN and commercial
+// carriers captured by CAIDA's Mapnet). The list intentionally spans North
+// America, Europe, and Asia-Pacific so that selected multi-site sessions
+// include both metro-scale and trans-oceanic edges.
+//
+// The returned slice is a fresh copy; callers may reorder or mutate it.
+func Cities() []City {
+	cs := make([]City, len(builtinCities))
+	copy(cs, builtinCities)
+	return cs
+}
+
+// CityByName returns the built-in city with the given name.
+func CityByName(name string) (City, bool) {
+	for _, c := range builtinCities {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return City{}, false
+}
+
+var builtinCities = []City{
+	// North America (Abilene/Internet2 PoPs and major carrier hotels).
+	{"Seattle", "US", Coordinate{47.6062, -122.3321}},
+	{"Sunnyvale", "US", Coordinate{37.3688, -122.0363}},
+	{"Los Angeles", "US", Coordinate{34.0522, -118.2437}},
+	{"Denver", "US", Coordinate{39.7392, -104.9903}},
+	{"Kansas City", "US", Coordinate{39.0997, -94.5786}},
+	{"Houston", "US", Coordinate{29.7604, -95.3698}},
+	{"Chicago", "US", Coordinate{41.8781, -87.6298}},
+	{"Urbana-Champaign", "US", Coordinate{40.1106, -88.2073}},
+	{"Indianapolis", "US", Coordinate{39.7684, -86.1581}},
+	{"Atlanta", "US", Coordinate{33.7490, -84.3880}},
+	{"Washington DC", "US", Coordinate{38.9072, -77.0369}},
+	{"New York", "US", Coordinate{40.7128, -74.0060}},
+	{"Boston", "US", Coordinate{42.3601, -71.0589}},
+	{"Pittsburgh", "US", Coordinate{40.4406, -79.9959}},
+	{"Miami", "US", Coordinate{25.7617, -80.1918}},
+	{"Dallas", "US", Coordinate{32.7767, -96.7970}},
+	{"Salt Lake City", "US", Coordinate{40.7608, -111.8910}},
+	{"Berkeley", "US", Coordinate{37.8715, -122.2730}},
+	{"Toronto", "CA", Coordinate{43.6532, -79.3832}},
+	{"Vancouver", "CA", Coordinate{49.2827, -123.1207}},
+	{"Montreal", "CA", Coordinate{45.5017, -73.5673}},
+	{"Mexico City", "MX", Coordinate{19.4326, -99.1332}},
+	// Europe (GÉANT PoPs).
+	{"London", "GB", Coordinate{51.5074, -0.1278}},
+	{"Paris", "FR", Coordinate{48.8566, 2.3522}},
+	{"Amsterdam", "NL", Coordinate{52.3676, 4.9041}},
+	{"Frankfurt", "DE", Coordinate{50.1109, 8.6821}},
+	{"Geneva", "CH", Coordinate{46.2044, 6.1432}},
+	{"Milan", "IT", Coordinate{45.4642, 9.1900}},
+	{"Madrid", "ES", Coordinate{40.4168, -3.7038}},
+	{"Stockholm", "SE", Coordinate{59.3293, 18.0686}},
+	{"Vienna", "AT", Coordinate{48.2082, 16.3738}},
+	{"Prague", "CZ", Coordinate{50.0755, 14.4378}},
+	// Asia-Pacific (APAN / TransPAC PoPs).
+	{"Tokyo", "JP", Coordinate{35.6762, 139.6503}},
+	{"Osaka", "JP", Coordinate{34.6937, 135.5023}},
+	{"Seoul", "KR", Coordinate{37.5665, 126.9780}},
+	{"Beijing", "CN", Coordinate{39.9042, 116.4074}},
+	{"Hong Kong", "HK", Coordinate{22.3193, 114.1694}},
+	{"Singapore", "SG", Coordinate{1.3521, 103.8198}},
+	{"Sydney", "AU", Coordinate{-33.8688, 151.2093}},
+	{"Taipei", "TW", Coordinate{25.0330, 121.5654}},
+}

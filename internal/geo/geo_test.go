@@ -1,0 +1,160 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   string
+		wantKm float64
+		tolKm  float64
+	}{
+		{"chicago-urbana", "Chicago", "Urbana-Champaign", 217, 20},
+		{"ny-london", "New York", "London", 5570, 60},
+		{"la-tokyo", "Los Angeles", "Tokyo", 8815, 90},
+		{"seattle-sunnyvale", "Seattle", "Sunnyvale", 1150, 40},
+		{"singapore-sydney", "Singapore", "Sydney", 6300, 80},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a, ok := CityByName(tt.a)
+			if !ok {
+				t.Fatalf("city %q not found", tt.a)
+			}
+			b, ok := CityByName(tt.b)
+			if !ok {
+				t.Fatalf("city %q not found", tt.b)
+			}
+			got := Distance(a.Coordinate, b.Coordinate)
+			if math.Abs(got-tt.wantKm) > tt.tolKm {
+				t.Errorf("Distance(%s,%s) = %.1f km, want %.1f±%.0f", tt.a, tt.b, got, tt.wantKm, tt.tolKm)
+			}
+		})
+	}
+}
+
+func TestDistanceIdentityAndSymmetry(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Coordinate{Lat: wrapLat(lat1), Lon: wrapLon(lon1)}
+		b := Coordinate{Lat: wrapLat(lat2), Lon: wrapLon(lon2)}
+		dab := Distance(a, b)
+		dba := Distance(b, a)
+		if math.Abs(dab-dba) > 1e-6 {
+			return false
+		}
+		if Distance(a, a) > 1e-6 {
+			return false
+		}
+		// Never longer than half the circumference.
+		return dab <= math.Pi*EarthRadiusKm+1e-6 && dab >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2, lat3, lon3 float64) bool {
+		a := Coordinate{Lat: wrapLat(lat1), Lon: wrapLon(lon1)}
+		b := Coordinate{Lat: wrapLat(lat2), Lon: wrapLon(lon2)}
+		c := Coordinate{Lat: wrapLat(lat3), Lon: wrapLon(lon3)}
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func wrapLat(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(math.Abs(v), 180) - 90
+}
+
+func wrapLon(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(math.Abs(v), 360) - 180
+}
+
+func TestCoordinateValid(t *testing.T) {
+	valid := []Coordinate{{0, 0}, {90, 180}, {-90, -180}, {40.1, -88.2}}
+	for _, c := range valid {
+		if !c.Valid() {
+			t.Errorf("Valid(%v) = false, want true", c)
+		}
+	}
+	invalid := []Coordinate{{91, 0}, {-91, 0}, {0, 181}, {0, -181}}
+	for _, c := range invalid {
+		if c.Valid() {
+			t.Errorf("Valid(%v) = true, want false", c)
+		}
+	}
+}
+
+func TestAllCitiesValid(t *testing.T) {
+	cs := Cities()
+	if len(cs) < 30 {
+		t.Fatalf("want at least 30 cities, got %d", len(cs))
+	}
+	seen := make(map[string]bool, len(cs))
+	for _, c := range cs {
+		if !c.Valid() {
+			t.Errorf("city %s has invalid coordinate %v", c.Name, c.Coordinate)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate city name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+func TestCitiesReturnsCopy(t *testing.T) {
+	a := Cities()
+	a[0].Name = "mutated"
+	b := Cities()
+	if b[0].Name == "mutated" {
+		t.Error("Cities() exposes internal state: mutation visible across calls")
+	}
+}
+
+func TestCityByNameMissing(t *testing.T) {
+	if _, ok := CityByName("Atlantis"); ok {
+		t.Error("CityByName(Atlantis) found a city, want miss")
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	m := DefaultLatencyModel()
+	if got := m.LatencyMs(0); got != m.FixedMs {
+		t.Errorf("LatencyMs(0) = %v, want fixed %v", got, m.FixedMs)
+	}
+	if got := m.LatencyMs(-5); got != m.FixedMs {
+		t.Errorf("LatencyMs(-5) = %v, want clamped to fixed %v", got, m.FixedMs)
+	}
+	// 1000 km at 0.01 ms/km + 2 ms fixed = 12 ms.
+	if got, want := m.LatencyMs(1000), 12.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("LatencyMs(1000) = %v, want %v", got, want)
+	}
+	// Monotone in distance.
+	if m.LatencyMs(100) >= m.LatencyMs(200) {
+		t.Error("latency not monotone in distance")
+	}
+}
+
+func TestLatencyBetweenCoordinates(t *testing.T) {
+	m := DefaultLatencyModel()
+	ny, _ := CityByName("New York")
+	ld, _ := CityByName("London")
+	got := m.Latency(ny.Coordinate, ld.Coordinate)
+	// ~5570 km -> ~57.7 ms one-way under the default model.
+	if got < 40 || got > 80 {
+		t.Errorf("NY-London one-way latency = %.1f ms, want 40..80", got)
+	}
+}

@@ -1,0 +1,286 @@
+// Package membership implements the centralized membership server of
+// §3.2: it aggregates the per-site subscription sets from all RPs,
+// constructs the dissemination forest with a chosen overlay algorithm,
+// and dictates per-RP routing tables back to the sites.
+//
+// The paper takes the centralized approach deliberately: 3DTI sessions
+// are small to medium sized, so a single coordination point is simpler
+// than a distributed control plane.
+package membership
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+
+	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/stream"
+	"github.com/tele3d/tele3d/internal/transport"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// N is the number of sites expected to register.
+	N int
+	// Cost is the pairwise one-way latency matrix among sites; it is both
+	// the overlay edge cost and the WAN delay the RPs emulate.
+	Cost [][]float64
+	// Bcost is the latency bound for the forest construction.
+	Bcost float64
+	// Algorithm constructs the forest; nil means overlay.RJ{}.
+	Algorithm overlay.Algorithm
+	// Seed drives the randomized construction. 0 means 1.
+	Seed int64
+	// ListenAddr is the TCP address to listen on, e.g. "127.0.0.1:0".
+	ListenAddr string
+}
+
+// Server is the membership coordination point.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu       sync.Mutex
+	sites    map[int]*siteState
+	computed bool
+	forest   *overlay.Forest
+
+	// Ready is closed once routing tables have been sent to every RP.
+	ready chan struct{}
+	// failed is closed on the first handler error so that handlers
+	// blocked waiting for completeness unwind instead of deadlocking.
+	failed   chan struct{}
+	failOnce sync.Once
+	errCh    chan error
+	wg       sync.WaitGroup
+}
+
+type siteState struct {
+	hello *transport.Hello
+	subs  []stream.ID
+	conn  net.Conn
+}
+
+// New creates a server and begins listening (but not accepting).
+func New(cfg Config) (*Server, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("membership: N=%d < 2", cfg.N)
+	}
+	if len(cfg.Cost) != cfg.N {
+		return nil, fmt.Errorf("membership: cost matrix has %d rows, want %d", len(cfg.Cost), cfg.N)
+	}
+	if cfg.Bcost <= 0 {
+		return nil, errors.New("membership: Bcost must be positive")
+	}
+	if cfg.Algorithm == nil {
+		cfg.Algorithm = overlay.RJ{}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("membership: listen: %w", err)
+	}
+	return &Server{
+		cfg:    cfg,
+		ln:     ln,
+		sites:  make(map[int]*siteState),
+		ready:  make(chan struct{}),
+		failed: make(chan struct{}),
+		errCh:  make(chan error, cfg.N+1),
+	}, nil
+}
+
+// Addr returns the server's dial address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Ready is closed once every RP has received its routing table.
+func (s *Server) Ready() <-chan struct{} { return s.ready }
+
+// Forest returns the constructed overlay forest (nil before Ready).
+func (s *Server) Forest() *overlay.Forest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.forest
+}
+
+// Serve accepts RP registrations until all N sites are registered and the
+// routing tables have been dictated, then returns. Cancelling ctx aborts.
+func (s *Server) Serve(ctx context.Context) error {
+	defer s.ln.Close()
+	go func() {
+		<-ctx.Done()
+		s.ln.Close()
+	}()
+	for i := 0; i < s.cfg.N; i++ {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("membership: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.handle(conn); err != nil {
+				s.errCh <- err
+				s.failOnce.Do(func() { close(s.failed) })
+			}
+		}()
+	}
+	s.wg.Wait()
+	select {
+	case err := <-s.errCh:
+		return err
+	default:
+	}
+	select {
+	case <-s.ready:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// handle reads one RP's Hello and Subscribe, then blocks until the forest
+// is computed and the RP's routes are sent.
+func (s *Server) handle(conn net.Conn) error {
+	defer conn.Close()
+	m, err := transport.ReadMessage(conn)
+	if err != nil {
+		return fmt.Errorf("membership: read hello: %w", err)
+	}
+	if m.Type != transport.MsgHello {
+		return fmt.Errorf("membership: expected hello, got type %d", m.Type)
+	}
+	hello := m.Hello
+	if hello.Site < 0 || hello.Site >= s.cfg.N {
+		return fmt.Errorf("membership: site %d out of range", hello.Site)
+	}
+	m, err = transport.ReadMessage(conn)
+	if err != nil {
+		return fmt.Errorf("membership: read subscribe: %w", err)
+	}
+	if m.Type != transport.MsgSubscribe || m.Subscribe.Site != hello.Site {
+		return fmt.Errorf("membership: expected subscribe from site %d", hello.Site)
+	}
+
+	s.mu.Lock()
+	if _, dup := s.sites[hello.Site]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("membership: duplicate registration for site %d", hello.Site)
+	}
+	s.sites[hello.Site] = &siteState{hello: hello, subs: m.Subscribe.Streams, conn: conn}
+	complete := len(s.sites) == s.cfg.N
+	s.mu.Unlock()
+
+	if complete {
+		if err := s.computeAndDistribute(); err != nil {
+			return err
+		}
+		close(s.ready)
+	}
+	// Hold the connection open until the session is ready (the routing
+	// table goes out on it) or another handler has failed the session.
+	select {
+	case <-s.ready:
+		return nil
+	case <-s.failed:
+		return nil
+	}
+}
+
+// computeAndDistribute builds the forest from the global subscription
+// workload and sends each RP its routing table.
+func (s *Server) computeAndDistribute() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.computed {
+		return nil
+	}
+	s.computed = true
+
+	sites := make([]workload.Site, s.cfg.N)
+	subs := make([][]stream.ID, s.cfg.N)
+	for i := 0; i < s.cfg.N; i++ {
+		st, ok := s.sites[i]
+		if !ok {
+			return fmt.Errorf("membership: site %d never registered", i)
+		}
+		sites[i] = workload.Site{In: st.hello.In, Out: st.hello.Out, NumStreams: st.hello.NumStreams}
+		subs[i] = st.subs
+	}
+	w, err := workload.New(sites, subs)
+	if err != nil {
+		return fmt.Errorf("membership: assemble workload: %w", err)
+	}
+	p, err := overlay.FromWorkload(w, s.cfg.Cost, s.cfg.Bcost)
+	if err != nil {
+		return err
+	}
+	f, err := s.cfg.Algorithm.Construct(p, rand.New(rand.NewSource(s.cfg.Seed)))
+	if err != nil {
+		return err
+	}
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("membership: constructed forest invalid: %w", err)
+	}
+	s.forest = f
+
+	routes := s.buildRoutes(f)
+	for i, st := range s.sites {
+		if err := transport.WriteMessage(st.conn, &transport.Message{Type: transport.MsgRoutes, Routes: routes[i]}); err != nil {
+			return fmt.Errorf("membership: send routes to site %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// buildRoutes converts the forest into per-site routing directives.
+func (s *Server) buildRoutes(f *overlay.Forest) map[int]*transport.Routes {
+	out := make(map[int]*transport.Routes, s.cfg.N)
+	peers := make(map[int]string, s.cfg.N)
+	for i, st := range s.sites {
+		peers[i] = st.hello.Addr
+	}
+	for i := 0; i < s.cfg.N; i++ {
+		delays := make(map[int]float64, s.cfg.N-1)
+		for j := 0; j < s.cfg.N; j++ {
+			if j != i {
+				delays[j] = s.cfg.Cost[i][j]
+			}
+		}
+		out[i] = &transport.Routes{
+			Site:    i,
+			Peers:   peers,
+			DelayMs: delays,
+			Forward: nil,
+		}
+	}
+	for _, t := range f.Trees() {
+		// Group the tree's edges by parent.
+		children := make(map[int][]int)
+		for _, e := range t.Edges() {
+			children[e[0]] = append(children[e[0]], e[1])
+		}
+		for parent, ch := range children {
+			out[parent].Forward = append(out[parent].Forward, transport.Route{Stream: t.Stream, Children: ch})
+		}
+	}
+	for _, r := range f.Accepted() {
+		out[r.Node].Accepted = append(out[r.Node].Accepted, r.Stream)
+	}
+	for _, r := range f.Rejected() {
+		out[r.Node].Rejected = append(out[r.Node].Rejected, r.Stream)
+	}
+	return out
+}

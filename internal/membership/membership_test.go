@@ -1,0 +1,165 @@
+package membership
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/tele3d/tele3d/internal/stream"
+	"github.com/tele3d/tele3d/internal/transport"
+)
+
+func TestConfigValidation(t *testing.T) {
+	cost := [][]float64{{0, 5}, {5, 0}}
+	if _, err := New(Config{N: 1, Cost: cost[:1], Bcost: 10}); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := New(Config{N: 2, Cost: cost[:1], Bcost: 10}); err == nil {
+		t.Error("short cost matrix accepted")
+	}
+	if _, err := New(Config{N: 2, Cost: cost, Bcost: 0}); err == nil {
+		t.Error("zero Bcost accepted")
+	}
+	srv, err := New(Config{N: 2, Cost: cost, Bcost: 10})
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if srv.Addr() == "" {
+		t.Error("no listen address")
+	}
+	if srv.Forest() != nil {
+		t.Error("forest non-nil before registration")
+	}
+	srv.ln.Close()
+}
+
+// register performs the RP-side handshake manually.
+func register(t *testing.T, addr string, hello transport.Hello, subs []stream.ID) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.WriteMessage(conn, &transport.Message{Type: transport.MsgHello, Hello: &hello}); err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.WriteMessage(conn, &transport.Message{
+		Type: transport.MsgSubscribe, Subscribe: &transport.Subscribe{Site: hello.Site, Streams: subs},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func TestServeComputesAndDistributesRoutes(t *testing.T) {
+	cost := [][]float64{{0, 7}, {7, 0}}
+	srv, err := New(Config{N: 2, Cost: cost, Bcost: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+
+	c0 := register(t, srv.Addr(), transport.Hello{Site: 0, Addr: "127.0.0.1:1111", In: 10, Out: 10, NumStreams: 2}, nil)
+	defer c0.Close()
+	c1 := register(t, srv.Addr(), transport.Hello{Site: 1, Addr: "127.0.0.1:2222", In: 10, Out: 10, NumStreams: 2},
+		[]stream.ID{{Site: 0, Index: 0}})
+	defer c1.Close()
+
+	m0, err := transport.ReadMessage(c0)
+	if err != nil || m0.Type != transport.MsgRoutes {
+		t.Fatalf("site 0 routes: %v %v", m0, err)
+	}
+	m1, err := transport.ReadMessage(c1)
+	if err != nil || m1.Type != transport.MsgRoutes {
+		t.Fatalf("site 1 routes: %v %v", m1, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+
+	// Site 0 must forward its stream 0 to site 1.
+	if len(m0.Routes.Forward) != 1 || m0.Routes.Forward[0].Stream != (stream.ID{Site: 0, Index: 0}) {
+		t.Fatalf("site 0 forward = %+v", m0.Routes.Forward)
+	}
+	if ch := m0.Routes.Forward[0].Children; len(ch) != 1 || ch[0] != 1 {
+		t.Errorf("children = %v", ch)
+	}
+	if m0.Routes.Peers[1] != "127.0.0.1:2222" {
+		t.Errorf("peers = %v", m0.Routes.Peers)
+	}
+	if m0.Routes.DelayMs[1] != 7 {
+		t.Errorf("delay = %v", m0.Routes.DelayMs)
+	}
+	if len(m1.Routes.Accepted) != 1 || len(m1.Routes.Rejected) != 0 {
+		t.Errorf("site 1 accepted/rejected = %v / %v", m1.Routes.Accepted, m1.Routes.Rejected)
+	}
+	if srv.Forest() == nil {
+		t.Error("forest not exposed after ready")
+	}
+}
+
+func TestServeRejectsDuplicateSite(t *testing.T) {
+	cost := [][]float64{{0, 7}, {7, 0}}
+	srv, err := New(Config{N: 2, Cost: cost, Bcost: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+
+	c0 := register(t, srv.Addr(), transport.Hello{Site: 0, Addr: "a", In: 5, Out: 5, NumStreams: 1}, nil)
+	defer c0.Close()
+	c0dup := register(t, srv.Addr(), transport.Hello{Site: 0, Addr: "b", In: 5, Out: 5, NumStreams: 1}, nil)
+	defer c0dup.Close()
+
+	if err := <-done; err == nil {
+		t.Error("duplicate site registration accepted")
+	}
+}
+
+func TestServeContextCancel(t *testing.T) {
+	cost := [][]float64{{0, 7}, {7, 0}}
+	srv, err := New(Config{N: 2, Cost: cost, Bcost: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Serve returned nil after cancellation with no registrations")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+}
+
+func TestServeRejectsOutOfRangeSite(t *testing.T) {
+	cost := [][]float64{{0, 7}, {7, 0}}
+	srv, err := New(Config{N: 2, Cost: cost, Bcost: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+
+	bad := register(t, srv.Addr(), transport.Hello{Site: 9, Addr: "x", In: 5, Out: 5, NumStreams: 1}, nil)
+	defer bad.Close()
+	ok := register(t, srv.Addr(), transport.Hello{Site: 0, Addr: "y", In: 5, Out: 5, NumStreams: 1}, nil)
+	defer ok.Close()
+
+	if err := <-done; err == nil {
+		t.Error("out-of-range site accepted")
+	}
+}

@@ -1,0 +1,265 @@
+package overlay
+
+// algorithms.go implements the forest construction strategies of §4.3:
+// the tree-based orderings (LTF, STF, MCTF), the randomized algorithm RJ,
+// and the granularity spectrum Gran-LTF that connects them. All strategies
+// share the basic node join algorithm; they differ only in the order in
+// which subscription requests are processed.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Algorithm constructs a forest for a problem. Implementations must be
+// deterministic for a fixed rng state.
+type Algorithm interface {
+	// Name returns the paper's name for the algorithm (e.g. "LTF").
+	Name() string
+	// Construct builds the forest. The rng drives the randomized
+	// request ordering inside whatever batches the algorithm defines.
+	Construct(p *Problem, rng *rand.Rand) (*Forest, error)
+}
+
+// groupOrder ranks multicast groups for the tree-based algorithms.
+type groupOrder int
+
+const (
+	orderLargestFirst groupOrder = iota
+	orderSmallestFirst
+	orderMinCapacityFirst
+)
+
+// sortGroups orders groups by the given criterion. Ties are broken by the
+// pre-shuffled slice order: group sizes cluster heavily (most multicast
+// groups are small), and a deterministic tie-break such as stream ID would
+// place all of one site's trees consecutively, hot-spotting that source.
+// Callers shuffle the groups with their seeded rng before sorting, which
+// keeps runs reproducible per seed while randomizing ties as the paper's
+// randomized processing does.
+func sortGroups(p *Problem, groups []Group, order groupOrder) {
+	var fc []int
+	if order == orderMinCapacityFirst {
+		fc = p.ForwardingCapacity()
+	}
+	aggregate := func(g Group) int {
+		// Aggregate forwarding capacity of the tree: sum over the nodes
+		// of the multicast group G(s) (§4.3.2). G(s) is the set of
+		// requesting RPs (§4.1), so the source is not included.
+		total := 0
+		for _, m := range g.Members {
+			total += fc[m]
+		}
+		return total
+	}
+	sort.SliceStable(groups, func(i, j int) bool {
+		a, b := groups[i], groups[j]
+		switch order {
+		case orderLargestFirst:
+			if a.Size() != b.Size() {
+				return a.Size() > b.Size()
+			}
+		case orderSmallestFirst:
+			if a.Size() != b.Size() {
+				return a.Size() < b.Size()
+			}
+		case orderMinCapacityFirst:
+			ca, cb := aggregate(a), aggregate(b)
+			if ca != cb {
+				return ca < cb
+			}
+		}
+		return false // ties keep the (shuffled) input order
+	})
+}
+
+// constructBatched is the shared engine: process the groups batch by batch
+// (granularity g = batch size in trees); within a batch all requests are
+// pooled and processed in randomized order with the basic node join
+// algorithm (§4.3, §5.3).
+func constructBatched(p *Problem, rng *rand.Rand, groups []Group, granularity int) (*Forest, error) {
+	if rng == nil {
+		return nil, errors.New("overlay: nil rng")
+	}
+	if granularity < 1 {
+		return nil, fmt.Errorf("overlay: granularity %d < 1", granularity)
+	}
+	f, err := NewForest(p)
+	if err != nil {
+		return nil, err
+	}
+	for start := 0; start < len(groups); start += granularity {
+		end := start + granularity
+		if end > len(groups) {
+			end = len(groups)
+		}
+		var batch []Request
+		for _, g := range groups[start:end] {
+			for _, m := range g.Members {
+				batch = append(batch, Request{Node: m, Stream: g.Stream})
+			}
+		}
+		rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+		for _, r := range batch {
+			f.Join(r)
+		}
+	}
+	return f, nil
+}
+
+// LTF is the Largest Tree First algorithm: construct trees one by one from
+// the largest multicast group to the smallest, so that any trees starved
+// of capacity at the end are the small ones.
+type LTF struct{}
+
+// Name implements Algorithm.
+func (LTF) Name() string { return "LTF" }
+
+// Construct implements Algorithm.
+func (LTF) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
+	if rng == nil {
+		return nil, errors.New("overlay: nil rng")
+	}
+	groups := p.Groups()
+	rng.Shuffle(len(groups), func(i, j int) { groups[i], groups[j] = groups[j], groups[i] })
+	sortGroups(p, groups, orderLargestFirst)
+	return constructBatched(p, rng, groups, 1)
+}
+
+// STF is the Smallest Tree First algorithm, LTF reversed; the paper
+// includes it as the control for the LTF hypothesis.
+type STF struct{}
+
+// Name implements Algorithm.
+func (STF) Name() string { return "STF" }
+
+// Construct implements Algorithm.
+func (STF) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
+	if rng == nil {
+		return nil, errors.New("overlay: nil rng")
+	}
+	groups := p.Groups()
+	rng.Shuffle(len(groups), func(i, j int) { groups[i], groups[j] = groups[j], groups[i] })
+	sortGroups(p, groups, orderSmallestFirst)
+	return constructBatched(p, rng, groups, 1)
+}
+
+// MCTF is the Minimum Capacity Tree First algorithm: construct first the
+// trees whose multicast groups have the least aggregate forwarding
+// capacity (the hardest trees), while resources remain.
+type MCTF struct{}
+
+// Name implements Algorithm.
+func (MCTF) Name() string { return "MCTF" }
+
+// Construct implements Algorithm.
+func (MCTF) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
+	if rng == nil {
+		return nil, errors.New("overlay: nil rng")
+	}
+	groups := p.Groups()
+	rng.Shuffle(len(groups), func(i, j int) { groups[i], groups[j] = groups[j], groups[i] })
+	sortGroups(p, groups, orderMinCapacityFirst)
+	return constructBatched(p, rng, groups, 1)
+}
+
+// RJ is the Random Join algorithm (§4.3.3): randomize all requests for the
+// whole forest with no prioritization of any tree. The paper finds this
+// simple strategy generally beats the tree-based orderings because it load
+// balances request processing across trees.
+type RJ struct{}
+
+// Name implements Algorithm.
+func (RJ) Name() string { return "RJ" }
+
+// Construct implements Algorithm.
+func (RJ) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
+	groups := p.Groups()
+	// A single batch containing every tree: granularity F.
+	g := len(groups)
+	if g == 0 {
+		g = 1
+	}
+	return constructBatched(p, rng, groups, g)
+}
+
+// GranLTF is the granularity-spectrum algorithm of §5.3: sort groups
+// largest-first as LTF does, then construct G trees at a time, randomizing
+// requests within each batch. GranLTF{G: 1} behaves like LTF;
+// GranLTF{G: F} is RJ (with LTF's tie-breaking order across batches).
+type GranLTF struct {
+	// G is the granularity: the number of trees constructed at once.
+	G int
+}
+
+// Name implements Algorithm.
+func (a GranLTF) Name() string { return fmt.Sprintf("Gran-LTF(%d)", a.G) }
+
+// Construct implements Algorithm.
+func (a GranLTF) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
+	if rng == nil {
+		return nil, errors.New("overlay: nil rng")
+	}
+	groups := p.Groups()
+	rng.Shuffle(len(groups), func(i, j int) { groups[i], groups[j] = groups[j], groups[i] })
+	sortGroups(p, groups, orderLargestFirst)
+	return constructBatched(p, rng, groups, a.G)
+}
+
+// AllToAll is the conventional unicast baseline the paper abandons (§1):
+// every subscribed stream is sent directly from its source to each
+// requester, with no relaying. It ignores load balancing and forwarding —
+// each request costs one source out-degree slot — and is included to
+// quantify the benefit of the multicast forest.
+type AllToAll struct{}
+
+// Name implements Algorithm.
+func (AllToAll) Name() string { return "AllToAll" }
+
+// Construct implements Algorithm.
+func (AllToAll) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
+	if rng == nil {
+		return nil, errors.New("overlay: nil rng")
+	}
+	f, err := NewForest(p)
+	if err != nil {
+		return nil, err
+	}
+	// Unicast has no reservation mechanism: every delivery is a direct
+	// source link, so clear m̂ and account only raw degrees.
+	for i := range f.mhat {
+		f.mhat[i] = 0
+	}
+	reqs := make([]Request, len(p.Requests))
+	copy(reqs, p.Requests)
+	rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+	for _, r := range reqs {
+		src := r.Stream.Site
+		t := f.tree(r.Stream)
+		switch {
+		case f.din[r.Node] >= p.In[r.Node]:
+			f.markRejected(r)
+		case f.dout[src] >= p.Out[src]:
+			f.markRejected(r)
+		case p.Cost[src][r.Node] >= p.Bcost:
+			f.markRejected(r)
+		default:
+			// Direct bookkeeping: attach() would also consume the
+			// reservation counters, which unicast does not use.
+			t.addEdge(src, r.Node, p.Cost[src][r.Node])
+			f.dout[src]++
+			f.din[r.Node]++
+			f.disseminated[r.Stream] = true
+			f.accepted = append(f.accepted, r)
+		}
+	}
+	return f, nil
+}
+
+// Algorithms returns the paper's four principal algorithms in the order
+// they appear in Figure 8.
+func Algorithms() []Algorithm {
+	return []Algorithm{STF{}, LTF{}, MCTF{}, RJ{}}
+}

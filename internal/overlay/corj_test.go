@@ -1,0 +1,269 @@
+package overlay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tele3d/tele3d/internal/stream"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+func TestCriticality(t *testing.T) {
+	u := [][]int{{0, 4, 1}, {2, 0, 0}, {0, 0, 0}}
+	if got := Criticality(u, 0, 1); got != 0.25 {
+		t.Errorf("Q(0,1) = %v, want 0.25", got)
+	}
+	if got := Criticality(u, 0, 2); got != 1 {
+		t.Errorf("Q(0,2) = %v, want 1", got)
+	}
+	if got := Criticality(u, 1, 2); !math.IsInf(got, 1) {
+		t.Errorf("Q with u=0 = %v, want +Inf", got)
+	}
+}
+
+// figure7Forest reconstructs the paper's Figure 7 scenario: node E is a
+// leaf of the tree for stream s_g^8 (parent F); E wants s_a^2 but that
+// tree is saturated; F is already in the s_a^2 tree; E subscribes to two
+// streams from A and four from G, so Q_{E→G} = 1/4 < Q_{E→A} = 1/2; the
+// swap must remove F→E from T_{s_g^8} and add F→E in T_{s_a^2}.
+//
+// Node indices: A=0, B=1, C=2, D=3, E=4, F=5, G=6.
+func figure7Forest(t *testing.T) (*Forest, Request) {
+	t.Helper()
+	const (
+		nA = iota
+		nB
+		nC
+		nD
+		nE
+		nF
+		nG
+	)
+	n := 7
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i != j {
+				cost[i][j] = 100 // default out of bound
+			}
+		}
+	}
+	set := func(a, b int, c float64) { cost[a][b] = c; cost[b][a] = c }
+	// Figure 7 labels: A→...→F path cost 2+3, F→E = 4: E's cost via F in
+	// the tree of s_a^2 is 2+3+4 = 9 < bound 10.
+	set(nA, nB, 2)
+	set(nB, nF, 3)
+	set(nF, nE, 4)
+	set(nG, nF, 3) // tree of s_g^8: G→F→E
+	sA := stream.ID{Site: nA, Index: 2}
+	sG8 := stream.ID{Site: nG, Index: 8}
+
+	// Out capacities make T_{s_a^2} genuinely saturated once the
+	// pre-installed edges exist: A, B, F and G each have exactly the
+	// out-degree their existing edges consume.
+	p := &Problem{
+		In:    []int{9, 9, 9, 9, 9, 9, 9},
+		Out:   []int{1, 1, 9, 9, 9, 1, 1},
+		Cost:  cost,
+		Bcost: 10,
+		Requests: []Request{
+			// E's subscription: two streams from A, four from G — the
+			// criticality ratios of the example.
+			{Node: nE, Stream: sA},
+			{Node: nE, Stream: stream.ID{Site: nA, Index: 1}},
+			{Node: nE, Stream: stream.ID{Site: nG, Index: 6}},
+			{Node: nE, Stream: stream.ID{Site: nG, Index: 7}},
+			{Node: nE, Stream: sG8},
+			{Node: nE, Stream: stream.ID{Site: nG, Index: 9}},
+			// F participates in the s_a^2 tree and receives s_g^8.
+			{Node: nF, Stream: sA},
+			{Node: nF, Stream: sG8},
+			{Node: nB, Stream: sA},
+		},
+	}
+	f, err := NewForest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Existing trees: s_a^2 reaches B then F; s_g^8 reaches F then E.
+	install := func(id stream.ID, parent, child int) {
+		tr := f.tree(id)
+		tr.addEdge(parent, child, cost[parent][child])
+		f.dout[parent]++
+		f.din[child]++
+		f.disseminated[id] = true
+		f.accepted = append(f.accepted, Request{Node: child, Stream: id})
+	}
+	install(sA, nA, nB)
+	install(sA, nB, nF)
+	install(sG8, nG, nF)
+	install(sG8, nF, nE)
+	return f, Request{Node: nE, Stream: sA}
+}
+
+func TestFigure7Swap(t *testing.T) {
+	f, req := figure7Forest(t)
+	u := f.problem.RequestMatrix()
+	const nB, nE, nF, nG = 1, 4, 5, 6
+	if q := Criticality(u, nE, 0); q != 0.5 {
+		t.Fatalf("Q(E,A) = %v, want 1/2", q)
+	}
+	if q := Criticality(u, nE, nG); q != 0.25 {
+		t.Fatalf("Q(E,G) = %v, want 1/4", q)
+	}
+
+	// The ordinary join must fail: the target tree is saturated.
+	if res := f.Join(req); res != RejectedSaturated {
+		t.Fatalf("Join = %v, want RejectedSaturated", res)
+	}
+	if !f.trySwap(req, u) {
+		t.Fatal("trySwap failed; Figure 7 conditions all hold")
+	}
+
+	sA := req.Stream
+	sG8 := stream.ID{Site: nG, Index: 8}
+	ta := f.Tree(sA)
+	tg := f.Tree(sG8)
+	if !ta.Contains(nE) {
+		t.Error("E not in the s_a^2 tree after swap")
+	}
+	if parent, _ := ta.Parent(nE); parent != nF {
+		t.Errorf("E's parent in s_a^2 = %d, want F", parent)
+	}
+	if c, _ := ta.CostFromSource(nE); c != 9 {
+		t.Errorf("E's cost from A = %v, want 9 (2+3+4)", c)
+	}
+	if tg.Contains(nE) {
+		t.Error("E still in the s_g^8 tree after swap")
+	}
+	// Degrees unchanged: the same physical link was re-pointed.
+	if f.OutDegree(nF) != f.problem.Out[nF] {
+		t.Errorf("dout(F) = %d changed", f.OutDegree(nF))
+	}
+	// Accounting: the s_a^2 request accepted, the s_g^8 one rejected.
+	if f.RejectionMatrix()[nE][nG] != 1 {
+		t.Error("victim rejection not recorded")
+	}
+	if f.RejectionMatrix()[nE][0] != 0 {
+		t.Error("target request still recorded as rejected")
+	}
+	// Process the remaining (doomed) requests so the accounting is
+	// complete, then check every forest invariant.
+	for _, r := range f.problem.Requests {
+		if r == req || r.Stream == sG8 || r == (Request{Node: nB, Stream: sA}) ||
+			r == (Request{Node: nF, Stream: sA}) {
+			continue
+		}
+		if res := f.Join(r); res != RejectedSaturated {
+			t.Fatalf("leftover %v: %v, want RejectedSaturated", r, res)
+		}
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("forest invalid after swap: %v", err)
+	}
+}
+
+func TestSwapRefusesEquallyCriticalVictim(t *testing.T) {
+	f, req := figure7Forest(t)
+	u := f.problem.RequestMatrix()
+	// Make the victim's criticality equal to the target's: condition (1)
+	// demands strict inequality.
+	const nE, nG = 4, 6
+	u[nE][nG] = u[nE][0]
+	if res := f.Join(req); res != RejectedSaturated {
+		t.Fatalf("Join = %v", res)
+	}
+	if f.trySwap(req, u) {
+		t.Error("swap accepted an equally critical victim")
+	}
+}
+
+func TestSwapRefusesNonLeafVictim(t *testing.T) {
+	f, req := figure7Forest(t)
+	u := f.problem.RequestMatrix()
+	// Give E a child in the victim tree: condition (2) fails.
+	const nE, nD, nG = 4, 3, 6
+	sG8 := stream.ID{Site: nG, Index: 8}
+	tg := f.tree(sG8)
+	f.problem.Cost[nE][nD], f.problem.Cost[nD][nE] = 1, 1
+	tg.addEdge(nE, nD, 1)
+	f.dout[nE]++
+	f.din[nD]++
+	if res := f.Join(req); res != RejectedSaturated {
+		t.Fatalf("Join = %v", res)
+	}
+	if f.trySwap(req, u) {
+		t.Error("swap evicted a relaying (non-leaf) node")
+	}
+}
+
+func TestSwapRespectsLatencyBound(t *testing.T) {
+	f, req := figure7Forest(t)
+	u := f.problem.RequestMatrix()
+	// Stretch the F→E edge so the reattachment violates the bound:
+	// condition (4) fails.
+	const nE, nF = 4, 5
+	f.problem.Cost[nF][nE], f.problem.Cost[nE][nF] = 6, 6 // 2+3+6 = 11 >= 10
+	if res := f.Join(req); res != RejectedSaturated {
+		t.Fatalf("Join = %v", res)
+	}
+	if f.trySwap(req, u) {
+		t.Error("swap violated the latency bound")
+	}
+}
+
+func TestCORJNeverWorseOnWeightedMetric(t *testing.T) {
+	// Across a batch of paper-style instances, CO-RJ's criticality-
+	// weighted rejected mass (Σ û·Q) must not exceed RJ's.
+	var rjMass, coMass float64
+	for seed := int64(0); seed < 25; seed++ {
+		p := coverageProblem(t, 8, workload.CapacityHeterogeneous, workload.PopularityZipf, 300+seed)
+		frj, err := RJ{}.Construct(p, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fco, err := CORJ{}.Construct(p, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fco.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		u := p.RequestMatrix()
+		mass := func(f *Forest) float64 {
+			var m float64
+			rej := f.RejectionMatrix()
+			for i := range rej {
+				for j := range rej[i] {
+					if i != j && u[i][j] > 0 {
+						m += float64(rej[i][j]) / float64(u[i][j])
+					}
+				}
+			}
+			return m
+		}
+		rjMass += mass(frj)
+		coMass += mass(fco)
+	}
+	if coMass > rjMass {
+		t.Errorf("CO-RJ weighted mass %.2f exceeds RJ %.2f", coMass, rjMass)
+	}
+}
+
+func TestCORJPreservesRequestAccounting(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := coverageProblem(t, 6, workload.CapacityUniform, workload.PopularityZipf, 600+seed)
+		f, err := CORJ{}.Construct(p, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(f.Accepted())+len(f.Rejected()), len(p.Requests); got != want {
+			t.Fatalf("seed %d: accounting %d != %d after swaps", seed, got, want)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

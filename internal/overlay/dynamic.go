@@ -1,0 +1,147 @@
+package overlay
+
+// dynamic.go extends the paper's static construction with incremental
+// session dynamics — the direction its §6 future work points at (applying
+// the model to ViewCast-style view changes). Two operations are provided:
+//
+//   - Subscribe: admit a new request into an existing forest with the
+//     basic node join algorithm;
+//   - Unsubscribe: withdraw an accepted or rejected request, pruning the
+//     node from the stream's tree and re-attaching the orphaned subtree
+//     members (re-joining each; members that no longer fit are rejected).
+//
+// Both keep every §4.2 invariant, so Validate passes after any sequence
+// of operations — the property tests exercise exactly that.
+
+import (
+	"fmt"
+
+	"github.com/tele3d/tele3d/internal/stream"
+)
+
+// Subscribe admits a new request into the constructed forest. The request
+// must not already exist; it is appended to the problem's request set and
+// processed with the basic node join algorithm.
+func (f *Forest) Subscribe(r Request) (JoinResult, error) {
+	if r.Node < 0 || r.Node >= f.problem.N() {
+		return 0, fmt.Errorf("overlay: subscribe from nonexistent node %d", r.Node)
+	}
+	if r.Stream.Site < 0 || r.Stream.Site >= f.problem.N() || r.Stream.Site == r.Node {
+		return 0, fmt.Errorf("overlay: invalid subscribe target %v", r.Stream)
+	}
+	for _, existing := range f.problem.Requests {
+		if existing == r {
+			return 0, fmt.Errorf("overlay: duplicate subscription %v", r)
+		}
+	}
+	f.problem.Requests = append(f.problem.Requests, r)
+	// A brand-new stream acquires a reservation obligation.
+	if !f.disseminated[r.Stream] && !f.hasOtherRequest(r.Stream, r) {
+		f.mhat[r.Stream.Site]++
+	}
+	return f.Join(r), nil
+}
+
+// hasOtherRequest reports whether any request besides skip targets the
+// stream.
+func (f *Forest) hasOtherRequest(id stream.ID, skip Request) bool {
+	for _, r := range f.problem.Requests {
+		if r.Stream == id && r != skip {
+			return true
+		}
+	}
+	return false
+}
+
+// Unsubscribe withdraws a request: the (node, stream) pair is removed from
+// the problem's request set and, if the node was receiving the stream, it
+// is pruned from the tree. Members of the pruned subtree are re-joined
+// one by one (breadth-first); any member that cannot be re-attached under
+// the current resource state has its request rejected. The withdrawn
+// request itself disappears from the accounting entirely.
+func (f *Forest) Unsubscribe(r Request) error {
+	idx := -1
+	for i, existing := range f.problem.Requests {
+		if existing == r {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("overlay: unsubscribe of unknown request %v", r)
+	}
+	f.problem.Requests = append(f.problem.Requests[:idx], f.problem.Requests[idx+1:]...)
+
+	t := f.trees[r.Stream]
+	wasAccepted := t != nil && t.Contains(r.Node)
+	if !wasAccepted {
+		// The request had been rejected; just drop the rejection record.
+		f.unreject(r)
+		f.releaseReservationIfOrphan(r.Stream)
+		return nil
+	}
+	f.unaccept(r)
+
+	// Detach the node's whole subtree, collecting orphaned members in
+	// BFS order so re-attachment tries parents top-down.
+	orphans := f.detachSubtree(t, r.Node)
+	// Remove the leaving node itself.
+	parent, _ := t.Parent(r.Node)
+	t.removeLeaf(r.Node)
+	f.dout[parent]--
+	f.din[r.Node]--
+
+	// Re-join every orphan; failures become rejections.
+	for _, member := range orphans {
+		req := Request{Node: member, Stream: r.Stream}
+		f.unaccept(req) // it will be re-recorded by Join on success
+		switch f.Join(req) {
+		case Joined, AlreadyMember:
+		default:
+			// markRejected already ran inside Join.
+		}
+	}
+	f.releaseReservationIfOrphan(r.Stream)
+	return nil
+}
+
+// detachSubtree removes every edge under root (excluding root's own
+// parent edge) and returns the detached members in BFS order.
+func (f *Forest) detachSubtree(t *Tree, root int) []int {
+	var orphans []int
+	queue := t.Children(root)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		orphans = append(orphans, cur)
+		queue = append(queue, t.Children(cur)...)
+	}
+	// Remove deepest-first so removeLeaf always sees leaves.
+	for i := len(orphans) - 1; i >= 0; i-- {
+		member := orphans[i]
+		parent, _ := t.Parent(member)
+		t.removeLeaf(member)
+		f.dout[parent]--
+		f.din[member]--
+	}
+	return orphans
+}
+
+// releaseReservationIfOrphan drops the source's reservation slot when a
+// stream no longer has any request (nobody will ever need its first
+// dissemination) and reclaims bookkeeping for fully-emptied trees.
+func (f *Forest) releaseReservationIfOrphan(id stream.ID) {
+	for _, r := range f.problem.Requests {
+		if r.Stream == id {
+			return
+		}
+	}
+	if !f.disseminated[id] {
+		if f.mhat[id.Site] > 0 {
+			f.mhat[id.Site]--
+		}
+	}
+	if t, ok := f.trees[id]; ok && t.Size() == 1 {
+		delete(f.trees, id)
+	}
+}

@@ -1,0 +1,222 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tele3d/tele3d/internal/stream"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+func TestSubscribeIntoExistingForest(t *testing.T) {
+	p := simpleProblem(t, 4, 5, 2, 20, 20, 50)
+	f, err := RJ{}.Construct(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Request{Node: 0, Stream: stream.ID{Site: 1, Index: 4}}
+	res, err := f.Subscribe(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != Joined {
+		t.Fatalf("Subscribe = %v, want Joined", res)
+	}
+	if !f.Tree(r.Stream).Contains(0) {
+		t.Error("node not in tree after Subscribe")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	p := simpleProblem(t, 3, 5, 2, 20, 20, 50)
+	f, err := RJ{}.Construct(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Subscribe(Request{Node: 9, Stream: stream.ID{Site: 0, Index: 0}}); err == nil {
+		t.Error("bad node accepted")
+	}
+	if _, err := f.Subscribe(Request{Node: 0, Stream: stream.ID{Site: 0, Index: 0}}); err == nil {
+		t.Error("own stream accepted")
+	}
+	if _, err := f.Subscribe(p.Requests[0]); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestUnsubscribeLeaf(t *testing.T) {
+	p := simpleProblem(t, 4, 5, 2, 20, 20, 50)
+	f, err := RJ{}.Construct(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Requests[0]
+	nBefore := len(p.Requests)
+	if err := f.Unsubscribe(r); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.problem.Requests) != nBefore-1 {
+		t.Errorf("request set %d, want %d", len(f.problem.Requests), nBefore-1)
+	}
+	if tr := f.Tree(r.Stream); tr != nil && tr.Contains(r.Node) {
+		t.Error("node still in tree after Unsubscribe")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsubscribeUnknown(t *testing.T) {
+	p := simpleProblem(t, 3, 5, 1, 20, 20, 50)
+	f, err := RJ{}.Construct(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unsubscribe(Request{Node: 0, Stream: stream.ID{Site: 1, Index: 4}}); err == nil {
+		t.Error("unknown request accepted")
+	}
+}
+
+func TestUnsubscribeRelayReattachesOrphans(t *testing.T) {
+	// Chain 0 -> 1 -> 2 (source out-degree 1). When node 1 leaves, node 2
+	// must be re-attached (only possible parent: the source, whose slot
+	// node 1 freed).
+	sID := stream.ID{Site: 0, Index: 0}
+	p := &Problem{
+		In: []int{5, 5, 5}, Out: []int{1, 5, 5},
+		Cost: costMatrix(3, 5), Bcost: 50,
+		Requests: []Request{{Node: 1, Stream: sID}, {Node: 2, Stream: sID}},
+	}
+	f, err := RJ{}.Construct(p, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rejected()) != 0 {
+		t.Fatalf("setup rejections: %v", f.Rejected())
+	}
+	tr := f.Tree(sID)
+	relay := tr.Children(0)[0]
+	leafReq := Request{Node: 3 - relay, Stream: sID}
+	relayReq := Request{Node: relay, Stream: sID}
+	_ = leafReq
+
+	if err := f.Unsubscribe(relayReq); err != nil {
+		t.Fatal(err)
+	}
+	tr = f.Tree(sID)
+	if tr.Contains(relay) {
+		t.Error("relay still in tree")
+	}
+	if !tr.Contains(3 - relay) {
+		t.Error("orphan not re-attached")
+	}
+	if parent, _ := tr.Parent(3 - relay); parent != 0 {
+		t.Errorf("orphan's new parent = %d, want source", parent)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsubscribeOrphanMayBeRejected(t *testing.T) {
+	// Chain 0 -> 1 -> 2 where the direct edge 0->2 violates the latency
+	// bound: when 1 leaves, 2 cannot be re-attached and must be rejected.
+	sID := stream.ID{Site: 0, Index: 0}
+	cost := costMatrix(3, 5)
+	cost[0][2], cost[2][0] = 20, 20
+	p := &Problem{
+		In: []int{5, 5, 5}, Out: []int{1, 5, 5},
+		Cost: cost, Bcost: 15,
+		Requests: []Request{{Node: 1, Stream: sID}, {Node: 2, Stream: sID}},
+	}
+	f, err := NewForest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := f.Join(p.Requests[0]); res != Joined {
+		t.Fatalf("join 1: %v", res)
+	}
+	if res := f.Join(p.Requests[1]); res != Joined {
+		t.Fatalf("join 2: %v", res)
+	}
+	if err := f.Unsubscribe(Request{Node: 1, Stream: sID}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.RejectionMatrix()[2][0]; got != 1 {
+		t.Errorf("orphan rejection count = %d, want 1", got)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsubscribeRejectedRequestClearsRecord(t *testing.T) {
+	// A request rejected at construction can be withdrawn; the rejection
+	// record disappears with it.
+	sID := stream.ID{Site: 0, Index: 0}
+	p := &Problem{
+		In: []int{5, 0, 5}, Out: []int{5, 5, 5}, // node 1 cannot receive
+		Cost: costMatrix(3, 5), Bcost: 50,
+		Requests: []Request{{Node: 1, Stream: sID}},
+	}
+	f, err := RJ{}.Construct(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rejected()) != 1 {
+		t.Fatalf("setup: %v", f.Rejected())
+	}
+	if err := f.Unsubscribe(p.Requests[0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rejected()) != 0 || f.RejectionMatrix()[1][0] != 0 {
+		t.Error("rejection record not cleared")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDynamicChurnPreservesInvariants is the property test: random
+// subscribe/unsubscribe churn over a live forest never violates a §4.2
+// invariant.
+func TestDynamicChurnPreservesInvariants(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		p := coverageProblem(t, 6, workload.CapacityUniform, workload.PopularityRandom, 700+seed)
+		f, err := RJ{}.Construct(p, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed * 31))
+		for op := 0; op < 120; op++ {
+			if rng.Intn(2) == 0 && len(f.problem.Requests) > 0 {
+				r := f.problem.Requests[rng.Intn(len(f.problem.Requests))]
+				if err := f.Unsubscribe(r); err != nil {
+					t.Fatalf("seed %d op %d: unsubscribe %v: %v", seed, op, r, err)
+				}
+			} else {
+				r := Request{
+					Node:   rng.Intn(6),
+					Stream: stream.ID{Site: rng.Intn(6), Index: rng.Intn(20)},
+				}
+				if r.Node == r.Stream.Site {
+					continue
+				}
+				if _, err := f.Subscribe(r); err != nil {
+					continue // duplicates are fine to skip
+				}
+			}
+			if op%20 == 19 {
+				if err := f.Validate(); err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, op, err)
+				}
+			}
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("seed %d final: %v", seed, err)
+		}
+	}
+}

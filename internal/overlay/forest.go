@@ -1,0 +1,254 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tele3d/tele3d/internal/stream"
+)
+
+// Tree is one multicast tree T_s: the dissemination structure for a single
+// stream, rooted at the stream's source RP.
+type Tree struct {
+	Stream stream.ID
+	Source int
+
+	parent   map[int]int     // member -> parent (absent for source)
+	children map[int][]int   // node -> ordered children
+	cost     map[int]float64 // node -> accumulated latency from the source
+}
+
+func newTree(id stream.ID) *Tree {
+	t := &Tree{
+		Stream:   id,
+		Source:   id.Site,
+		parent:   make(map[int]int),
+		children: make(map[int][]int),
+		cost:     make(map[int]float64),
+	}
+	t.cost[t.Source] = 0
+	return t
+}
+
+// Contains reports whether the node receives (or sources) the stream.
+func (t *Tree) Contains(node int) bool {
+	_, ok := t.cost[node]
+	return ok
+}
+
+// Size returns the number of nodes in the tree including the source.
+func (t *Tree) Size() int { return len(t.cost) }
+
+// Parent returns the parent of the node; ok is false for the source or
+// nodes outside the tree.
+func (t *Tree) Parent(node int) (int, bool) {
+	p, ok := t.parent[node]
+	return p, ok
+}
+
+// Children returns a copy of the node's children, in join order.
+func (t *Tree) Children(node int) []int {
+	ch := t.children[node]
+	out := make([]int, len(ch))
+	copy(out, ch)
+	return out
+}
+
+// CostFromSource returns the accumulated latency from the source to the
+// node; ok is false if the node is not in the tree.
+func (t *Tree) CostFromSource(node int) (float64, bool) {
+	c, ok := t.cost[node]
+	return c, ok
+}
+
+// IsLeaf reports whether the node is in the tree and has no children.
+func (t *Tree) IsLeaf(node int) bool {
+	return t.Contains(node) && len(t.children[node]) == 0
+}
+
+// Nodes returns all nodes in the tree, sorted.
+func (t *Tree) Nodes() []int {
+	out := make([]int, 0, len(t.cost))
+	for n := range t.cost {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edges returns all parent→child edges, sorted by (parent, child).
+func (t *Tree) Edges() [][2]int {
+	var out [][2]int
+	for child, parent := range t.parent {
+		out = append(out, [2]int{parent, child})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+func (t *Tree) addEdge(parent, child int, edgeCost float64) {
+	t.parent[child] = parent
+	t.children[parent] = append(t.children[parent], child)
+	t.cost[child] = t.cost[parent] + edgeCost
+}
+
+func (t *Tree) removeLeaf(child int) {
+	p, ok := t.parent[child]
+	if !ok || len(t.children[child]) > 0 {
+		return
+	}
+	delete(t.parent, child)
+	delete(t.cost, child)
+	siblings := t.children[p]
+	for i, c := range siblings {
+		if c == child {
+			t.children[p] = append(siblings[:i], siblings[i+1:]...)
+			break
+		}
+	}
+	if len(t.children[p]) == 0 {
+		delete(t.children, p)
+	}
+}
+
+// Forest is the overlay under construction (and the finished artifact): a
+// set of multicast trees sharing the per-node degree budgets.
+type Forest struct {
+	problem *Problem
+
+	trees map[stream.ID]*Tree
+	din   []int // actual inbound degree per node
+	dout  []int // actual outbound degree per node
+	mhat  []int // m̂_i: pending reservations per node
+
+	// disseminated[s] is true once stream s has left its source.
+	disseminated map[stream.ID]bool
+
+	accepted []Request
+	rejected []Request
+	// rej[i][j] counts rejected requests from node i for site j streams
+	// (the paper's û_{i→j}).
+	rej [][]int
+}
+
+// NewForest prepares an empty forest for the problem: degree counters at
+// zero and every reservation slot (m̂) in place.
+func NewForest(p *Problem) (*Forest, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	f := &Forest{
+		problem:      p,
+		trees:        make(map[stream.ID]*Tree),
+		din:          make([]int, n),
+		dout:         make([]int, n),
+		mhat:         p.StreamsToSend(),
+		disseminated: make(map[stream.ID]bool),
+		rej:          make([][]int, n),
+	}
+	for i := range f.rej {
+		f.rej[i] = make([]int, n)
+	}
+	return f, nil
+}
+
+// Problem returns the instance the forest was built for.
+func (f *Forest) Problem() *Problem { return f.problem }
+
+// Tree returns the multicast tree for the stream, or nil if the stream has
+// no tree (no accepted request yet).
+func (f *Forest) Tree(id stream.ID) *Tree { return f.trees[id] }
+
+// Trees returns all trees, sorted by stream ID.
+func (f *Forest) Trees() []*Tree {
+	out := make([]*Tree, 0, len(f.trees))
+	for _, t := range f.trees {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stream.Less(out[j].Stream) })
+	return out
+}
+
+// InDegree returns din(RP_i).
+func (f *Forest) InDegree(node int) int { return f.din[node] }
+
+// OutDegree returns dout(RP_i).
+func (f *Forest) OutDegree(node int) int { return f.dout[node] }
+
+// PendingReservations returns m̂_i.
+func (f *Forest) PendingReservations(node int) int { return f.mhat[node] }
+
+// Accepted returns the accepted requests in processing order.
+func (f *Forest) Accepted() []Request {
+	out := make([]Request, len(f.accepted))
+	copy(out, f.accepted)
+	return out
+}
+
+// Rejected returns the rejected requests in processing order.
+func (f *Forest) Rejected() []Request {
+	out := make([]Request, len(f.rejected))
+	copy(out, f.rejected)
+	return out
+}
+
+// RejectionMatrix returns û (copy).
+func (f *Forest) RejectionMatrix() [][]int {
+	out := make([][]int, len(f.rej))
+	for i := range f.rej {
+		out[i] = make([]int, len(f.rej[i]))
+		copy(out[i], f.rej[i])
+	}
+	return out
+}
+
+// tree returns the tree for the stream, creating it (with just the source)
+// on first use.
+func (f *Forest) tree(id stream.ID) *Tree {
+	t, ok := f.trees[id]
+	if !ok {
+		t = newTree(id)
+		f.trees[id] = t
+	}
+	return t
+}
+
+func (f *Forest) markRejected(r Request) {
+	f.rejected = append(f.rejected, r)
+	f.rej[r.Node][r.Stream.Site]++
+}
+
+// unreject moves a previously rejected request back to pending state; used
+// by CO-RJ when a saturated request is satisfied via a victim swap.
+func (f *Forest) unreject(r Request) {
+	for i := len(f.rejected) - 1; i >= 0; i-- {
+		if f.rejected[i] == r {
+			f.rejected = append(f.rejected[:i], f.rejected[i+1:]...)
+			f.rej[r.Node][r.Stream.Site]--
+			return
+		}
+	}
+}
+
+// unaccept removes a request from the accepted list; used by CO-RJ when an
+// accepted request becomes the swap victim.
+func (f *Forest) unaccept(r Request) {
+	for i := len(f.accepted) - 1; i >= 0; i-- {
+		if f.accepted[i] == r {
+			f.accepted = append(f.accepted[:i], f.accepted[i+1:]...)
+			return
+		}
+	}
+}
+
+// String summarizes the forest.
+func (f *Forest) String() string {
+	return fmt.Sprintf("forest{trees=%d accepted=%d rejected=%d}",
+		len(f.trees), len(f.accepted), len(f.rejected))
+}

@@ -1,0 +1,120 @@
+package overlay
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/tele3d/tele3d/internal/stream"
+)
+
+func TestTreeBasics(t *testing.T) {
+	id := stream.ID{Site: 2, Index: 1}
+	tr := newTree(id)
+	if tr.Source != 2 || !tr.Contains(2) || tr.Size() != 1 {
+		t.Fatalf("fresh tree: source=%d size=%d", tr.Source, tr.Size())
+	}
+	if _, ok := tr.Parent(2); ok {
+		t.Error("source has a parent")
+	}
+	if c, ok := tr.CostFromSource(2); !ok || c != 0 {
+		t.Errorf("source cost = %v, %v", c, ok)
+	}
+	if !tr.IsLeaf(2) {
+		t.Error("lonely source should be a leaf")
+	}
+
+	tr.addEdge(2, 0, 5)
+	tr.addEdge(0, 1, 3)
+	if tr.Size() != 3 {
+		t.Errorf("size = %d", tr.Size())
+	}
+	if c, _ := tr.CostFromSource(1); c != 8 {
+		t.Errorf("cost(1) = %v, want 8", c)
+	}
+	if tr.IsLeaf(0) || !tr.IsLeaf(1) {
+		t.Error("leaf classification wrong")
+	}
+	if got := tr.Nodes(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("Nodes() = %v", got)
+	}
+	edges := tr.Edges()
+	if len(edges) != 2 || edges[0] != [2]int{0, 1} || edges[1] != [2]int{2, 0} {
+		t.Errorf("Edges() = %v", edges)
+	}
+	// Children returns a copy.
+	ch := tr.Children(2)
+	ch[0] = 99
+	if tr.Children(2)[0] == 99 {
+		t.Error("Children exposes internal slice")
+	}
+}
+
+func TestTreeRemoveLeaf(t *testing.T) {
+	tr := newTree(stream.ID{Site: 0})
+	tr.addEdge(0, 1, 2)
+	tr.addEdge(1, 2, 2)
+	// Removing an internal node must be refused.
+	tr.removeLeaf(1)
+	if !tr.Contains(1) {
+		t.Fatal("internal node removed")
+	}
+	tr.removeLeaf(2)
+	if tr.Contains(2) {
+		t.Fatal("leaf not removed")
+	}
+	if !tr.IsLeaf(1) {
+		t.Error("parent did not become a leaf")
+	}
+	tr.removeLeaf(2) // idempotent on absent nodes
+	if tr.Size() != 2 {
+		t.Errorf("size = %d", tr.Size())
+	}
+}
+
+func TestForestAccessorsCopySemantics(t *testing.T) {
+	p := simpleProblem(t, 3, 5, 2, 20, 20, 50)
+	f, err := RJ{}.Construct(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := f.Accepted()
+	if len(acc) == 0 {
+		t.Fatal("nothing accepted")
+	}
+	acc[0] = Request{Node: 99}
+	if f.Accepted()[0].Node == 99 {
+		t.Error("Accepted exposes internal slice")
+	}
+	rej := f.RejectionMatrix()
+	rej[0][1] = 42
+	if f.RejectionMatrix()[0][1] == 42 {
+		t.Error("RejectionMatrix exposes internal state")
+	}
+	if !strings.Contains(f.String(), "forest{") {
+		t.Errorf("String() = %q", f.String())
+	}
+}
+
+func TestForestTreesSorted(t *testing.T) {
+	p := simpleProblem(t, 3, 5, 2, 20, 20, 50)
+	f, err := RJ{}.Construct(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := f.Trees()
+	for i := 1; i < len(trees); i++ {
+		if !trees[i-1].Stream.Less(trees[i].Stream) {
+			t.Fatalf("trees not sorted at %d", i)
+		}
+	}
+	if f.Tree(stream.ID{Site: 0, Index: 99}) != nil {
+		t.Error("nonexistent tree returned")
+	}
+}
+
+func TestNewForestRejectsInvalidProblem(t *testing.T) {
+	if _, err := NewForest(&Problem{}); err == nil {
+		t.Error("empty problem accepted")
+	}
+}

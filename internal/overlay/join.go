@@ -1,0 +1,156 @@
+package overlay
+
+// join.go implements the basic node join algorithm (§4.3.1 and Appendix
+// Algorithm 1): process one request r_i(s_j^q) by attaching RP_i to the
+// existing tree T_{s_j^q} under the parent with the maximum remaining
+// forwarding capacity, subject to the inbound, outbound and latency
+// constraints.
+
+import "math"
+
+// JoinResult reports the outcome of processing one request.
+type JoinResult int
+
+const (
+	// Joined: the request was satisfied and an edge added.
+	Joined JoinResult = iota
+	// RejectedInbound: din(RP_i) has reached I_i.
+	RejectedInbound
+	// RejectedSaturated: no eligible parent exists in the tree (the tree
+	// is "saturated": every holder is out of forwarding capacity or too
+	// far from the source).
+	RejectedSaturated
+	// AlreadyMember: the node already receives the stream; nothing to do.
+	AlreadyMember
+)
+
+// String implements fmt.Stringer.
+func (r JoinResult) String() string {
+	switch r {
+	case Joined:
+		return "joined"
+	case RejectedInbound:
+		return "rejected-inbound"
+	case RejectedSaturated:
+		return "rejected-saturated"
+	case AlreadyMember:
+		return "already-member"
+	default:
+		return "unknown"
+	}
+}
+
+// effectiveRFC returns the remaining forwarding capacity of node k for
+// serving a join into tree t:
+//
+//	rfc_k = O_k − dout(k) − m̂_k
+//
+// with one adjustment from the Appendix pseudocode: the source of the
+// tree's stream may spend the reservation slot held for that very stream
+// on its first dissemination, so while the stream has not yet left the
+// source, the source's own reservation does not count against it. Under
+// ReservationOff the m̂ term vanishes.
+func (f *Forest) effectiveRFC(k int, t *Tree) int {
+	if f.problem.Reservation == ReservationOff {
+		return f.problem.Out[k] - f.dout[k]
+	}
+	rfc := f.problem.Out[k] - f.dout[k] - f.mhat[k]
+	if k == t.Source && !f.disseminated[t.Stream] {
+		rfc++
+	}
+	return rfc
+}
+
+// Join processes one subscription request with the basic node join
+// algorithm and records the outcome in the forest's accounting.
+func (f *Forest) Join(r Request) JoinResult {
+	t := f.tree(r.Stream)
+	if t.Contains(r.Node) {
+		return AlreadyMember
+	}
+
+	// Inbound check first (Algorithm 1, line 1).
+	if f.din[r.Node] >= f.problem.In[r.Node] {
+		f.markRejected(r)
+		return RejectedInbound
+	}
+
+	parent, ok := f.findParent(r.Node, t)
+	if !ok {
+		f.markRejected(r)
+		return RejectedSaturated
+	}
+	f.attach(r, t, parent)
+	return Joined
+}
+
+// findParent scans the tree for the eligible parent with maximum remaining
+// forwarding capacity (load balancing, §4.3.1). Ties prefer the cheaper
+// path, then the lower node ID, keeping construction deterministic for a
+// fixed request order.
+//
+// Eligibility is dout < O plus the latency bound; under
+// ReservationBlocking a non-positive rfc additionally disqualifies the
+// node. Under PolicyRelayFirst, eligible non-source relays always outrank
+// the source, as in the Appendix pseudocode's branch structure.
+func (f *Forest) findParent(node int, t *Tree) (int, bool) {
+	relayFirst := f.problem.JoinPolicy == PolicyRelayFirst
+	blocking := f.problem.Reservation == ReservationBlocking
+	best := -1
+	bestRFC := math.MinInt
+	bestIsSource := false
+	var bestCost float64
+	for _, k := range t.Nodes() {
+		if k == node {
+			continue
+		}
+		if f.dout[k] >= f.problem.Out[k] {
+			continue
+		}
+		rfc := f.effectiveRFC(k, t)
+		if blocking && rfc <= 0 {
+			continue
+		}
+		kCost, _ := t.CostFromSource(k)
+		pathCost := kCost + f.problem.Cost[k][node]
+		if pathCost >= f.problem.Bcost {
+			continue
+		}
+		isSource := k == t.Source
+		better := false
+		switch {
+		case best < 0:
+			better = true
+		case relayFirst && bestIsSource != isSource:
+			// Relays outrank the source regardless of rfc.
+			better = bestIsSource
+		case rfc != bestRFC:
+			better = rfc > bestRFC
+		case pathCost != bestCost:
+			better = pathCost < bestCost
+		default:
+			better = k < best
+		}
+		if better {
+			best, bestRFC, bestCost, bestIsSource = k, rfc, pathCost, isSource
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// attach commits the edge parent→r.Node in tree t and updates all shared
+// accounting: degrees, the reservation counter on first dissemination, and
+// the accepted list.
+func (f *Forest) attach(r Request, t *Tree, parent int) {
+	t.addEdge(parent, r.Node, f.problem.Cost[parent][r.Node])
+	f.dout[parent]++
+	f.din[r.Node]++
+	if parent == t.Source && !f.disseminated[t.Stream] {
+		f.disseminated[t.Stream] = true
+		f.mhat[t.Source]--
+	}
+	f.accepted = append(f.accepted, r)
+}

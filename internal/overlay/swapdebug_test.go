@@ -1,0 +1,43 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tele3d/tele3d/internal/geo"
+	"github.com/tele3d/tele3d/internal/topology"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+// TestSwapInstrumentation is a calibration aid: run with -v to see how
+// often CO-RJ's four conditions fire on paper-style instances.
+func TestSwapInstrumentation(t *testing.T) {
+	debugSwapStats = true
+	defer func() { debugSwapStats = false }()
+	g, err := topology.Backbone(geo.DefaultLatencyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.Config{N: 10, Capacity: workload.CapacityHeterogeneous, Popularity: workload.PopularityZipf,
+		Mode: workload.ModeCoverage, CoverageRate: 1.0, SubscribeFraction: 0.12}
+	for s := int64(0); s < 30; s++ {
+		rng := rand.New(rand.NewSource(s*7919 + 13))
+		ss, err := topology.SelectSites(g, 10, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := workload.Generate(cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := FromWorkload(w, ss.Cost, ss.MedianCost()*3.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := (CORJ{}).Construct(p, rand.New(rand.NewSource(s))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("attempts=%d success=%d failCrit=%d failLeaf=%d failParent=%d failCost=%d",
+		swapStats.attempts, swapStats.success, swapStats.failCrit, swapStats.failLeaf, swapStats.failParent, swapStats.failCost)
+}

@@ -1,0 +1,164 @@
+package overlay
+
+// validate.go checks every forest invariant the problem statement imposes
+// (§4.2). The experiments and the property-based tests run this validator
+// over every constructed forest, so a constraint violation in any
+// algorithm is caught immediately.
+
+import (
+	"fmt"
+	"math"
+)
+
+// Validate checks all invariants of a constructed forest:
+//
+//   - degree bounds: din(v) ≤ I_v and dout(v) ≤ O_v for every node;
+//   - degree accounting: recomputed degrees match the counters;
+//   - tree shape: every tree is rooted at its stream's source, connected,
+//     acyclic, and every recorded cost equals the path cost;
+//   - latency: cost(source→v) < Bcost for every tree member;
+//   - request accounting: accepted ∪ rejected is exactly the request set,
+//     every accepted request's node is in its stream's tree, and the
+//     rejection matrix tallies the rejected list;
+//   - reservations: m̂ ≥ 0 everywhere.
+func (f *Forest) Validate() error {
+	p := f.problem
+	n := p.N()
+
+	din := make([]int, n)
+	dout := make([]int, n)
+	for _, t := range f.trees {
+		if err := f.validateTree(t, din, dout); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < n; v++ {
+		if din[v] != f.din[v] {
+			return fmt.Errorf("overlay: node %d recomputed din %d != counter %d", v, din[v], f.din[v])
+		}
+		if dout[v] != f.dout[v] {
+			return fmt.Errorf("overlay: node %d recomputed dout %d != counter %d", v, dout[v], f.dout[v])
+		}
+		if din[v] > p.In[v] {
+			return fmt.Errorf("overlay: node %d din %d exceeds I=%d", v, din[v], p.In[v])
+		}
+		if dout[v] > p.Out[v] {
+			return fmt.Errorf("overlay: node %d dout %d exceeds O=%d", v, dout[v], p.Out[v])
+		}
+		if f.mhat[v] < 0 {
+			return fmt.Errorf("overlay: node %d has negative reservation count %d", v, f.mhat[v])
+		}
+	}
+
+	if got, want := len(f.accepted)+len(f.rejected), len(p.Requests); got != want {
+		return fmt.Errorf("overlay: accepted+rejected = %d, want %d requests", got, want)
+	}
+	seen := make(map[Request]bool, len(p.Requests))
+	for _, r := range p.Requests {
+		seen[r] = true
+	}
+	outcome := make(map[Request]bool, len(p.Requests))
+	for _, r := range f.accepted {
+		if !seen[r] {
+			return fmt.Errorf("overlay: accepted unknown request %v", r)
+		}
+		if outcome[r] {
+			return fmt.Errorf("overlay: request %v recorded twice", r)
+		}
+		outcome[r] = true
+		t := f.trees[r.Stream]
+		if t == nil || !t.Contains(r.Node) {
+			return fmt.Errorf("overlay: accepted request %v but node missing from tree", r)
+		}
+	}
+	rej := make([][]int, n)
+	for i := range rej {
+		rej[i] = make([]int, n)
+	}
+	for _, r := range f.rejected {
+		if !seen[r] {
+			return fmt.Errorf("overlay: rejected unknown request %v", r)
+		}
+		if outcome[r] {
+			return fmt.Errorf("overlay: request %v recorded twice", r)
+		}
+		outcome[r] = true
+		rej[r.Node][r.Stream.Site]++
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rej[i][j] != f.rej[i][j] {
+				return fmt.Errorf("overlay: rejection matrix [%d][%d] = %d, recount %d", i, j, f.rej[i][j], rej[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+// validateTree checks a single tree and accumulates its edge degrees into
+// din/dout.
+func (f *Forest) validateTree(t *Tree, din, dout []int) error {
+	p := f.problem
+	if t.Source != t.Stream.Site {
+		return fmt.Errorf("overlay: tree %s rooted at %d, want %d", t.Stream, t.Source, t.Stream.Site)
+	}
+	if !t.Contains(t.Source) {
+		return fmt.Errorf("overlay: tree %s does not contain its source", t.Stream)
+	}
+	if c, _ := t.CostFromSource(t.Source); c != 0 {
+		return fmt.Errorf("overlay: tree %s source cost %v != 0", t.Stream, c)
+	}
+	for _, v := range t.Nodes() {
+		if v == t.Source {
+			if _, hasParent := t.Parent(v); hasParent {
+				return fmt.Errorf("overlay: tree %s source has a parent", t.Stream)
+			}
+			continue
+		}
+		// Walk to the root: bounded by tree size, detects cycles and
+		// disconnection; verify the recorded cost along the way.
+		parent, ok := t.Parent(v)
+		if !ok {
+			return fmt.Errorf("overlay: tree %s node %d has no parent", t.Stream, v)
+		}
+		if !t.Contains(parent) {
+			return fmt.Errorf("overlay: tree %s node %d parent %d outside tree", t.Stream, v, parent)
+		}
+		pc, _ := t.CostFromSource(parent)
+		vc, _ := t.CostFromSource(v)
+		if math.Abs(vc-(pc+p.Cost[parent][v])) > 1e-9 {
+			return fmt.Errorf("overlay: tree %s node %d cost %v != parent %v + edge %v",
+				t.Stream, v, vc, pc, p.Cost[parent][v])
+		}
+		if vc >= p.Bcost {
+			return fmt.Errorf("overlay: tree %s node %d cost %v >= Bcost %v", t.Stream, v, vc, p.Bcost)
+		}
+		steps := 0
+		for cur := v; cur != t.Source; steps++ {
+			if steps > t.Size() {
+				return fmt.Errorf("overlay: tree %s has a cycle through node %d", t.Stream, v)
+			}
+			nxt, ok := t.Parent(cur)
+			if !ok {
+				return fmt.Errorf("overlay: tree %s node %d disconnected from source", t.Stream, v)
+			}
+			cur = nxt
+		}
+		din[v]++
+		dout[parent]++
+	}
+	// Children lists must mirror the parent map.
+	childCount := 0
+	for _, v := range t.Nodes() {
+		for _, c := range t.Children(v) {
+			childCount++
+			if got, ok := t.Parent(c); !ok || got != v {
+				return fmt.Errorf("overlay: tree %s child link %d->%d not mirrored", t.Stream, v, c)
+			}
+		}
+	}
+	if childCount != t.Size()-1 {
+		return fmt.Errorf("overlay: tree %s has %d child links for %d nodes", t.Stream, childCount, t.Size())
+	}
+	return nil
+}

@@ -1,0 +1,431 @@
+// Package rp implements the rendezvous point (§3.1): the per-site proxy
+// server that publishes the local camera array's streams into the overlay,
+// forwards streams according to the membership server's routing table, and
+// delivers subscribed streams to the local displays.
+//
+// WAN latency is emulated per overlay edge: frames queued toward a peer
+// are released only after the edge's one-way delay (derived from the
+// geographic cost matrix) has elapsed, so end-to-end delivery latencies
+// observed on loopback reproduce the wide-area behaviour the overlay was
+// optimized for.
+package rp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/tele3d/tele3d/internal/stream"
+	"github.com/tele3d/tele3d/internal/transport"
+)
+
+// Config parameterizes one RP node.
+type Config struct {
+	Site       int
+	ListenAddr string // peer-facing listen address, e.g. "127.0.0.1:0"
+	Membership string // membership server dial address
+
+	In, Out int // bandwidth limits in stream units (reported upstream)
+
+	Cameras int            // local camera count (streams originated)
+	Profile stream.Profile // encoding profile for local cameras
+	Seed    int64          // generator seed
+
+	// Subscriptions is the site's aggregated subscription set (the output
+	// of the FOV framework).
+	Subscriptions []stream.ID
+
+	// DeliveryBuffer bounds the local display queue; when full, the
+	// oldest undelivered frame is dropped (video semantics). 0 means 256.
+	DeliveryBuffer int
+}
+
+// Delivery is one frame handed to the local displays.
+type Delivery struct {
+	Frame      *stream.Frame
+	ReceivedAt time.Time
+	LatencyMs  float64 // wall-clock capture→delivery latency
+}
+
+// StreamStats accumulates per-stream delivery statistics.
+type StreamStats struct {
+	Frames     int
+	Dropped    int // dropped at the local delivery queue
+	MeanLatMs  float64
+	MaxSeq     uint64
+	totalLatMs float64
+}
+
+// Node is a running rendezvous point.
+type Node struct {
+	cfg Config
+	ln  net.Listener
+	rig *stream.Rig
+
+	routes     *transport.Routes
+	routesOnce sync.Once
+	routesErr  error
+	ready      chan struct{}
+
+	mu        sync.Mutex
+	peers     map[int]*peerLink
+	stats     map[stream.ID]*StreamStats
+	published int
+
+	deliveries chan Delivery
+	ctx        context.Context
+	cancel     context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// peerLink is an outgoing connection with WAN delay emulation.
+type peerLink struct {
+	conn    net.Conn
+	delay   time.Duration
+	queue   chan timedFrame
+	done    chan struct{}
+	errOnce sync.Once
+	err     error
+}
+
+type timedFrame struct {
+	frame *stream.Frame
+	due   time.Time
+}
+
+// New creates an RP node; Start must be called before use.
+func New(cfg Config) (*Node, error) {
+	if cfg.Cameras <= 0 {
+		return nil, fmt.Errorf("rp: site %d: cameras=%d", cfg.Site, cfg.Cameras)
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.DeliveryBuffer == 0 {
+		cfg.DeliveryBuffer = 256
+	}
+	rig, err := stream.NewRig(cfg.Site, cfg.Cameras, cfg.Profile, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		cfg:        cfg,
+		rig:        rig,
+		ready:      make(chan struct{}),
+		peers:      make(map[int]*peerLink),
+		stats:      make(map[stream.ID]*StreamStats),
+		deliveries: make(chan Delivery, cfg.DeliveryBuffer),
+	}, nil
+}
+
+// Addr returns the node's peer-facing address (valid after Start).
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Start listens for peers, registers with the membership server, and
+// blocks until the routing table arrives or ctx is cancelled.
+func (n *Node) Start(ctx context.Context) error {
+	ln, err := net.Listen("tcp", n.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("rp: site %d listen: %w", n.cfg.Site, err)
+	}
+	n.ln = ln
+	n.ctx, n.cancel = context.WithCancel(ctx)
+
+	n.wg.Add(1)
+	go n.acceptLoop()
+
+	conn, err := net.Dial("tcp", n.cfg.Membership)
+	if err != nil {
+		n.Close()
+		return fmt.Errorf("rp: site %d dial membership: %w", n.cfg.Site, err)
+	}
+	hello := &transport.Hello{
+		Site: n.cfg.Site, Addr: n.Addr(),
+		In: n.cfg.In, Out: n.cfg.Out, NumStreams: n.cfg.Cameras,
+	}
+	if err := transport.WriteMessage(conn, &transport.Message{Type: transport.MsgHello, Hello: hello}); err != nil {
+		conn.Close()
+		n.Close()
+		return err
+	}
+	sub := &transport.Subscribe{Site: n.cfg.Site, Streams: n.cfg.Subscriptions}
+	if err := transport.WriteMessage(conn, &transport.Message{Type: transport.MsgSubscribe, Subscribe: sub}); err != nil {
+		conn.Close()
+		n.Close()
+		return err
+	}
+
+	// Wait for the routing table on the same connection.
+	type result struct {
+		routes *transport.Routes
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		defer conn.Close()
+		m, err := transport.ReadMessage(conn)
+		if err != nil {
+			resCh <- result{err: fmt.Errorf("rp: site %d read routes: %w", n.cfg.Site, err)}
+			return
+		}
+		if m.Type != transport.MsgRoutes {
+			resCh <- result{err: fmt.Errorf("rp: site %d expected routes, got type %d", n.cfg.Site, m.Type)}
+			return
+		}
+		resCh <- result{routes: m.Routes}
+	}()
+	select {
+	case r := <-resCh:
+		if r.err != nil {
+			n.Close()
+			return r.err
+		}
+		n.installRoutes(r.routes)
+		return nil
+	case <-ctx.Done():
+		conn.Close()
+		n.Close()
+		return ctx.Err()
+	}
+}
+
+// Routes returns the installed routing table (nil before Start returns).
+func (n *Node) Routes() *transport.Routes {
+	select {
+	case <-n.ready:
+		return n.routes
+	default:
+		return nil
+	}
+}
+
+func (n *Node) installRoutes(r *transport.Routes) {
+	n.routesOnce.Do(func() {
+		n.routes = r
+		close(n.ready)
+	})
+}
+
+// forwardChildren returns the sites to forward a stream to.
+func (n *Node) forwardChildren(id stream.ID) []int {
+	for _, route := range n.routes.Forward {
+		if route.Stream == id {
+			return route.Children
+		}
+	}
+	return nil
+}
+
+// PublishTick captures one frame from every local camera and disseminates
+// them through the overlay. Frames are stamped with wall-clock capture
+// time so receivers can measure true end-to-end latency.
+func (n *Node) PublishTick() error {
+	select {
+	case <-n.ready:
+	default:
+		return errors.New("rp: routes not installed")
+	}
+	now := time.Now().UnixMilli()
+	for _, f := range n.rig.Tick() {
+		f.CaptureMs = now
+		if err := n.dispatch(f); err != nil {
+			return err
+		}
+		n.mu.Lock()
+		n.published++
+		n.mu.Unlock()
+	}
+	return nil
+}
+
+// dispatch forwards a frame (local or received) to the overlay children
+// for its stream.
+func (n *Node) dispatch(f *stream.Frame) error {
+	for _, child := range n.forwardChildren(f.Stream) {
+		link, err := n.peer(child)
+		if err != nil {
+			return err
+		}
+		link.send(f)
+	}
+	return nil
+}
+
+// peer returns (dialing on first use) the outgoing link to a site.
+func (n *Node) peer(site int) (*peerLink, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if link, ok := n.peers[site]; ok {
+		return link, nil
+	}
+	addr, ok := n.routes.Peers[site]
+	if !ok {
+		return nil, fmt.Errorf("rp: site %d has no address for peer %d", n.cfg.Site, site)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rp: site %d dial peer %d: %w", n.cfg.Site, site, err)
+	}
+	if err := transport.WriteMessage(conn, &transport.Message{
+		Type: transport.MsgPeerHello, PeerHello: &transport.PeerHello{Site: n.cfg.Site},
+	}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	link := &peerLink{
+		conn:  conn,
+		delay: time.Duration(n.routes.DelayMs[site] * float64(time.Millisecond)),
+		queue: make(chan timedFrame, 1024),
+		done:  make(chan struct{}),
+	}
+	n.peers[site] = link
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		link.run(n.ctx)
+	}()
+	return link, nil
+}
+
+// send schedules the frame for delivery after the edge's WAN delay.
+// Frames are dropped (with no error) if the link queue overflows, matching
+// real video transport under congestion.
+func (l *peerLink) send(f *stream.Frame) {
+	select {
+	case l.queue <- timedFrame{frame: f, due: time.Now().Add(l.delay)}:
+	default:
+	}
+}
+
+// run drains the delay queue in order; the constant per-edge delay keeps
+// the queue sorted by due time.
+func (l *peerLink) run(ctx context.Context) {
+	defer close(l.done)
+	defer l.conn.Close()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case tf := <-l.queue:
+			if wait := time.Until(tf.due); wait > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(wait):
+				}
+			}
+			if err := transport.WriteMessage(l.conn, &transport.Message{Type: transport.MsgFrame, Frame: tf.frame}); err != nil {
+				l.errOnce.Do(func() { l.err = err })
+				return
+			}
+		}
+	}
+}
+
+// acceptLoop receives frames from upstream peers.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			n.handlePeer(conn)
+		}()
+	}
+}
+
+func (n *Node) handlePeer(conn net.Conn) {
+	m, err := transport.ReadMessage(conn)
+	if err != nil || m.Type != transport.MsgPeerHello {
+		return
+	}
+	for {
+		m, err := transport.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		if m.Type != transport.MsgFrame {
+			continue
+		}
+		n.receive(m.Frame)
+	}
+}
+
+// receive delivers a frame locally and forwards it downstream.
+func (n *Node) receive(f *stream.Frame) {
+	now := time.Now()
+	lat := float64(now.UnixMilli() - f.CaptureMs)
+
+	n.mu.Lock()
+	st, ok := n.stats[f.Stream]
+	if !ok {
+		st = &StreamStats{}
+		n.stats[f.Stream] = st
+	}
+	st.Frames++
+	st.totalLatMs += lat
+	st.MeanLatMs = st.totalLatMs / float64(st.Frames)
+	if f.Seq > st.MaxSeq {
+		st.MaxSeq = f.Seq
+	}
+	n.mu.Unlock()
+
+	select {
+	case n.deliveries <- Delivery{Frame: f, ReceivedAt: now, LatencyMs: lat}:
+	default:
+		n.mu.Lock()
+		st.Dropped++
+		n.mu.Unlock()
+	}
+
+	// Forward to overlay children (relay duty).
+	_ = n.dispatch(f)
+}
+
+// Deliveries exposes the local display feed.
+func (n *Node) Deliveries() <-chan Delivery { return n.deliveries }
+
+// Stats snapshots per-stream delivery statistics.
+func (n *Node) Stats() map[stream.ID]StreamStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[stream.ID]StreamStats, len(n.stats))
+	for id, st := range n.stats {
+		out[id] = *st
+	}
+	return out
+}
+
+// Published returns the number of locally captured frames dispatched.
+func (n *Node) Published() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.published
+}
+
+// Close shuts the node down and waits for all goroutines.
+func (n *Node) Close() {
+	if n.cancel != nil {
+		n.cancel()
+	}
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	n.mu.Lock()
+	for _, link := range n.peers {
+		link.conn.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}

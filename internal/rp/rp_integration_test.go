@@ -1,0 +1,315 @@
+package rp
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tele3d/tele3d/internal/membership"
+	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/stream"
+)
+
+// testProfile keeps frames small so the test moves thousands of frames
+// cheaply.
+func testProfile() stream.Profile {
+	return stream.Profile{Width: 64, Height: 48, FPS: 15, CompressionRatio: 10}
+}
+
+// startSession boots a membership server and N RPs on loopback and waits
+// until every RP has its routing table.
+func startSession(t *testing.T, cost [][]float64, bcost float64, subs [][]stream.ID, cameras int) (*membership.Server, []*Node, context.CancelFunc) {
+	t.Helper()
+	n := len(cost)
+	srv, err := membership.New(membership.Config{
+		N: n, Cost: cost, Bcost: bcost, Algorithm: overlay.RJ{}, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Serve(ctx) }()
+
+	nodes := make([]*Node, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		node, err := New(Config{
+			Site: i, Membership: srv.Addr(),
+			In: 50, Out: 50,
+			Cameras: cameras, Profile: testProfile(), Seed: int64(100 + i),
+			Subscriptions: subs[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := node.Start(ctx); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	cleanup := func() {
+		cancel()
+		for _, node := range nodes {
+			node.Close()
+		}
+	}
+	return srv, nodes, cleanup
+}
+
+func TestThreeSiteSessionDeliversSubscribedStreams(t *testing.T) {
+	cost := [][]float64{
+		{0, 10, 20},
+		{10, 0, 15},
+		{20, 15, 0},
+	}
+	subs := [][]stream.ID{
+		{{Site: 1, Index: 0}, {Site: 2, Index: 1}},
+		{{Site: 0, Index: 0}},
+		{{Site: 0, Index: 0}, {Site: 1, Index: 1}},
+	}
+	srv, nodes, cleanup := startSession(t, cost, 200, subs, 2)
+	defer cleanup()
+
+	f := srv.Forest()
+	if f == nil {
+		t.Fatal("no forest computed")
+	}
+	if got := len(f.Rejected()); got != 0 {
+		t.Fatalf("overlay rejected %d requests with ample capacity", got)
+	}
+
+	const ticks = 10
+	for k := 0; k < ticks; k++ {
+		for _, node := range nodes {
+			if err := node.PublishTick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Allow in-flight frames (max edge delay 20ms, possibly 2 hops) to
+	// drain.
+	time.Sleep(300 * time.Millisecond)
+
+	for i, node := range nodes {
+		stats := node.Stats()
+		for _, want := range subs[i] {
+			st, ok := stats[want]
+			if !ok || st.Frames == 0 {
+				t.Errorf("site %d never received subscribed stream %v", i, want)
+				continue
+			}
+			if st.Frames < ticks/2 {
+				t.Errorf("site %d received only %d/%d frames of %v", i, st.Frames, ticks, want)
+			}
+			// Latency must be at least the emulated one-way delay to the
+			// source and below the latency bound plus slack.
+			minDelay := cost[want.Site][i] * 0.5
+			if st.MeanLatMs < minDelay {
+				t.Errorf("site %d stream %v mean latency %.1fms below emulated delay %.1fms",
+					i, want, st.MeanLatMs, minDelay)
+			}
+			if st.MeanLatMs > 200 {
+				t.Errorf("site %d stream %v mean latency %.1fms exceeds bound", i, want, st.MeanLatMs)
+			}
+		}
+		// No unsubscribed stream may be delivered.
+		wantSet := map[stream.ID]bool{}
+		for _, id := range subs[i] {
+			wantSet[id] = true
+		}
+		for id, st := range stats {
+			if !wantSet[id] && st.Frames > 0 {
+				t.Errorf("site %d received unsubscribed stream %v", i, id)
+			}
+		}
+	}
+}
+
+func TestRelayedDeliveryThroughIntermediateRP(t *testing.T) {
+	// Site 0 has Out=1 and two subscribers to its stream: the overlay
+	// must chain 0 -> x -> y; the far subscriber still receives frames,
+	// with latency reflecting both hops.
+	cost := [][]float64{
+		{0, 10, 10},
+		{10, 0, 10},
+		{10, 10, 0},
+	}
+	subs := [][]stream.ID{
+		nil,
+		{{Site: 0, Index: 0}},
+		{{Site: 0, Index: 0}},
+	}
+	n := 3
+	srv, err := membership.New(membership.Config{
+		N: n, Cost: cost, Bcost: 100, Algorithm: overlay.RJ{}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Serve(ctx) }()
+
+	outs := []int{1, 50, 50} // source constrained to a single out slot
+	nodes := make([]*Node, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		node, err := New(Config{
+			Site: i, Membership: srv.Addr(),
+			In: 50, Out: outs[i],
+			Cameras: 1, Profile: testProfile(), Seed: int64(i),
+			Subscriptions: subs[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := node.Start(ctx); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := <-srvErr; err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	defer func() {
+		cancel()
+		for _, node := range nodes {
+			node.Close()
+		}
+	}()
+
+	f := srv.Forest()
+	if len(f.Rejected()) != 0 {
+		t.Fatalf("rejections: %v", f.Rejected())
+	}
+	tr := f.Tree(stream.ID{Site: 0, Index: 0})
+	if tr == nil || f.OutDegree(0) != 1 {
+		t.Fatalf("expected relayed tree with source out-degree 1, got dout=%d", f.OutDegree(0))
+	}
+
+	for k := 0; k < 8; k++ {
+		if err := nodes[0].PublishTick(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	// Identify the relay (source's single child) and the far node.
+	relay := tr.Children(0)[0]
+	far := 3 - relay // the other subscriber of {1,2}
+	relayStats := nodes[relay].Stats()[stream.ID{Site: 0, Index: 0}]
+	farStats := nodes[far].Stats()[stream.ID{Site: 0, Index: 0}]
+	if relayStats.Frames == 0 || farStats.Frames == 0 {
+		t.Fatalf("relay got %d frames, far got %d", relayStats.Frames, farStats.Frames)
+	}
+	// The far node's frames crossed two emulated 10ms edges.
+	if farStats.MeanLatMs < relayStats.MeanLatMs {
+		t.Errorf("two-hop latency %.1fms not above one-hop %.1fms", farStats.MeanLatMs, relayStats.MeanLatMs)
+	}
+	if farStats.MeanLatMs < 15 {
+		t.Errorf("two-hop latency %.1fms below expected ~20ms", farStats.MeanLatMs)
+	}
+}
+
+func TestRejectedSubscriptionNotDelivered(t *testing.T) {
+	// Source site 0 has Out=0: its stream cannot be disseminated; the
+	// membership server reports the rejection and no frames flow.
+	cost := [][]float64{{0, 10}, {10, 0}}
+	subs := [][]stream.ID{nil, {{Site: 0, Index: 0}}}
+	n := 2
+	srv, err := membership.New(membership.Config{N: n, Cost: cost, Bcost: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = srv.Serve(ctx) }()
+
+	outs := []int{0, 10}
+	nodes := make([]*Node, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		node, err := New(Config{
+			Site: i, Membership: srv.Addr(), In: 10, Out: outs[i],
+			Cameras: 1, Profile: testProfile(), Seed: int64(i), Subscriptions: subs[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := node.Start(ctx); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	defer func() {
+		cancel()
+		for _, node := range nodes {
+			node.Close()
+		}
+	}()
+
+	routes := nodes[1].Routes()
+	if routes == nil {
+		t.Fatal("no routes installed")
+	}
+	if len(routes.Rejected) != 1 || routes.Rejected[0] != (stream.ID{Site: 0, Index: 0}) {
+		t.Fatalf("rejected = %v, want the one subscription", routes.Rejected)
+	}
+	for k := 0; k < 5; k++ {
+		if err := nodes[0].PublishTick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(150 * time.Millisecond)
+	if st := nodes[1].Stats()[stream.ID{Site: 0, Index: 0}]; st.Frames != 0 {
+		t.Errorf("rejected stream delivered %d frames", st.Frames)
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	if _, err := New(Config{Cameras: 0, Profile: testProfile()}); err == nil {
+		t.Error("zero cameras accepted")
+	}
+	if _, err := New(Config{Cameras: 1}); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestPublishBeforeRoutesFails(t *testing.T) {
+	node, err := New(Config{Cameras: 1, Profile: testProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.PublishTick(); err == nil {
+		t.Error("publish before Start accepted")
+	}
+}

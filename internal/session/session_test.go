@@ -1,0 +1,112 @@
+package session
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tele3d/tele3d/internal/fov"
+	"github.com/tele3d/tele3d/internal/overlay"
+)
+
+func TestBuildDefaults(t *testing.T) {
+	s, err := Build(Spec{N: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sites.N() != 4 || s.Cyberspace.NumSites() != 4 {
+		t.Fatalf("sites = %d / %d", s.Sites.N(), s.Cyberspace.NumSites())
+	}
+	if len(s.FOVs) != 4 {
+		t.Fatalf("FOVs = %d", len(s.FOVs))
+	}
+	for i, fs := range s.FOVs {
+		if len(fs) != 2 {
+			t.Errorf("site %d has %d displays, want 2", i, len(fs))
+		}
+	}
+	if s.Workload.TotalRequests() == 0 {
+		t.Fatal("empty workload")
+	}
+	// Per-site subscription cannot exceed displays × render budget.
+	for i, subs := range s.Workload.Subs {
+		if len(subs) > 2*MaxRenderStreams {
+			t.Errorf("site %d subscribed %d > %d", i, len(subs), 2*MaxRenderStreams)
+		}
+	}
+	if err := s.Forest.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Spec{N: 1}); err == nil {
+		t.Error("N=1 accepted")
+	}
+}
+
+func TestBuildDeterministicPerSeed(t *testing.T) {
+	a, err := Build(Spec{N: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Spec{N: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Workload.TotalRequests() != b.Workload.TotalRequests() {
+		t.Error("same seed, different workloads")
+	}
+	if len(a.Forest.Rejected()) != len(b.Forest.Rejected()) {
+		t.Error("same seed, different forests")
+	}
+}
+
+func TestResubscribeDiffsAndRebuilds(t *testing.T) {
+	s, err := Build(Spec{N: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldSubs := len(s.Workload.Subs[0])
+
+	// Point site 0's displays at a different participant with a narrow
+	// aperture.
+	az, err := s.Cyberspace.SiteAngle(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newFOVs := []fov.FOV{
+		{Observer: 0, Azimuth: az, Aperture: math.Pi / 2, Budget: 4},
+	}
+	gained, lost, err := s.Resubscribe(0, newFOVs, overlay.RJ{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gained)+len(lost) == 0 && oldSubs == len(s.Workload.Subs[0]) {
+		t.Log("subscription unchanged (possible but unlikely)")
+	}
+	for _, id := range s.Workload.Subs[0] {
+		if id.Site != 2 {
+			t.Errorf("after narrow re-aim, subscribed to %v outside site 2", id)
+		}
+	}
+	if err := s.Forest.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.FOVs[0]) != 1 {
+		t.Errorf("FOVs not updated: %d", len(s.FOVs[0]))
+	}
+}
+
+func TestResubscribeValidation(t *testing.T) {
+	s, err := Build(Spec{N: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Resubscribe(9, nil, nil, 1); err == nil {
+		t.Error("bad site accepted")
+	}
+	bad := []fov.FOV{{Observer: 1, Aperture: 1, Budget: 1}}
+	if _, _, err := s.Resubscribe(0, bad, nil, 1); err == nil {
+		t.Error("observer mismatch accepted")
+	}
+}

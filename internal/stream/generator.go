@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generator synthesizes the frame sequence of one 3D camera. It stands in
+// for the capture + reduction pipeline of a real tele-immersive site: each
+// call to Next produces the next encoded frame at the profile's cadence.
+//
+// The payload is pseudo-random but seeded per stream, so two generators
+// constructed with the same stream ID and seed produce identical frames —
+// useful for end-to-end integrity checks across the data plane.
+type Generator struct {
+	id      ID
+	profile Profile
+	rng     *rand.Rand
+	seq     uint64
+	// scratch is reused across frames; Next copies out of it.
+	scratch []byte
+}
+
+// NewGenerator returns a generator for the given stream.
+func NewGenerator(id ID, profile Profile, seed int64) (*Generator, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{
+		id:      id,
+		profile: profile,
+		rng:     rand.New(rand.NewSource(seed ^ int64(id.Site)<<32 ^ int64(id.Index))),
+		scratch: make([]byte, profile.FrameBytes()),
+	}, nil
+}
+
+// ID returns the stream identity.
+func (g *Generator) ID() ID { return g.id }
+
+// Profile returns the encoding profile.
+func (g *Generator) Profile() Profile { return g.profile }
+
+// Next produces the next frame. CaptureMs is derived from the sequence
+// number and the profile frame rate, so frame k is captured at
+// k * frameInterval.
+func (g *Generator) Next() *Frame {
+	// Fill with a cheap deterministic pattern: a seeded xorshift over the
+	// scratch buffer. Using rng.Read would also work but costs more.
+	x := g.rng.Uint64()
+	for i := range g.scratch {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		g.scratch[i] = byte(x)
+	}
+	payload := make([]byte, len(g.scratch))
+	copy(payload, g.scratch)
+	f := &Frame{
+		Stream:    g.id,
+		Seq:       g.seq,
+		CaptureMs: int64(float64(g.seq) * g.profile.FrameIntervalMs()),
+		Payload:   payload,
+	}
+	g.seq++
+	return f
+}
+
+// Rig is the set of generators for all cameras at one site — the synthetic
+// equivalent of the site's 3D camera array.
+type Rig struct {
+	site       int
+	generators []*Generator
+}
+
+// NewRig creates numCameras generators for the given site.
+func NewRig(site, numCameras int, profile Profile, seed int64) (*Rig, error) {
+	if numCameras <= 0 {
+		return nil, fmt.Errorf("stream: site %d: numCameras %d <= 0", site, numCameras)
+	}
+	r := &Rig{site: site}
+	for q := 0; q < numCameras; q++ {
+		g, err := NewGenerator(ID{Site: site, Index: q}, profile, seed)
+		if err != nil {
+			return nil, err
+		}
+		r.generators = append(r.generators, g)
+	}
+	return r, nil
+}
+
+// Site returns the site index.
+func (r *Rig) Site() int { return r.site }
+
+// NumCameras returns the camera count.
+func (r *Rig) NumCameras() int { return len(r.generators) }
+
+// Camera returns the generator for the camera with the given local index.
+func (r *Rig) Camera(index int) (*Generator, error) {
+	if index < 0 || index >= len(r.generators) {
+		return nil, fmt.Errorf("stream: site %d has no camera %d", r.site, index)
+	}
+	return r.generators[index], nil
+}
+
+// Streams lists the IDs of all streams the rig produces, in index order.
+func (r *Rig) Streams() []ID {
+	out := make([]ID, len(r.generators))
+	for i, g := range r.generators {
+		out[i] = g.ID()
+	}
+	return out
+}
+
+// Tick captures one frame from every camera, in camera order.
+func (r *Rig) Tick() []*Frame {
+	out := make([]*Frame, len(r.generators))
+	for i, g := range r.generators {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Package transport defines the wire protocol of the 3DTI data plane:
+// length-prefixed messages over TCP carrying either JSON control payloads
+// (registration, subscription, routing tables) or binary 3D video frames.
+//
+// Message layout (big endian):
+//
+//	length uint32   // length of type + payload
+//	type   uint8
+//	payload [length-1]byte
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/tele3d/tele3d/internal/stream"
+)
+
+// MsgType discriminates wire messages.
+type MsgType uint8
+
+// Wire message types.
+const (
+	// MsgHello registers an RP with the membership server.
+	MsgHello MsgType = 1
+	// MsgSubscribe carries an RP's aggregated stream subscriptions.
+	MsgSubscribe MsgType = 2
+	// MsgRoutes delivers the computed routing table to an RP.
+	MsgRoutes MsgType = 3
+	// MsgFrame carries one encoded 3D video frame between RPs.
+	MsgFrame MsgType = 4
+	// MsgPeerHello identifies the dialing RP on an RP-to-RP connection.
+	MsgPeerHello MsgType = 5
+)
+
+// MaxMessage bounds a single wire message (a frame plus slack).
+const MaxMessage = stream.MaxPayload + 4096
+
+// Hello is the registration control message.
+type Hello struct {
+	Site       int    `json:"site"`
+	Addr       string `json:"addr"` // the RP's peer-facing listen address
+	In         int    `json:"in"`   // inbound capacity, streams
+	Out        int    `json:"out"`  // outbound capacity, streams
+	NumStreams int    `json:"numStreams"`
+}
+
+// Subscribe carries the site's aggregated subscription set.
+type Subscribe struct {
+	Site    int         `json:"site"`
+	Streams []stream.ID `json:"streams"`
+}
+
+// PeerHello identifies the dialing site on a data connection.
+type PeerHello struct {
+	Site int `json:"site"`
+}
+
+// Route describes the forwarding duty for one stream at one RP.
+type Route struct {
+	Stream   stream.ID `json:"stream"`
+	Children []int     `json:"children"` // sites to forward the stream to
+}
+
+// Routes is the membership server's routing directive for one RP.
+type Routes struct {
+	Site int `json:"site"`
+	// Peers maps site index to its RP dial address.
+	Peers map[int]string `json:"peers"`
+	// DelayMs maps site index to the emulated one-way WAN latency applied
+	// to frames this RP sends toward that site.
+	DelayMs map[int]float64 `json:"delayMs"`
+	// Forward lists forwarding duties for streams this RP sources or
+	// receives.
+	Forward []Route `json:"forward"`
+	// Accepted lists the remote streams this RP will receive.
+	Accepted []stream.ID `json:"accepted"`
+	// Rejected lists the subscriptions the overlay could not satisfy.
+	Rejected []stream.ID `json:"rejected"`
+}
+
+// Message is one decoded wire message. Exactly one payload field is set,
+// according to Type.
+type Message struct {
+	Type      MsgType
+	Hello     *Hello
+	Subscribe *Subscribe
+	PeerHello *PeerHello
+	Routes    *Routes
+	Frame     *stream.Frame
+}
+
+// ErrMessageTooLarge is returned when a length prefix exceeds MaxMessage.
+var ErrMessageTooLarge = errors.New("transport: message exceeds size bound")
+
+// WriteMessage encodes and writes one message.
+func WriteMessage(w io.Writer, m *Message) error {
+	var payload []byte
+	var err error
+	switch m.Type {
+	case MsgHello:
+		payload, err = json.Marshal(m.Hello)
+	case MsgSubscribe:
+		payload, err = json.Marshal(m.Subscribe)
+	case MsgPeerHello:
+		payload, err = json.Marshal(m.PeerHello)
+	case MsgRoutes:
+		payload, err = json.Marshal(m.Routes)
+	case MsgFrame:
+		payload, err = stream.Encode(m.Frame)
+	default:
+		return fmt.Errorf("transport: unknown message type %d", m.Type)
+	}
+	if err != nil {
+		return fmt.Errorf("transport: encode type %d: %w", m.Type, err)
+	}
+	if len(payload)+1 > MaxMessage {
+		return ErrMessageTooLarge
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)+1))
+	hdr[4] = byte(m.Type)
+	if _, err := w.Write(append(hdr, payload...)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadMessage reads and decodes one message.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 1 {
+		return nil, errors.New("transport: zero-length message")
+	}
+	if n > MaxMessage {
+		return nil, ErrMessageTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	m := &Message{Type: MsgType(body[0])}
+	payload := body[1:]
+	switch m.Type {
+	case MsgHello:
+		m.Hello = &Hello{}
+		return m, unmarshal(payload, m.Hello)
+	case MsgSubscribe:
+		m.Subscribe = &Subscribe{}
+		return m, unmarshal(payload, m.Subscribe)
+	case MsgPeerHello:
+		m.PeerHello = &PeerHello{}
+		return m, unmarshal(payload, m.PeerHello)
+	case MsgRoutes:
+		m.Routes = &Routes{}
+		return m, unmarshal(payload, m.Routes)
+	case MsgFrame:
+		f, _, err := stream.Decode(payload)
+		if err != nil {
+			return nil, fmt.Errorf("transport: decode frame: %w", err)
+		}
+		m.Frame = f
+		return m, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown message type %d", m.Type)
+	}
+}
+
+func unmarshal(b []byte, v any) error {
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("transport: decode control payload: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/tele3d/tele3d/internal/stream"
+)
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Type != m.Type {
+		t.Fatalf("type = %d, want %d", got.Type, m.Type)
+	}
+	return got
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	m := roundTrip(t, &Message{Type: MsgHello, Hello: &Hello{Site: 3, Addr: "127.0.0.1:9", In: 20, Out: 18, NumStreams: 10}})
+	if *m.Hello != (Hello{Site: 3, Addr: "127.0.0.1:9", In: 20, Out: 18, NumStreams: 10}) {
+		t.Errorf("hello = %+v", m.Hello)
+	}
+}
+
+func TestSubscribeRoundTrip(t *testing.T) {
+	subs := []stream.ID{{Site: 1, Index: 2}, {Site: 2, Index: 0}}
+	m := roundTrip(t, &Message{Type: MsgSubscribe, Subscribe: &Subscribe{Site: 0, Streams: subs}})
+	if m.Subscribe.Site != 0 || len(m.Subscribe.Streams) != 2 || m.Subscribe.Streams[1] != subs[1] {
+		t.Errorf("subscribe = %+v", m.Subscribe)
+	}
+}
+
+func TestPeerHelloRoundTrip(t *testing.T) {
+	m := roundTrip(t, &Message{Type: MsgPeerHello, PeerHello: &PeerHello{Site: 7}})
+	if m.PeerHello.Site != 7 {
+		t.Errorf("peer hello = %+v", m.PeerHello)
+	}
+}
+
+func TestRoutesRoundTrip(t *testing.T) {
+	r := &Routes{
+		Site:     1,
+		Peers:    map[int]string{0: "a:1", 2: "c:3"},
+		DelayMs:  map[int]float64{0: 12.5, 2: 80},
+		Forward:  []Route{{Stream: stream.ID{Site: 1, Index: 0}, Children: []int{0, 2}}},
+		Accepted: []stream.ID{{Site: 0, Index: 4}},
+		Rejected: []stream.ID{{Site: 2, Index: 9}},
+	}
+	m := roundTrip(t, &Message{Type: MsgRoutes, Routes: r})
+	if m.Routes.Peers[2] != "c:3" || m.Routes.DelayMs[0] != 12.5 {
+		t.Errorf("routes = %+v", m.Routes)
+	}
+	if len(m.Routes.Forward) != 1 || len(m.Routes.Forward[0].Children) != 2 {
+		t.Errorf("forward = %+v", m.Routes.Forward)
+	}
+	if len(m.Routes.Accepted) != 1 || len(m.Routes.Rejected) != 1 {
+		t.Errorf("accepted/rejected = %+v / %+v", m.Routes.Accepted, m.Routes.Rejected)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := &stream.Frame{Stream: stream.ID{Site: 2, Index: 5}, Seq: 99, CaptureMs: 1234, Payload: []byte{1, 2, 3, 4}}
+	m := roundTrip(t, &Message{Type: MsgFrame, Frame: f})
+	if m.Frame.Stream != f.Stream || m.Frame.Seq != 99 || !bytes.Equal(m.Frame.Payload, f.Payload) {
+		t.Errorf("frame = %+v", m.Frame)
+	}
+}
+
+func TestMultipleMessagesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []*Message{
+		{Type: MsgPeerHello, PeerHello: &PeerHello{Site: 1}},
+		{Type: MsgFrame, Frame: &stream.Frame{Stream: stream.ID{Site: 1, Index: 0}, Payload: []byte("x")}},
+		{Type: MsgPeerHello, PeerHello: &PeerHello{Site: 2}},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.Type != want.Type {
+			t.Fatalf("message %d type = %d, want %d", i, got.Type, want.Type)
+		}
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Errorf("after last message: err = %v, want EOF", err)
+	}
+}
+
+func TestWriteUnknownType(t *testing.T) {
+	if err := WriteMessage(&bytes.Buffer{}, &Message{Type: 99}); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestReadUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 1, 99})
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Error("unknown wire type accepted")
+	}
+}
+
+func TestReadZeroLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Error("zero-length message accepted")
+	}
+}
+
+func TestReadOversized(t *testing.T) {
+	var buf bytes.Buffer
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(MaxMessage+1))
+	buf.Write(lenBuf[:])
+	if _, err := ReadMessage(&buf); !errors.Is(err, ErrMessageTooLarge) {
+		t.Errorf("err = %v, want ErrMessageTooLarge", err)
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	var full bytes.Buffer
+	if err := WriteMessage(&full, &Message{Type: MsgPeerHello, PeerHello: &PeerHello{Site: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	b := full.Bytes()
+	for cut := 1; cut < len(b); cut++ {
+		_, err := ReadMessage(bytes.NewReader(b[:cut]))
+		if err == nil {
+			t.Fatalf("truncated at %d accepted", cut)
+		}
+	}
+}
+
+func TestCorruptControlPayload(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("{not json")
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)+1))
+	buf.Write(lenBuf[:])
+	buf.WriteByte(byte(MsgHello))
+	buf.Write(payload)
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Error("corrupt JSON accepted")
+	}
+}

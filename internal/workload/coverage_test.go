@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCoverageModeEveryStreamSubscribed(t *testing.T) {
+	// CoverageRate 1.0: every stream of every site has at least one
+	// subscriber, so m_i equals the site's stream count — the literal
+	// reading of "the number of streams each site has to send is 20".
+	for _, n := range []int{3, 6, 10} {
+		cfg := coverageCfg(n, CapacityUniform, PopularityRandom)
+		cfg.CoverageRate = 1.0
+		rng := rand.New(rand.NewSource(int64(n)))
+		w, err := Generate(cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subscribed := make(map[int]map[int]bool, n)
+		for i := 0; i < n; i++ {
+			subscribed[i] = make(map[int]bool)
+		}
+		for _, subs := range w.Subs {
+			for _, id := range subs {
+				subscribed[id.Site][id.Index] = true
+			}
+		}
+		for j, s := range w.Sites {
+			if got := len(subscribed[j]); got != s.NumStreams {
+				t.Errorf("N=%d site %d: %d of %d streams subscribed", n, j, got, s.NumStreams)
+			}
+		}
+	}
+}
+
+func TestCoveragePartialRate(t *testing.T) {
+	cfg := coverageCfg(6, CapacityUniform, PopularityRandom)
+	cfg.CoverageRate = 0.5
+	cfg.SubscribeFraction = 0.01 // negligible fill
+	rng := rand.New(rand.NewSource(3))
+	w, err := Generate(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	total := 0
+	seen := make(map[int]map[int]bool)
+	for j := range w.Sites {
+		seen[j] = make(map[int]bool)
+		total += w.Sites[j].NumStreams
+	}
+	for _, subs := range w.Subs {
+		for _, id := range subs {
+			if !seen[id.Site][id.Index] {
+				seen[id.Site][id.Index] = true
+				covered++
+			}
+		}
+	}
+	frac := float64(covered) / float64(total)
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("covered fraction %.2f, want near 0.5", frac)
+	}
+}
+
+func TestCoverageDefaultsApplied(t *testing.T) {
+	cfg := Config{N: 4, Capacity: CapacityUniform, Popularity: PopularityRandom}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := cfg.withDefaults()
+	if d.CoverageRate != 0.8 || d.SubscribeFraction != 0.15 || d.ZipfExponent != 1.0 {
+		t.Errorf("defaults = %+v", d)
+	}
+	if Mode(0) != ModeCoverage {
+		t.Error("zero-value mode should be coverage")
+	}
+	if ModeCoverage.String() != "coverage" || ModeFraction.String() != "fraction" || Mode(9).String() == "" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestCoverageRateValidation(t *testing.T) {
+	cfg := coverageCfg(4, CapacityUniform, PopularityRandom)
+	cfg.CoverageRate = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("coverage rate > 1 accepted")
+	}
+	cfg.CoverageRate = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative coverage rate accepted")
+	}
+}
+
+func TestZipfSitesPopularity(t *testing.T) {
+	// Under PopularityZipfSites the per-pair subscription counts u_{i→j}
+	// must spread much wider than under random popularity.
+	spread := func(pop PopularityKind) float64 {
+		var lo, hi float64
+		lo = 1e9
+		for s := int64(0); s < 20; s++ {
+			cfg := Config{
+				N: 8, Capacity: CapacityUniform, Popularity: pop,
+				Mode: ModeCoverage, CoverageRate: 1.0,
+				SubscribeFraction: 0.2, ZipfExponent: 1.6,
+			}
+			w, err := Generate(cfg, rand.New(rand.NewSource(s)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := w.RequestMatrix()
+			for i := range u {
+				for j := range u[i] {
+					if i == j {
+						continue
+					}
+					v := float64(u[i][j])
+					if v < lo {
+						lo = v
+					}
+					if v > hi {
+						hi = v
+					}
+				}
+			}
+		}
+		return hi - lo
+	}
+	if zs, rs := spread(PopularityZipfSites), spread(PopularityRandom); zs <= rs {
+		t.Errorf("zipf-sites spread %.1f not wider than random %.1f", zs, rs)
+	}
+	if PopularityZipfSites.String() != "zipf-sites" {
+		t.Error("stringer wrong")
+	}
+}
