@@ -1,0 +1,40 @@
+# Local targets mirror .github/workflows/ci.yml step for step, so a green
+# `make ci` locally means a green CI run.
+
+GO ?= go
+
+.PHONY: build fmt-check vet test race bench bench-smoke sweep-smoke ci
+
+build:
+	$(GO) build ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# bench-smoke runs the Fig8a serial/parallel pair once — enough to catch a
+# broken benchmark without paying for a full measurement.
+bench-smoke:
+	$(GO) test -bench=Fig8a -benchtime=1x -run '^$$' .
+
+# sweep-smoke drives cmd/tisweep end-to-end over an 8-cell grid and checks
+# the CSV and JSONL record counts (header + 8 rows; 8 records).
+sweep-smoke:
+	$(GO) run ./cmd/tisweep -n 3,4 -alg stf,rj -bcost 2.5,3.0 -samples 5 -seed 1 \
+		-csv /tmp/tisweep-smoke.csv -jsonl /tmp/tisweep-smoke.jsonl -quiet
+	@test "$$(wc -l < /tmp/tisweep-smoke.csv)" -eq 9 || { echo "bad CSV row count"; exit 1; }
+	@test "$$(wc -l < /tmp/tisweep-smoke.jsonl)" -eq 8 || { echo "bad JSONL record count"; exit 1; }
+	@echo "sweep-smoke OK"
+
+ci: build fmt-check vet race bench-smoke sweep-smoke

@@ -8,6 +8,7 @@ package tele3d
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"github.com/tele3d/tele3d/internal/experiments"
@@ -25,7 +26,10 @@ const benchSamples = 20
 
 func newRunner(b *testing.B) *experiments.Runner {
 	b.Helper()
-	r, err := experiments.NewRunner(experiments.Config{Samples: benchSamples, Seed: 1})
+	// Parallelism pinned to 1 so the historical figure benches keep
+	// measuring the serial path; the Fig8aSerial/Fig8aParallel pair
+	// below is the deliberate speedup measurement.
+	r, err := experiments.NewRunner(experiments.Config{Samples: benchSamples, Seed: 1, Parallelism: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -55,9 +59,31 @@ func benchFig8(b *testing.B, v experiments.Fig8Variant) {
 }
 
 func BenchmarkFig8a(b *testing.B) { benchFig8(b, experiments.Fig8a) }
-func BenchmarkFig8b(b *testing.B) { benchFig8(b, experiments.Fig8b) }
-func BenchmarkFig8c(b *testing.B) { benchFig8(b, experiments.Fig8c) }
-func BenchmarkFig8d(b *testing.B) { benchFig8(b, experiments.Fig8d) }
+
+// benchFig8aAt pins the engine's worker count; the Serial/Parallel pair
+// below measures the worker-pool speedup on identical work (the output is
+// bit-identical by the engine's determinism contract, so the pair differs
+// only in scheduling).
+func benchFig8aAt(b *testing.B, parallelism int) {
+	r, err := experiments.NewRunner(experiments.Config{
+		Samples: benchSamples, Seed: 1, Parallelism: parallelism,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig8(experiments.Fig8a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8aSerial(b *testing.B)   { benchFig8aAt(b, 1) }
+func BenchmarkFig8aParallel(b *testing.B) { benchFig8aAt(b, runtime.GOMAXPROCS(0)) }
+func BenchmarkFig8b(b *testing.B)         { benchFig8(b, experiments.Fig8b) }
+func BenchmarkFig8c(b *testing.B)         { benchFig8(b, experiments.Fig8c) }
+func BenchmarkFig8d(b *testing.B)         { benchFig8(b, experiments.Fig8d) }
 
 func BenchmarkFig9(b *testing.B) {
 	r := newRunner(b)

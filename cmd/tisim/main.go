@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tisim -fig 8a|8b|8c|8d|9|10|11|all [-samples 200] [-seed 1] [-csv]
+//	tisim -fig 8a|8b|8c|8d|9|10|11|all [-samples 200] [-seed 1] [-parallel 0] [-csv]
 //	tisim -fig ablation    # reservation-mode and join-policy ablations
 //	tisim -fig capacity    # the §1 capacity back-of-envelope table
 //
@@ -23,20 +23,21 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 8a, 8b, 8c, 8d, 9, 10, 11, ablation, capacity, all")
-		samples = flag.Int("samples", 200, "workload samples per data point (paper: 200)")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		fig      = flag.String("fig", "all", "figure to regenerate: 8a, 8b, 8c, 8d, 9, 10, 11, ablation, capacity, all")
+		samples  = flag.Int("samples", 200, "workload samples per data point (paper: 200)")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		parallel = flag.Int("parallel", 0, "sample-evaluation workers; 0 = GOMAXPROCS (results are seed-deterministic at any setting)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *fig, *samples, *seed, *csv); err != nil {
+	if err := run(os.Stdout, *fig, *samples, *seed, *parallel, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "tisim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, fig string, samples int, seed int64, csv bool) error {
-	r, err := experiments.NewRunner(experiments.Config{Samples: samples, Seed: seed})
+func run(w io.Writer, fig string, samples int, seed int64, parallel int, csv bool) error {
+	r, err := experiments.NewRunner(experiments.Config{Samples: samples, Seed: seed, Parallelism: parallel})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,146 @@
+package main
+
+// grid.go parses the comma-separated grid flags: whitespace around tokens
+// is trimmed, empty tokens are dropped, and a grid with no usable token is
+// an error (a flag that should not sweep just holds a singleton).
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+// splitList breaks a comma-separated list into trimmed non-empty tokens.
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// parseInts parses a comma-separated integer grid.
+func parseInts(name, s string) ([]int, error) {
+	toks := splitList(s)
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("-%s: empty grid %q", name, s)
+	}
+	out := make([]int, 0, len(toks))
+	for _, tok := range toks {
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: bad integer %q", name, tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated float grid.
+func parseFloats(name, s string) ([]float64, error) {
+	toks := splitList(s)
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("-%s: empty grid %q", name, s)
+	}
+	out := make([]float64, 0, len(toks))
+	for _, tok := range toks {
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: bad float %q", name, tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseCapacities parses a grid of capacity kind names.
+func parseCapacities(s string) ([]workload.CapacityKind, error) {
+	toks := splitList(s)
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("-capacity: empty grid %q", s)
+	}
+	out := make([]workload.CapacityKind, 0, len(toks))
+	for _, tok := range toks {
+		switch strings.ToLower(tok) {
+		case "uniform":
+			out = append(out, workload.CapacityUniform)
+		case "heterogeneous", "hetero":
+			out = append(out, workload.CapacityHeterogeneous)
+		default:
+			return nil, fmt.Errorf("-capacity: unknown kind %q (want uniform or heterogeneous)", tok)
+		}
+	}
+	return out, nil
+}
+
+// parsePopularities parses a grid of popularity kind names.
+func parsePopularities(s string) ([]workload.PopularityKind, error) {
+	toks := splitList(s)
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("-popularity: empty grid %q", s)
+	}
+	out := make([]workload.PopularityKind, 0, len(toks))
+	for _, tok := range toks {
+		switch strings.ToLower(tok) {
+		case "zipf":
+			out = append(out, workload.PopularityZipf)
+		case "random":
+			out = append(out, workload.PopularityRandom)
+		case "zipf-sites", "zipfsites":
+			out = append(out, workload.PopularityZipfSites)
+		default:
+			return nil, fmt.Errorf("-popularity: unknown kind %q (want zipf, random or zipf-sites)", tok)
+		}
+	}
+	return out, nil
+}
+
+// parseAlgorithms parses a grid of construction algorithm names. The
+// granular LTF takes its granularity inline: "gran-ltf:20".
+func parseAlgorithms(s string) ([]overlay.Algorithm, error) {
+	toks := splitList(s)
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("-alg: empty grid %q", s)
+	}
+	out := make([]overlay.Algorithm, 0, len(toks))
+	for _, tok := range toks {
+		alg, err := algorithmByName(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, alg)
+	}
+	return out, nil
+}
+
+func algorithmByName(name string) (overlay.Algorithm, error) {
+	lower := strings.ToLower(name)
+	if g, ok := strings.CutPrefix(lower, "gran-ltf:"); ok {
+		v, err := strconv.Atoi(g)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("-alg: bad granularity in %q", name)
+		}
+		return overlay.GranLTF{G: v}, nil
+	}
+	switch lower {
+	case "stf":
+		return overlay.STF{}, nil
+	case "ltf":
+		return overlay.LTF{}, nil
+	case "mctf":
+		return overlay.MCTF{}, nil
+	case "rj":
+		return overlay.RJ{}, nil
+	case "co-rj", "corj":
+		return overlay.CORJ{}, nil
+	case "alltoall", "all-to-all":
+		return overlay.AllToAll{}, nil
+	default:
+		return nil, fmt.Errorf("-alg: unknown algorithm %q (want stf, ltf, mctf, rj, co-rj, alltoall or gran-ltf:<g>)", name)
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+func TestParseIntsWhitespaceAndEmptyTokens(t *testing.T) {
+	got, err := parseInts("n", " 3 ,4,, 10 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{3, 4, 10}; !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestParseIntsSingleton(t *testing.T) {
+	got, err := parseInts("n", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{8}; !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestParseIntsInvalid(t *testing.T) {
+	for _, bad := range []string{"3,x", "3.5", "", " , ,"} {
+		if got, err := parseInts("n", bad); err == nil {
+			t.Errorf("parseInts(%q) = %v, want error", bad, got)
+		}
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("bcost", "2.5, 3 ,4.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{2.5, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if _, err := parseFloats("bcost", "2.5,nope"); err == nil {
+		t.Error("bad float accepted")
+	}
+	if _, err := parseFloats("bcost", ""); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+func TestParseCapacities(t *testing.T) {
+	got, err := parseCapacities("uniform, Heterogeneous ,hetero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []workload.CapacityKind{
+		workload.CapacityUniform, workload.CapacityHeterogeneous, workload.CapacityHeterogeneous,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if _, err := parseCapacities("lopsided"); err == nil {
+		t.Error("unknown capacity kind accepted")
+	}
+}
+
+func TestParsePopularities(t *testing.T) {
+	got, err := parsePopularities("zipf,random, zipf-sites")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []workload.PopularityKind{
+		workload.PopularityZipf, workload.PopularityRandom, workload.PopularityZipfSites,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if _, err := parsePopularities("viral"); err == nil {
+		t.Error("unknown popularity kind accepted")
+	}
+}
+
+func TestParseAlgorithms(t *testing.T) {
+	got, err := parseAlgorithms("stf, LTF ,mctf,rj,co-rj,corj,alltoall,gran-ltf:20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []overlay.Algorithm{
+		overlay.STF{}, overlay.LTF{}, overlay.MCTF{}, overlay.RJ{},
+		overlay.CORJ{}, overlay.CORJ{}, overlay.AllToAll{}, overlay.GranLTF{G: 20},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	for _, bad := range []string{"dijkstra", "gran-ltf:0", "gran-ltf:x", ""} {
+		if _, err := parseAlgorithms(bad); err == nil {
+			t.Errorf("parseAlgorithms(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSweepConfigCells(t *testing.T) {
+	cfg := sweepConfig{}
+	err := cfg.parseGrids("3,4", "0", "0,15", "3.0", "0.12", "uniform", "random", "stf,rj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.cells(); got != 8 {
+		t.Errorf("cells() = %d, want 8", got)
+	}
+}

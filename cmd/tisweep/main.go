@@ -1,0 +1,336 @@
+// Command tisweep sweeps the experiment engine over a parameter grid and
+// streams one result record per grid cell (× trial) to a compact CSV
+// summary and full JSON-Lines records — every future figure or ablation
+// becomes a one-flag sweep instead of a bespoke runner.
+//
+// Each grid flag takes a comma-separated list; the sweep is the cross
+// product of all lists. 0 in -streams or -bandwidth keeps the capacity
+// kind's paper default.
+//
+// Usage:
+//
+//	tisweep -n 4,6,8,10 -alg stf,ltf,mctf,rj -bcost 2.5,3.0 \
+//	        -samples 50 -trials 3 -parallel 0 \
+//	        -csv sweep.csv -jsonl sweep.jsonl
+//
+// CSV columns (JSONL carries the same fields, one object per line):
+//
+//	cell, trial        grid cell index and repetition index
+//	n                  number of sites
+//	streams, bandwidth per-site stream count and in/out budget (0 = default)
+//	bcost, frac        latency-bound multiplier, subscribe fraction
+//	capacity, popularity, algorithm   workload kinds and construction algorithm
+//	samples, seed, parallelism        engine configuration of the run
+//	rejection          mean normalized rejection ratio (Equation 1)
+//	weighted_rejection mean normalized criticality-weighted ratio (Equation 3)
+//	util_mean, util_stddev, relay_fraction   out-degree utilization (Figure 10)
+//	elapsed_ms         wall-clock cost of the cell
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"github.com/tele3d/tele3d/internal/experiments"
+	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+// sweepConfig is the fully parsed grid.
+type sweepConfig struct {
+	ns           []int
+	streams      []int
+	bandwidths   []int
+	bcosts       []float64
+	fracs        []float64
+	capacities   []workload.CapacityKind
+	popularities []workload.PopularityKind
+	algs         []overlay.Algorithm
+
+	samples  int
+	seed     int64
+	parallel int
+	trials   int
+
+	csvPath   string
+	jsonlPath string
+	quiet     bool
+}
+
+// cells returns the number of grid cells (excluding trials).
+func (c sweepConfig) cells() int {
+	return len(c.ns) * len(c.streams) * len(c.bandwidths) * len(c.bcosts) *
+		len(c.fracs) * len(c.capacities) * len(c.popularities) * len(c.algs)
+}
+
+// record is one sweep result: a grid cell evaluated by one engine run.
+type record struct {
+	Cell              int     `json:"cell"`
+	Trial             int     `json:"trial"`
+	N                 int     `json:"n"`
+	Streams           int     `json:"streams"`
+	Bandwidth         int     `json:"bandwidth"`
+	Bcost             float64 `json:"bcost"`
+	Frac              float64 `json:"frac"`
+	Capacity          string  `json:"capacity"`
+	Popularity        string  `json:"popularity"`
+	Algorithm         string  `json:"algorithm"`
+	Samples           int     `json:"samples"`
+	Seed              int64   `json:"seed"`
+	Parallelism       int     `json:"parallelism"`
+	Rejection         float64 `json:"rejection"`
+	WeightedRejection float64 `json:"weighted_rejection"`
+	UtilMean          float64 `json:"util_mean"`
+	UtilStdDev        float64 `json:"util_stddev"`
+	RelayFraction     float64 `json:"relay_fraction"`
+	ElapsedMs         float64 `json:"elapsed_ms"`
+}
+
+var csvHeader = []string{
+	"cell", "trial", "n", "streams", "bandwidth", "bcost", "frac",
+	"capacity", "popularity", "algorithm", "samples", "seed", "parallelism",
+	"rejection", "weighted_rejection", "util_mean", "util_stddev",
+	"relay_fraction", "elapsed_ms",
+}
+
+func (r record) csvRow() []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	return []string{
+		strconv.Itoa(r.Cell), strconv.Itoa(r.Trial), strconv.Itoa(r.N),
+		strconv.Itoa(r.Streams), strconv.Itoa(r.Bandwidth),
+		f(r.Bcost), f(r.Frac),
+		r.Capacity, r.Popularity, r.Algorithm,
+		strconv.Itoa(r.Samples), strconv.FormatInt(r.Seed, 10), strconv.Itoa(r.Parallelism),
+		f(r.Rejection), f(r.WeightedRejection),
+		f(r.UtilMean), f(r.UtilStdDev), f(r.RelayFraction),
+		strconv.FormatFloat(r.ElapsedMs, 'f', 1, 64),
+	}
+}
+
+func main() {
+	var (
+		nSpec      = flag.String("n", "4,6,8,10", "site-count grid")
+		streamSpec = flag.String("streams", "0", "streams-per-site grid; 0 = capacity kind default")
+		bwSpec     = flag.String("bandwidth", "0", "per-site in/out budget grid in stream units; 0 = capacity kind default")
+		bcostSpec  = flag.String("bcost", "3.0", "latency-bound multiplier grid (× median pairwise cost)")
+		fracSpec   = flag.String("frac", "0.12", "subscribe-fraction grid")
+		capSpec    = flag.String("capacity", "uniform", "capacity kind grid: uniform, heterogeneous")
+		popSpec    = flag.String("popularity", "random", "popularity kind grid: zipf, random, zipf-sites")
+		algSpec    = flag.String("alg", "stf,ltf,mctf,rj", "algorithm grid: stf, ltf, mctf, rj, co-rj, alltoall, gran-ltf:<g>")
+		samples    = flag.Int("samples", 50, "Monte-Carlo samples per cell (paper figures: 200)")
+		seed       = flag.Int64("seed", 1, "base random seed; trial t runs at a seed derived from it")
+		parallel   = flag.Int("parallel", 0, "sample-evaluation workers; 0 = GOMAXPROCS")
+		trials     = flag.Int("trials", 1, "repetitions of every cell at distinct derived seeds")
+		csvPath    = flag.String("csv", "sweep.csv", "CSV summary path; - for stdout, empty to disable")
+		jsonlPath  = flag.String("jsonl", "sweep.jsonl", "JSON-Lines records path; - for stdout, empty to disable")
+		quiet      = flag.Bool("quiet", false, "suppress per-cell progress on stderr")
+	)
+	flag.Parse()
+	cfg := sweepConfig{
+		samples: *samples, seed: *seed, parallel: *parallel, trials: *trials,
+		csvPath: *csvPath, jsonlPath: *jsonlPath, quiet: *quiet,
+	}
+	err := cfg.parseGrids(*nSpec, *streamSpec, *bwSpec, *bcostSpec, *fracSpec, *capSpec, *popSpec, *algSpec)
+	if err == nil {
+		err = runSweep(cfg, os.Stdout, os.Stderr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tisweep:", err)
+		os.Exit(1)
+	}
+}
+
+// parseGrids fills the grid axes from their flag values.
+func (c *sweepConfig) parseGrids(n, streams, bw, bcost, frac, capacity, popularity, alg string) error {
+	var err error
+	if c.ns, err = parseInts("n", n); err != nil {
+		return err
+	}
+	if c.streams, err = parseInts("streams", streams); err != nil {
+		return err
+	}
+	if c.bandwidths, err = parseInts("bandwidth", bw); err != nil {
+		return err
+	}
+	if c.bcosts, err = parseFloats("bcost", bcost); err != nil {
+		return err
+	}
+	if c.fracs, err = parseFloats("frac", frac); err != nil {
+		return err
+	}
+	if c.capacities, err = parseCapacities(capacity); err != nil {
+		return err
+	}
+	if c.popularities, err = parsePopularities(popularity); err != nil {
+		return err
+	}
+	c.algs, err = parseAlgorithms(alg)
+	return err
+}
+
+// runSweep executes the grid, streaming records after every cell so long
+// sweeps can be tailed and survive interruption with partial output.
+func runSweep(cfg sweepConfig, stdout, stderr io.Writer) error {
+	if cfg.samples < 1 {
+		return fmt.Errorf("samples %d < 1", cfg.samples)
+	}
+	if cfg.trials < 1 {
+		return fmt.Errorf("trials %d < 1", cfg.trials)
+	}
+	// Unlike -streams/-bandwidth, these knobs have no 0-means-default
+	// reading: a 0 would silently run at the calibrated value while the
+	// output rows claim 0, corrupting the sweep data.
+	for _, b := range cfg.bcosts {
+		if b <= 0 {
+			return fmt.Errorf("-bcost: %v not positive", b)
+		}
+	}
+	for _, f := range cfg.fracs {
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("-frac: %v outside (0,1]", f)
+		}
+	}
+	// Resolve the effective worker count so records describe the run
+	// that actually happened rather than echoing the 0 placeholder.
+	parallel := cfg.parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	csvW, csvClose, err := openSink(cfg.csvPath, stdout)
+	if err != nil {
+		return err
+	}
+	defer csvClose()
+	jsonlW, jsonlClose, err := openSink(cfg.jsonlPath, stdout)
+	if err != nil {
+		return err
+	}
+	defer jsonlClose()
+
+	var csvEnc *csv.Writer
+	if csvW != nil {
+		csvEnc = csv.NewWriter(csvW)
+		if err := csvEnc.Write(csvHeader); err != nil {
+			return err
+		}
+	}
+	var jsonEnc *json.Encoder
+	if jsonlW != nil {
+		jsonEnc = json.NewEncoder(jsonlW)
+	}
+
+	// One runner per trial: trials repeat the whole grid at distinct
+	// derived seeds, so repetition variance is across-seeds, not
+	// across-samples.
+	runners := make([]*experiments.Runner, cfg.trials)
+	seeds := make([]int64, cfg.trials)
+	for t := 0; t < cfg.trials; t++ {
+		seeds[t] = cfg.seed + int64(t)*104_729
+		r, err := experiments.NewRunner(experiments.Config{
+			Samples: cfg.samples, Seed: seeds[t], Parallelism: parallel,
+		})
+		if err != nil {
+			return err
+		}
+		runners[t] = r
+	}
+
+	total := cfg.cells()
+	if !cfg.quiet {
+		fmt.Fprintf(stderr, "tisweep: %d cells x %d trials, %d samples/cell, parallel=%d\n",
+			total, cfg.trials, cfg.samples, parallel)
+	}
+	start := time.Now()
+	cell := 0
+	for _, n := range cfg.ns {
+		for _, streams := range cfg.streams {
+			for _, bw := range cfg.bandwidths {
+				for _, bcost := range cfg.bcosts {
+					for _, frac := range cfg.fracs {
+						for _, capk := range cfg.capacities {
+							for _, popk := range cfg.popularities {
+								for _, alg := range cfg.algs {
+									pt := experiments.Point{
+										N: n, Capacity: capk, Popularity: popk,
+										SubscribeFraction: frac, StreamsPerSite: streams,
+										Bandwidth: bw, BcostMultiplier: bcost,
+									}
+									for t := 0; t < cfg.trials; t++ {
+										cellStart := time.Now()
+										res, err := runners[t].RunPoint(pt, alg)
+										if err != nil {
+											return fmt.Errorf("cell %d (n=%d alg=%s trial=%d): %w", cell, n, alg.Name(), t, err)
+										}
+										rec := record{
+											Cell: cell, Trial: t, N: n,
+											Streams: streams, Bandwidth: bw,
+											Bcost: bcost, Frac: frac,
+											Capacity: capk.String(), Popularity: popk.String(),
+											Algorithm: alg.Name(),
+											Samples:   cfg.samples, Seed: seeds[t], Parallelism: parallel,
+											Rejection:         res.Rejection,
+											WeightedRejection: res.WeightedNorm,
+											UtilMean:          res.Utilization.MeanOut,
+											UtilStdDev:        res.Utilization.StdDevOut,
+											RelayFraction:     res.Utilization.RelayFraction,
+											ElapsedMs:         float64(time.Since(cellStart).Microseconds()) / 1e3,
+										}
+										if csvEnc != nil {
+											if err := csvEnc.Write(rec.csvRow()); err != nil {
+												return err
+											}
+											csvEnc.Flush()
+											if err := csvEnc.Error(); err != nil {
+												return err
+											}
+										}
+										if jsonEnc != nil {
+											if err := jsonEnc.Encode(rec); err != nil {
+												return err
+											}
+										}
+										if !cfg.quiet {
+											fmt.Fprintf(stderr, "[%d/%d] n=%d streams=%d bw=%d bcost=%g frac=%g %s/%s %s trial=%d rejection=%.4f (%.0fms)\n",
+												cell+1, total, n, streams, bw, bcost, frac,
+												capk, popk, alg.Name(), t, rec.Rejection, rec.ElapsedMs)
+										}
+									}
+									cell++
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if !cfg.quiet {
+		fmt.Fprintf(stderr, "tisweep: done, %d records in %.1fs\n",
+			total*cfg.trials, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// openSink resolves an output path: empty disables the sink, "-" targets
+// stdout, anything else creates the file.
+func openSink(path string, stdout io.Writer) (io.Writer, func() error, error) {
+	switch path {
+	case "":
+		return nil, func() error { return nil }, nil
+	case "-":
+		return stdout, func() error { return nil }, nil
+	default:
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, f.Close, nil
+	}
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testConfig builds an 8-cell grid (2 n × 2 bcost × 2 algorithms) with a
+// small sample count, writing into dir.
+func testConfig(t *testing.T, dir string, trials int) sweepConfig {
+	t.Helper()
+	cfg := sweepConfig{
+		samples: 4, seed: 11, parallel: 2, trials: trials,
+		csvPath:   filepath.Join(dir, "sweep.csv"),
+		jsonlPath: filepath.Join(dir, "sweep.jsonl"),
+		quiet:     true,
+	}
+	if err := cfg.parseGrids("3,5", "0", "0", "2.5,3.0", "0.12", "uniform", "random", "ltf,rj"); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestRunSweepEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	const trials = 2
+	cfg := testConfig(t, dir, trials)
+	if cfg.cells() != 8 {
+		t.Fatalf("grid has %d cells, want 8", cfg.cells())
+	}
+	var stderr bytes.Buffer
+	if err := runSweep(cfg, os.Stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+
+	// CSV: header + one row per cell × trial, every row parseable and
+	// every rejection in [0,1].
+	csvBytes, err := os.ReadFile(cfg.csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(bytes.NewReader(csvBytes)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + 8*trials; len(rows) != want {
+		t.Fatalf("csv has %d rows, want %d", len(rows), want)
+	}
+	if strings.Join(rows[0], ",") != strings.Join(csvHeader, ",") {
+		t.Errorf("csv header = %v", rows[0])
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(csvHeader) {
+			t.Fatalf("row %d has %d columns, want %d", i, len(row), len(csvHeader))
+		}
+	}
+
+	// JSONL: one valid record per cell × trial, fields within range, cells
+	// numbered 0..7 with both trials present.
+	f, err := os.Open(cfg.jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	seen := make(map[[2]int]bool)
+	scanner := bufio.NewScanner(f)
+	var count int
+	for scanner.Scan() {
+		var rec record
+		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v", count, err)
+		}
+		count++
+		if rec.Rejection < 0 || rec.Rejection > 1 {
+			t.Errorf("cell %d trial %d: rejection %v outside [0,1]", rec.Cell, rec.Trial, rec.Rejection)
+		}
+		if rec.Cell < 0 || rec.Cell > 7 || rec.Trial < 0 || rec.Trial >= trials {
+			t.Errorf("unexpected cell/trial %d/%d", rec.Cell, rec.Trial)
+		}
+		if rec.Samples != 4 {
+			t.Errorf("cell %d: samples = %d, want 4", rec.Cell, rec.Samples)
+		}
+		if seen[[2]int{rec.Cell, rec.Trial}] {
+			t.Errorf("duplicate record for cell %d trial %d", rec.Cell, rec.Trial)
+		}
+		seen[[2]int{rec.Cell, rec.Trial}] = true
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 8*trials {
+		t.Errorf("jsonl has %d records, want %d", count, 8*trials)
+	}
+	// Distinct trials must run at distinct derived seeds.
+	var rec0, rec1 record
+	if err := readFirstTwoTrialSeeds(cfg.jsonlPath, &rec0, &rec1); err != nil {
+		t.Fatal(err)
+	}
+	if rec0.Seed == rec1.Seed {
+		t.Errorf("trial 0 and 1 share seed %d", rec0.Seed)
+	}
+}
+
+// readFirstTwoTrialSeeds scans the JSONL for a trial-0 and a trial-1
+// record of cell 0.
+func readFirstTwoTrialSeeds(path string, rec0, rec1 *record) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		var rec record
+		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+			return err
+		}
+		if rec.Cell == 0 && rec.Trial == 0 {
+			*rec0 = rec
+		}
+		if rec.Cell == 0 && rec.Trial == 1 {
+			*rec1 = rec
+		}
+	}
+	return scanner.Err()
+}
+
+// TestRunSweepDeterministic runs the same sweep twice and expects
+// byte-identical CSV output modulo the elapsed_ms column.
+func TestRunSweepDeterministic(t *testing.T) {
+	stripElapsed := func(path string) []string {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			cols := strings.Split(line, ",")
+			out = append(out, strings.Join(cols[:len(cols)-1], ","))
+		}
+		return out
+	}
+	var runs [][]string
+	for i := 0; i < 2; i++ {
+		dir := t.TempDir()
+		cfg := testConfig(t, dir, 1)
+		cfg.parallel = 1 + i*7 // serial first, 8 workers second
+		var stderr bytes.Buffer
+		if err := runSweep(cfg, os.Stdout, &stderr); err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, stripElapsed(cfg.csvPath))
+	}
+	if len(runs[0]) != len(runs[1]) {
+		t.Fatalf("row counts differ: %d vs %d", len(runs[0]), len(runs[1]))
+	}
+	// The parallelism column differs by construction; everything else —
+	// the metric columns in particular — must match exactly.
+	norm := func(line string) string {
+		cols := strings.Split(line, ",")
+		cols[12] = "par"
+		return strings.Join(cols, ",")
+	}
+	for i := range runs[0] {
+		if norm(runs[0][i]) != norm(runs[1][i]) {
+			t.Errorf("row %d differs between parallel=1 and parallel=8:\n%s\n%s", i, runs[0][i], runs[1][i])
+		}
+	}
+}
+
+func TestRunSweepRejectsBadScalars(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t, dir, 1)
+	cfg.samples = 0
+	if err := runSweep(cfg, os.Stdout, &bytes.Buffer{}); err == nil {
+		t.Error("samples=0 accepted")
+	}
+	cfg = testConfig(t, dir, 1)
+	cfg.trials = 0
+	if err := runSweep(cfg, os.Stdout, &bytes.Buffer{}); err == nil {
+		t.Error("trials=0 accepted")
+	}
+	// 0 has no means-default reading for these axes; a sweep over them
+	// must refuse rather than mislabel calibrated-default runs.
+	cfg = testConfig(t, dir, 1)
+	cfg.bcosts = []float64{3.0, 0}
+	if err := runSweep(cfg, os.Stdout, &bytes.Buffer{}); err == nil {
+		t.Error("bcost=0 accepted")
+	}
+	cfg = testConfig(t, dir, 1)
+	cfg.fracs = []float64{0}
+	if err := runSweep(cfg, os.Stdout, &bytes.Buffer{}); err == nil {
+		t.Error("frac=0 accepted")
+	}
+	cfg = testConfig(t, dir, 1)
+	cfg.fracs = []float64{1.5}
+	if err := runSweep(cfg, os.Stdout, &bytes.Buffer{}); err == nil {
+		t.Error("frac=1.5 accepted")
+	}
+}

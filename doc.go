@@ -14,6 +14,15 @@
 // (internal/sim), and the experiment harness regenerating every figure of
 // the paper's evaluation (internal/experiments, cmd/tisim).
 //
+// Evaluation runs on a parallel experiment engine
+// (internal/experiments/engine.go): every Monte-Carlo sample is a pure
+// function of the seed and sample index, fanned across a worker pool and
+// reduced in deterministic order, so results are bit-identical at any
+// parallelism. cmd/tisweep sweeps that engine over parameter grids
+// (sites, streams per site, bandwidth budget, latency bound, algorithms),
+// streaming per-cell records to CSV and JSON-Lines.
+//
 // The root package carries the repository-level benchmarks: one per paper
-// table/figure (bench_test.go).
+// table/figure (bench_test.go), including the serial-vs-parallel engine
+// pair (BenchmarkFig8aSerial / BenchmarkFig8aParallel).
 package tele3d

@@ -1,0 +1,3 @@
+module github.com/tele3d/tele3d
+
+go 1.22

@@ -1,0 +1,223 @@
+package experiments
+
+// engine.go is the parallel experiment engine: a pure per-sample
+// evaluation function (runSample) fanned out over a bounded worker pool
+// (forEachSample), reduced in sample-index order so the output of a run
+// is bit-identical at every Parallelism setting — including the old
+// serial path, which is simply Parallelism 1.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tele3d/tele3d/internal/metrics"
+	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/topology"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+// Point describes one experiment cell: the workload and problem knobs
+// evaluated over the Config.Samples batch. The zero value of every field
+// falls back to the paper's calibrated setup, so figure code only sets
+// the knobs its panel varies.
+type Point struct {
+	// N is the number of sites. Required.
+	N int
+	// Capacity selects the node resource distribution. Required.
+	Capacity workload.CapacityKind
+	// Popularity selects the subscription distribution. Required.
+	Popularity workload.PopularityKind
+	// ZipfExponent is the Zipf s parameter; 0 means 1.0.
+	ZipfExponent float64
+	// SubscribeFraction overrides the run-level calibrated fraction; 0
+	// means Config.SubscribeFraction.
+	SubscribeFraction float64
+	// StreamsPerSite overrides the per-site camera count; 0 keeps the
+	// capacity kind's default.
+	StreamsPerSite int
+	// Bandwidth overrides the per-site in/out budget in stream units; 0
+	// keeps the capacity kind's default.
+	Bandwidth int
+	// BcostMultiplier overrides the latency-bound multiplier; 0 means
+	// Config.BcostMultiplier.
+	BcostMultiplier float64
+	// CoverageRate is the coverage-pass probability; 0 means the
+	// experiments calibration of 1.0 (every stream must be sent).
+	CoverageRate float64
+	// Reservation and JoinPolicy override the problem-level knobs; the
+	// zero values are the paper defaults (rank-only, max-rfc).
+	Reservation overlay.ReservationMode
+	JoinPolicy  overlay.JoinPolicy
+}
+
+func (pt Point) withDefaults(cfg Config) Point {
+	if pt.SubscribeFraction == 0 {
+		pt.SubscribeFraction = cfg.SubscribeFraction
+	}
+	if pt.BcostMultiplier == 0 {
+		pt.BcostMultiplier = cfg.BcostMultiplier
+	}
+	if pt.CoverageRate == 0 {
+		pt.CoverageRate = 1.0
+	}
+	return pt
+}
+
+// PointResult holds the sample-averaged metrics of one cell.
+type PointResult struct {
+	// Rejection is the mean normalized rejection ratio (Equation 1).
+	Rejection float64
+	// WeightedRaw is the mean literal Equation 3 value.
+	WeightedRaw float64
+	// WeightedNorm is the mean normalized Equation 3 value.
+	WeightedNorm float64
+	// Utilization is the mean out-degree utilization (Figure 10).
+	Utilization metrics.Utilization
+}
+
+// sampleObs is the observation one runSample call contributes.
+type sampleObs struct {
+	rejection    float64
+	weightedRaw  float64
+	weightedNorm float64
+	util         metrics.Utilization
+}
+
+// runSample evaluates one Monte-Carlo sample of a cell. It is pure up to
+// its deterministic per-sample RNGs — both derived from Config.Seed and
+// the sample index exactly as the historical serial loop derived them —
+// so any assignment of samples to workers reproduces the serial results.
+func (r *Runner) runSample(pt Point, alg overlay.Algorithm, s int) (sampleObs, error) {
+	var obs sampleObs
+	// One deterministic sub-seed per sample; the same instance is
+	// presented to every algorithm (paired comparison, as in the paper's
+	// averaging over 200 fixed samples).
+	rng := rand.New(rand.NewSource(r.cfg.Seed + int64(s)*1_000_003 + int64(pt.N)*7919))
+	sites, err := topology.SelectSites(r.backbone, pt.N, rng)
+	if err != nil {
+		return obs, err
+	}
+	w, err := workload.Generate(workload.Config{
+		N:                 pt.N,
+		Capacity:          pt.Capacity,
+		Popularity:        pt.Popularity,
+		Mode:              workload.ModeCoverage,
+		CoverageRate:      pt.CoverageRate,
+		ZipfExponent:      pt.ZipfExponent,
+		SubscribeFraction: pt.SubscribeFraction,
+		StreamsPerSite:    pt.StreamsPerSite,
+		Bandwidth:         pt.Bandwidth,
+	}, rng)
+	if err != nil {
+		return obs, err
+	}
+	p, err := overlay.FromWorkload(w, sites.Cost, sites.MedianCost()*pt.BcostMultiplier)
+	if err != nil {
+		return obs, err
+	}
+	p.Reservation = pt.Reservation
+	p.JoinPolicy = pt.JoinPolicy
+	f, err := alg.Construct(p, rand.New(rand.NewSource(r.cfg.Seed+int64(s))))
+	if err != nil {
+		return obs, err
+	}
+	if err := f.Validate(); err != nil {
+		return obs, fmt.Errorf("experiments: %s produced invalid forest: %w", alg.Name(), err)
+	}
+	obs.rejection = metrics.Rejection(f)
+	obs.weightedRaw = metrics.WeightedRejectionRaw(f)
+	obs.weightedNorm = metrics.WeightedRejection(f)
+	obs.util = metrics.MeasureUtilization(f)
+	return obs, nil
+}
+
+// RunPoint evaluates a cell over the full sample batch, fanning samples
+// across Config.Parallelism workers and reducing in sample-index order.
+func (r *Runner) RunPoint(pt Point, alg overlay.Algorithm) (PointResult, error) {
+	pt = pt.withDefaults(r.cfg)
+	obs := make([]sampleObs, r.cfg.Samples)
+	err := forEachSample(r.cfg.Samples, r.cfg.Parallelism, func(s int) error {
+		o, err := r.runSample(pt, alg, s)
+		if err != nil {
+			return err
+		}
+		obs[s] = o
+		return nil
+	})
+	if err != nil {
+		return PointResult{}, err
+	}
+	// Deterministic reduction: fold samples in index order, whatever
+	// order the workers finished in.
+	var rej, wraw, wnorm metrics.Accumulator
+	var util metrics.UtilizationAccumulator
+	for _, o := range obs {
+		rej.Observe(o.rejection)
+		wraw.Observe(o.weightedRaw)
+		wnorm.Observe(o.weightedNorm)
+		util.Observe(o.util)
+	}
+	return PointResult{
+		Rejection:    rej.Mean(),
+		WeightedRaw:  wraw.Mean(),
+		WeightedNorm: wnorm.Mean(),
+		Utilization:  util.Mean(),
+	}, nil
+}
+
+// forEachSample invokes fn for every sample index in [0, samples) from a
+// pool of up to parallelism goroutines. On failure the lowest-index error
+// observed is returned and remaining samples are abandoned as soon as
+// workers notice.
+func forEachSample(samples, parallelism int, fn func(s int) error) error {
+	if samples <= 0 {
+		return nil
+	}
+	if parallelism > samples {
+		parallelism = samples
+	}
+	if parallelism <= 1 {
+		for s := 0; s < samples; s++ {
+			if err := fn(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		mu      sync.Mutex
+		errIdx  int
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	record := func(s int, err error) {
+		mu.Lock()
+		if firstEr == nil || s < errIdx {
+			errIdx, firstEr = s, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= samples || failed.Load() {
+					return
+				}
+				if err := fn(s); err != nil {
+					record(s, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/tele3d/tele3d/internal/metrics"
+	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+// TestEngineDeterministicAcrossParallelism is the engine's core contract:
+// the same seed yields bit-identical metrics.Series whether samples run
+// serially or fanned across 8 workers.
+func TestEngineDeterministicAcrossParallelism(t *testing.T) {
+	var got [][]metrics.Series
+	for _, par := range []int{1, 8} {
+		r, err := NewRunner(Config{Samples: 6, Seed: 42, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		series, err := r.Fig8(Fig8d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, series)
+	}
+	if !reflect.DeepEqual(got[0], got[1]) {
+		t.Errorf("Fig8d differs between Parallelism 1 and 8:\n%+v\nvs\n%+v", got[0], got[1])
+	}
+}
+
+func TestRunPointDeterministicAcrossParallelism(t *testing.T) {
+	pt := Point{N: 6, Capacity: workload.CapacityHeterogeneous, Popularity: workload.PopularityZipf}
+	var got []PointResult
+	for _, par := range []int{1, 3, 8} {
+		r, err := NewRunner(Config{Samples: 10, Seed: 7, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunPoint(pt, overlay.RJ{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, res)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Errorf("PointResult differs at parallelism index %d: %+v vs %+v", i, got[i], got[0])
+		}
+	}
+}
+
+func TestRunPointKnobs(t *testing.T) {
+	r, err := NewRunner(Config{Samples: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Point{N: 6, Capacity: workload.CapacityUniform, Popularity: workload.PopularityRandom}
+	baseRes, err := r.RunPoint(base, overlay.RJ{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starving each site's bandwidth budget must raise rejection; a
+	// generous budget must lower it.
+	starved, generous := base, base
+	starved.Bandwidth = 8
+	generous.Bandwidth = 60
+	starvedRes, err := r.RunPoint(starved, overlay.RJ{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	generousRes, err := r.RunPoint(generous, overlay.RJ{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starvedRes.Rejection <= baseRes.Rejection {
+		t.Errorf("bandwidth 8 rejection %.3f not above default %.3f", starvedRes.Rejection, baseRes.Rejection)
+	}
+	if generousRes.Rejection >= baseRes.Rejection {
+		t.Errorf("bandwidth 60 rejection %.3f not below default %.3f", generousRes.Rejection, baseRes.Rejection)
+	}
+	// Fewer streams per site shrinks the demand; rejection must not rise.
+	fewer := base
+	fewer.StreamsPerSite = 5
+	fewerRes, err := r.RunPoint(fewer, overlay.RJ{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fewerRes.Rejection > baseRes.Rejection {
+		t.Errorf("5 streams/site rejection %.3f above default %.3f", fewerRes.Rejection, baseRes.Rejection)
+	}
+}
+
+func TestRunPointInvalidPoint(t *testing.T) {
+	r, err := NewRunner(Config{Samples: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunPoint(Point{N: 1, Capacity: workload.CapacityUniform,
+		Popularity: workload.PopularityRandom}, overlay.RJ{}); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := r.RunPoint(Point{N: 6}, overlay.RJ{}); err == nil {
+		t.Error("zero capacity/popularity kinds accepted")
+	}
+}
+
+func TestForEachSampleCoversAllIndices(t *testing.T) {
+	for _, par := range []int{1, 2, 7, 64} {
+		const samples = 50
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		err := forEachSample(samples, par, func(s int) error {
+			mu.Lock()
+			seen[s]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(seen) != samples {
+			t.Errorf("parallelism %d: covered %d of %d samples", par, len(seen), samples)
+		}
+		for s, c := range seen {
+			if c != 1 {
+				t.Errorf("parallelism %d: sample %d ran %d times", par, s, c)
+			}
+		}
+	}
+}
+
+func TestForEachSampleError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, par := range []int{1, 4} {
+		err := forEachSample(20, par, func(s int) error {
+			if s == 13 {
+				return fmt.Errorf("sample %d: %w", s, boom)
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("parallelism %d: err = %v, want boom", par, err)
+		}
+	}
+	if err := forEachSample(0, 4, func(int) error { return boom }); err != nil {
+		t.Errorf("zero samples: err = %v", err)
+	}
+}

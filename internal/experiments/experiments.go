@@ -9,11 +9,18 @@
 // "Calibration"): coverage-mode workloads with SubscribeFraction 0.12 on
 // the geographic backbone topology, latency bound 3× the median pairwise
 // cost, and 200 samples per point.
+//
+// Evaluation is driven by a parallel engine (engine.go): each Monte-Carlo
+// sample is a pure function of (Config.Seed, sample index), fanned out
+// across Config.Parallelism workers and reduced in sample-index order, so
+// results are bit-identical at every worker count. RunPoint exposes the
+// engine directly for grid sweeps (cmd/tisweep).
 package experiments
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"github.com/tele3d/tele3d/internal/geo"
 	"github.com/tele3d/tele3d/internal/metrics"
@@ -35,6 +42,10 @@ type Config struct {
 	// BcostMultiplier scales the median pairwise cost into the latency
 	// bound; 0 means the calibrated 3.0.
 	BcostMultiplier float64
+	// Parallelism is the number of worker goroutines evaluating samples.
+	// 0 means runtime.GOMAXPROCS(0); 1 is the serial path. Results are
+	// bit-identical at every setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -49,6 +60,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BcostMultiplier == 0 {
 		c.BcostMultiplier = 3.0
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -66,69 +80,6 @@ func NewRunner(cfg Config) (*Runner, error) {
 		return nil, err
 	}
 	return &Runner{cfg: cfg.withDefaults(), backbone: g}, nil
-}
-
-// point is one (N, workload kind) cell: it evaluates callbacks over the
-// sample batch.
-type sampleStats struct {
-	rejection    float64
-	weightedRaw  float64
-	weightedNorm float64
-	util         metrics.Utilization
-}
-
-// runPoint constructs forests with alg over cfg.Samples instances at the
-// given session size and workload kinds, returning per-sample means.
-func (r *Runner) runPoint(n int, capk workload.CapacityKind, popk workload.PopularityKind, zipfExp float64, frac float64, alg overlay.Algorithm) (sampleStats, error) {
-	var agg sampleStats
-	for s := 0; s < r.cfg.Samples; s++ {
-		// One deterministic sub-seed per sample; the same instance is
-		// presented to every algorithm (paired comparison, as in the
-		// paper's averaging over 200 fixed samples).
-		rng := rand.New(rand.NewSource(r.cfg.Seed + int64(s)*1_000_003 + int64(n)*7919))
-		sites, err := topology.SelectSites(r.backbone, n, rng)
-		if err != nil {
-			return agg, err
-		}
-		w, err := workload.Generate(workload.Config{
-			N:                 n,
-			Capacity:          capk,
-			Popularity:        popk,
-			Mode:              workload.ModeCoverage,
-			CoverageRate:      1.0,
-			ZipfExponent:      zipfExp,
-			SubscribeFraction: frac,
-		}, rng)
-		if err != nil {
-			return agg, err
-		}
-		p, err := overlay.FromWorkload(w, sites.Cost, sites.MedianCost()*r.cfg.BcostMultiplier)
-		if err != nil {
-			return agg, err
-		}
-		f, err := alg.Construct(p, rand.New(rand.NewSource(r.cfg.Seed+int64(s))))
-		if err != nil {
-			return agg, err
-		}
-		if err := f.Validate(); err != nil {
-			return agg, fmt.Errorf("experiments: %s produced invalid forest: %w", alg.Name(), err)
-		}
-		agg.rejection += metrics.Rejection(f)
-		agg.weightedRaw += metrics.WeightedRejectionRaw(f)
-		agg.weightedNorm += metrics.WeightedRejection(f)
-		u := metrics.MeasureUtilization(f)
-		agg.util.MeanOut += u.MeanOut
-		agg.util.StdDevOut += u.StdDevOut
-		agg.util.RelayFraction += u.RelayFraction
-	}
-	k := float64(r.cfg.Samples)
-	agg.rejection /= k
-	agg.weightedRaw /= k
-	agg.weightedNorm /= k
-	agg.util.MeanOut /= k
-	agg.util.StdDevOut /= k
-	agg.util.RelayFraction /= k
-	return agg, nil
 }
 
 // Fig8Variant names one of the four subfigures of Figure 8.
@@ -168,11 +119,11 @@ func (r *Runner) Fig8(v Fig8Variant) ([]metrics.Series, error) {
 	for _, alg := range overlay.Algorithms() {
 		s := metrics.Series{Label: alg.Name()}
 		for n := 3; n <= 10; n++ {
-			st, err := r.runPoint(n, capk, popk, 1.0, r.cfg.SubscribeFraction, alg)
+			res, err := r.RunPoint(Point{N: n, Capacity: capk, Popularity: popk}, alg)
 			if err != nil {
 				return nil, err
 			}
-			s.Add(float64(n), st.rejection)
+			s.Add(float64(n), res.Rejection)
 		}
 		out = append(out, s)
 	}
@@ -185,12 +136,12 @@ func (r *Runner) Fig8(v Fig8Variant) ([]metrics.Series, error) {
 func (r *Runner) Fig9() (metrics.Series, error) {
 	s := metrics.Series{Label: "Gran-LTF"}
 	for _, g := range []int{1, 2, 5, 10, 20, 40, 70, 100, 150, 200} {
-		st, err := r.runPoint(10, workload.CapacityUniform, workload.PopularityRandom, 1.0,
-			r.cfg.SubscribeFraction, overlay.GranLTF{G: g})
+		res, err := r.RunPoint(Point{N: 10, Capacity: workload.CapacityUniform,
+			Popularity: workload.PopularityRandom}, overlay.GranLTF{G: g})
 		if err != nil {
 			return s, err
 		}
-		s.Add(float64(g), st.rejection)
+		s.Add(float64(g), res.Rejection)
 	}
 	return s, nil
 }
@@ -205,14 +156,14 @@ func (r *Runner) Fig10() ([]metrics.Series, error) {
 	relay := metrics.Series{Label: "average fraction used for relaying"}
 	sd := metrics.Series{Label: "stddev of out-degree utilization"}
 	for n := 4; n <= 20; n += 2 {
-		st, err := r.runPoint(n, workload.CapacityUniform, workload.PopularityRandom, 1.0,
-			r.cfg.SubscribeFraction, overlay.RJ{})
+		res, err := r.RunPoint(Point{N: n, Capacity: workload.CapacityUniform,
+			Popularity: workload.PopularityRandom}, overlay.RJ{})
 		if err != nil {
 			return nil, err
 		}
-		util.Add(float64(n), st.util.MeanOut)
-		relay.Add(float64(n), st.util.RelayFraction)
-		sd.Add(float64(n), st.util.StdDevOut)
+		util.Add(float64(n), res.Utilization.MeanOut)
+		relay.Add(float64(n), res.Utilization.RelayFraction)
+		sd.Add(float64(n), res.Utilization.StdDevOut)
 	}
 	return []metrics.Series{util, relay, sd}, nil
 }
@@ -230,11 +181,12 @@ func (r *Runner) Fig11() ([]metrics.Series, error) {
 	for _, alg := range []overlay.Algorithm{overlay.RJ{}, overlay.CORJ{}} {
 		s := metrics.Series{Label: alg.Name()}
 		for n := 3; n <= 10; n++ {
-			st, err := r.runPoint(n, workload.CapacityHeterogeneous, workload.PopularityZipfSites, 1.6, frac, alg)
+			res, err := r.RunPoint(Point{N: n, Capacity: workload.CapacityHeterogeneous,
+				Popularity: workload.PopularityZipfSites, ZipfExponent: 1.6, SubscribeFraction: frac}, alg)
 			if err != nil {
 				return nil, err
 			}
-			s.Add(float64(n), st.weightedRaw)
+			s.Add(float64(n), res.WeightedRaw)
 		}
 		out = append(out, s)
 	}
@@ -252,11 +204,13 @@ func (r *Runner) AblationReservation() ([]metrics.Series, error) {
 	for _, alg := range []overlay.Algorithm{overlay.LTF{}, overlay.RJ{}} {
 		s := metrics.Series{Label: alg.Name()}
 		for mi, mode := range modes {
-			st, err := r.runPointWithProblem(10, mode, overlay.PolicyMaxRFC, alg)
+			res, err := r.RunPoint(Point{N: 10, Capacity: workload.CapacityUniform,
+				Popularity: workload.PopularityRandom, Reservation: mode,
+				JoinPolicy: overlay.PolicyMaxRFC}, alg)
 			if err != nil {
 				return nil, err
 			}
-			s.Add(float64(mi), st.rejection)
+			s.Add(float64(mi), res.Rejection)
 		}
 		out = append(out, s)
 	}
@@ -269,48 +223,16 @@ func (r *Runner) AblationJoinPolicy() ([]metrics.Series, error) {
 	var out []metrics.Series
 	for _, pol := range []overlay.JoinPolicy{overlay.PolicyMaxRFC, overlay.PolicyRelayFirst} {
 		s := metrics.Series{Label: pol.String()}
-		st, err := r.runPointWithProblem(10, overlay.ReservationRankOnly, pol, overlay.RJ{})
+		res, err := r.RunPoint(Point{N: 10, Capacity: workload.CapacityUniform,
+			Popularity: workload.PopularityRandom, Reservation: overlay.ReservationRankOnly,
+			JoinPolicy: pol}, overlay.RJ{})
 		if err != nil {
 			return nil, err
 		}
-		s.Add(0, st.rejection)
+		s.Add(0, res.Rejection)
 		out = append(out, s)
 	}
 	return out, nil
-}
-
-// runPointWithProblem mirrors runPoint but lets the caller override the
-// problem-level knobs (reservation mode, join policy).
-func (r *Runner) runPointWithProblem(n int, mode overlay.ReservationMode, pol overlay.JoinPolicy, alg overlay.Algorithm) (sampleStats, error) {
-	var agg sampleStats
-	for s := 0; s < r.cfg.Samples; s++ {
-		rng := rand.New(rand.NewSource(r.cfg.Seed + int64(s)*1_000_003 + int64(n)*7919))
-		sites, err := topology.SelectSites(r.backbone, n, rng)
-		if err != nil {
-			return agg, err
-		}
-		w, err := workload.Generate(workload.Config{
-			N: n, Capacity: workload.CapacityUniform, Popularity: workload.PopularityRandom,
-			Mode: workload.ModeCoverage, CoverageRate: 1.0,
-			SubscribeFraction: r.cfg.SubscribeFraction,
-		}, rng)
-		if err != nil {
-			return agg, err
-		}
-		p, err := overlay.FromWorkload(w, sites.Cost, sites.MedianCost()*r.cfg.BcostMultiplier)
-		if err != nil {
-			return agg, err
-		}
-		p.Reservation = mode
-		p.JoinPolicy = pol
-		f, err := alg.Construct(p, rand.New(rand.NewSource(r.cfg.Seed+int64(s))))
-		if err != nil {
-			return agg, err
-		}
-		agg.rejection += metrics.Rejection(f)
-	}
-	agg.rejection /= float64(r.cfg.Samples)
-	return agg, nil
 }
 
 // AblationDynamic measures the cost of incremental reconfiguration (the
@@ -320,66 +242,84 @@ func (r *Runner) runPointWithProblem(n int, mode overlay.ReservationMode, pol ov
 // ratio is compared against a full static rebuild of the final workload.
 // The returned series hold one point each: incremental and rebuilt.
 func (r *Runner) AblationDynamic() ([]metrics.Series, error) {
-	const n = 8
-	var incSum, rebuildSum float64
-	for s := 0; s < r.cfg.Samples; s++ {
-		rng := rand.New(rand.NewSource(r.cfg.Seed + int64(s)*1_000_003))
-		sites, err := topology.SelectSites(r.backbone, n, rng)
+	type dynObs struct{ inc, rebuild float64 }
+	obs := make([]dynObs, r.cfg.Samples)
+	err := forEachSample(r.cfg.Samples, r.cfg.Parallelism, func(s int) error {
+		inc, rebuild, err := r.dynamicSample(s)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		w, err := workload.Generate(workload.Config{
-			N: n, Capacity: workload.CapacityUniform, Popularity: workload.PopularityRandom,
-			Mode: workload.ModeCoverage, CoverageRate: 1.0,
-			SubscribeFraction: r.cfg.SubscribeFraction,
-		}, rng)
-		if err != nil {
-			return nil, err
-		}
-		p, err := overlay.FromWorkload(w, sites.Cost, sites.MedianCost()*r.cfg.BcostMultiplier)
-		if err != nil {
-			return nil, err
-		}
-		f, err := overlay.RJ{}.Construct(p, rand.New(rand.NewSource(r.cfg.Seed+int64(s))))
-		if err != nil {
-			return nil, err
-		}
-		// Churn 30% of the requests: drop one, subscribe to a different
-		// stream of the same site.
-		churn := len(p.Requests) * 3 / 10
-		for c := 0; c < churn && len(f.Problem().Requests) > 0; c++ {
-			reqs := f.Problem().Requests
-			old := reqs[rng.Intn(len(reqs))]
-			if err := f.Unsubscribe(old); err != nil {
-				return nil, err
-			}
-			repl := overlay.Request{
-				Node:   old.Node,
-				Stream: stream.ID{Site: old.Stream.Site, Index: rng.Intn(w.Sites[old.Stream.Site].NumStreams)},
-			}
-			if _, err := f.Subscribe(repl); err != nil {
-				// Duplicate of an existing subscription: put the old one
-				// back so demand stays comparable.
-				if _, err := f.Subscribe(old); err != nil {
-					return nil, err
-				}
-			}
-		}
-		if err := f.Validate(); err != nil {
-			return nil, fmt.Errorf("experiments: churned forest invalid: %w", err)
-		}
-		incSum += metrics.Rejection(f)
-
-		// Full static rebuild of the post-churn workload.
-		rebuilt, err := overlay.RJ{}.Construct(f.Problem(), rand.New(rand.NewSource(r.cfg.Seed+int64(s)+500)))
-		if err != nil {
-			return nil, err
-		}
-		rebuildSum += metrics.Rejection(rebuilt)
+		obs[s] = dynObs{inc: inc, rebuild: rebuild}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	k := float64(r.cfg.Samples)
+	var incAcc, rebuildAcc metrics.Accumulator
+	for _, o := range obs {
+		incAcc.Observe(o.inc)
+		rebuildAcc.Observe(o.rebuild)
+	}
 	return []metrics.Series{
-		{Label: "incremental", X: []float64{0}, Y: []float64{incSum / k}},
-		{Label: "full rebuild", X: []float64{0}, Y: []float64{rebuildSum / k}},
+		{Label: "incremental", X: []float64{0}, Y: []float64{incAcc.Mean()}},
+		{Label: "full rebuild", X: []float64{0}, Y: []float64{rebuildAcc.Mean()}},
 	}, nil
+}
+
+// dynamicSample runs one churn-vs-rebuild sample of AblationDynamic.
+func (r *Runner) dynamicSample(s int) (inc, rebuild float64, err error) {
+	const n = 8
+	rng := rand.New(rand.NewSource(r.cfg.Seed + int64(s)*1_000_003))
+	sites, err := topology.SelectSites(r.backbone, n, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	w, err := workload.Generate(workload.Config{
+		N: n, Capacity: workload.CapacityUniform, Popularity: workload.PopularityRandom,
+		Mode: workload.ModeCoverage, CoverageRate: 1.0,
+		SubscribeFraction: r.cfg.SubscribeFraction,
+	}, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	p, err := overlay.FromWorkload(w, sites.Cost, sites.MedianCost()*r.cfg.BcostMultiplier)
+	if err != nil {
+		return 0, 0, err
+	}
+	f, err := overlay.RJ{}.Construct(p, rand.New(rand.NewSource(r.cfg.Seed+int64(s))))
+	if err != nil {
+		return 0, 0, err
+	}
+	// Churn 30% of the requests: drop one, subscribe to a different
+	// stream of the same site.
+	churn := len(p.Requests) * 3 / 10
+	for c := 0; c < churn && len(f.Problem().Requests) > 0; c++ {
+		reqs := f.Problem().Requests
+		old := reqs[rng.Intn(len(reqs))]
+		if err := f.Unsubscribe(old); err != nil {
+			return 0, 0, err
+		}
+		repl := overlay.Request{
+			Node:   old.Node,
+			Stream: stream.ID{Site: old.Stream.Site, Index: rng.Intn(w.Sites[old.Stream.Site].NumStreams)},
+		}
+		if _, err := f.Subscribe(repl); err != nil {
+			// Duplicate of an existing subscription: put the old one
+			// back so demand stays comparable.
+			if _, err := f.Subscribe(old); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return 0, 0, fmt.Errorf("experiments: churned forest invalid: %w", err)
+	}
+	inc = metrics.Rejection(f)
+
+	// Full static rebuild of the post-churn workload.
+	rebuilt, err := overlay.RJ{}.Construct(f.Problem(), rand.New(rand.NewSource(r.cfg.Seed+int64(s)+500)))
+	if err != nil {
+		return 0, 0, err
+	}
+	return inc, metrics.Rejection(rebuilt), nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -222,6 +223,12 @@ func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
 	if c.Samples != 200 || c.Seed != 1 || c.SubscribeFraction != 0.12 || c.BcostMultiplier != 3.0 {
 		t.Errorf("defaults = %+v", c)
+	}
+	if c.Parallelism != runtime.GOMAXPROCS(0) {
+		t.Errorf("default parallelism = %d, want GOMAXPROCS %d", c.Parallelism, runtime.GOMAXPROCS(0))
+	}
+	if c := (Config{Parallelism: 3}).withDefaults(); c.Parallelism != 3 {
+		t.Errorf("explicit parallelism overridden to %d", c.Parallelism)
 	}
 }
 

@@ -1,0 +1,66 @@
+package metrics
+
+import "testing"
+
+func TestAccumulatorObserveAndMean(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 {
+		t.Errorf("empty mean = %v, want 0", a.Mean())
+	}
+	for _, v := range []float64{1, 2, 3, 6} {
+		a.Observe(v)
+	}
+	if a.Count != 4 || a.Mean() != 3 {
+		t.Errorf("count=%d mean=%v, want 4 and 3", a.Count, a.Mean())
+	}
+}
+
+// TestAccumulatorMerge checks the mergeability contract: merging two
+// partial accumulators sums their sums and counts exactly. (Merging is
+// NOT bit-identical to a serial fold of the raw values — floating-point
+// addition is order-sensitive — which is why the engine reduces by
+// observing per-sample values in index order rather than merging partial
+// sums.)
+func TestAccumulatorMerge(t *testing.T) {
+	vals := []float64{0.1, 0.7, 0.2, 0.9, 0.3, 0.5}
+	var lo, hi Accumulator
+	for _, v := range vals[:3] {
+		lo.Observe(v)
+	}
+	for _, v := range vals[3:] {
+		hi.Observe(v)
+	}
+	merged := lo
+	merged.Merge(hi)
+	if want := (Accumulator{Sum: lo.Sum + hi.Sum, Count: 6}); merged != want {
+		t.Errorf("merged = %+v, want %+v", merged, want)
+	}
+	var serial Accumulator
+	for _, v := range vals {
+		serial.Observe(v)
+	}
+	if diff := merged.Mean() - serial.Mean(); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("merged mean %v far from serial mean %v", merged.Mean(), serial.Mean())
+	}
+}
+
+func TestUtilizationAccumulator(t *testing.T) {
+	var a UtilizationAccumulator
+	a.Observe(Utilization{MeanOut: 0.8, StdDevOut: 0.1, RelayFraction: 0.2})
+	a.Observe(Utilization{MeanOut: 0.6, StdDevOut: 0.3, RelayFraction: 0.4})
+	var b UtilizationAccumulator
+	b.Observe(Utilization{MeanOut: 1.0, StdDevOut: 0.2, RelayFraction: 0.0})
+	a.Merge(b)
+	got := a.Mean()
+	want := Utilization{MeanOut: 0.8, StdDevOut: 0.2, RelayFraction: 0.2}
+	const eps = 1e-12
+	if diff := got.MeanOut - want.MeanOut; diff > eps || diff < -eps {
+		t.Errorf("MeanOut = %v, want %v", got.MeanOut, want.MeanOut)
+	}
+	if diff := got.StdDevOut - want.StdDevOut; diff > eps || diff < -eps {
+		t.Errorf("StdDevOut = %v, want %v", got.StdDevOut, want.StdDevOut)
+	}
+	if diff := got.RelayFraction - want.RelayFraction; diff > eps || diff < -eps {
+		t.Errorf("RelayFraction = %v, want %v", got.RelayFraction, want.RelayFraction)
+	}
+}

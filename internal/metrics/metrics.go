@@ -161,6 +161,67 @@ func MeanStdDev(vals []float64) (mean, sd float64) {
 	return mean, math.Sqrt(ss / float64(len(vals)))
 }
 
+// Accumulator is a mergeable running sum for averaging per-sample
+// observations. Floating-point reduction is order-sensitive, so callers
+// that need bit-reproducible means must Observe (or Merge) in a fixed
+// order regardless of how the samples were computed — the experiment
+// engine evaluates samples concurrently but reduces them in sample-index
+// order.
+type Accumulator struct {
+	Sum   float64
+	Count int
+}
+
+// Observe adds one observation.
+func (a *Accumulator) Observe(v float64) {
+	a.Sum += v
+	a.Count++
+}
+
+// Merge folds another accumulator into this one.
+func (a *Accumulator) Merge(b Accumulator) {
+	a.Sum += b.Sum
+	a.Count += b.Count
+}
+
+// Mean returns the average observation, or 0 for an empty accumulator.
+func (a Accumulator) Mean() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// UtilizationAccumulator averages Utilization measurements component-wise.
+type UtilizationAccumulator struct {
+	MeanOut       Accumulator
+	StdDevOut     Accumulator
+	RelayFraction Accumulator
+}
+
+// Observe adds one utilization measurement.
+func (a *UtilizationAccumulator) Observe(u Utilization) {
+	a.MeanOut.Observe(u.MeanOut)
+	a.StdDevOut.Observe(u.StdDevOut)
+	a.RelayFraction.Observe(u.RelayFraction)
+}
+
+// Merge folds another accumulator into this one.
+func (a *UtilizationAccumulator) Merge(b UtilizationAccumulator) {
+	a.MeanOut.Merge(b.MeanOut)
+	a.StdDevOut.Merge(b.StdDevOut)
+	a.RelayFraction.Merge(b.RelayFraction)
+}
+
+// Mean returns the component-wise average utilization.
+func (a UtilizationAccumulator) Mean() Utilization {
+	return Utilization{
+		MeanOut:       a.MeanOut.Mean(),
+		StdDevOut:     a.StdDevOut.Mean(),
+		RelayFraction: a.RelayFraction.Mean(),
+	}
+}
+
 // Series is a labelled sequence of (x, y) points, the unit of figure
 // output.
 type Series struct {

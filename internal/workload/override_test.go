@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGenerateOverrides checks the StreamsPerSite/Bandwidth grid knobs:
+// they pin every site's resources.
+func TestGenerateOverrides(t *testing.T) {
+	cfg := Config{
+		N: 6, Capacity: CapacityHeterogeneous, Popularity: PopularityRandom,
+		Mode: ModeCoverage, CoverageRate: 1.0, SubscribeFraction: 0.12,
+		StreamsPerSite: 7, Bandwidth: 13,
+	}
+	w, err := Generate(cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range w.Sites {
+		if s.NumStreams != 7 {
+			t.Errorf("site %d: NumStreams = %d, want 7", i, s.NumStreams)
+		}
+		if s.In != 13 || s.Out != 13 {
+			t.Errorf("site %d: In/Out = %d/%d, want 13/13", i, s.In, s.Out)
+		}
+	}
+}
+
+// TestGenerateOverridesDoNotPerturbRNG: an override equal to the kind's
+// own default must reproduce the un-overridden sample exactly (the
+// override consumes no RNG draws of its own).
+func TestGenerateOverridesDoNotPerturbRNG(t *testing.T) {
+	base := Config{
+		N: 5, Capacity: CapacityUniform, Popularity: PopularityZipf,
+		Mode: ModeCoverage, CoverageRate: 1.0, SubscribeFraction: 0.15,
+	}
+	plain, err := Generate(base, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := base
+	over.StreamsPerSite = 20 // the uniform kind's own default
+	same, err := Generate(over, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Subs {
+		if len(plain.Subs[i]) != len(same.Subs[i]) {
+			t.Fatalf("site %d: %d subs without override, %d with no-op override",
+				i, len(plain.Subs[i]), len(same.Subs[i]))
+		}
+	}
+}
+
+func TestValidateRejectsNegativeOverrides(t *testing.T) {
+	base := Config{N: 4, Capacity: CapacityUniform, Popularity: PopularityRandom}
+	bad := base
+	bad.StreamsPerSite = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative StreamsPerSite accepted")
+	}
+	bad = base
+	bad.Bandwidth = -2
+	if err := bad.Validate(); err == nil {
+		t.Error("negative Bandwidth accepted")
+	}
+}

@@ -138,6 +138,20 @@ type Config struct {
 	// each site has to send is 20"); lower rates leave some streams
 	// demand-driven only. 0 means the calibrated default of 0.8.
 	CoverageRate float64
+
+	// StreamsPerSite overrides every site's camera count (uniform: 20;
+	// heterogeneous: U[10,30]). 0 keeps the capacity kind's default. The
+	// override is applied after the kind's random draws, so the capacity
+	// assignment itself is undisturbed — but the subscription passes
+	// consume RNG draws per stream, so a different stream count still
+	// changes every draw after site generation.
+	StreamsPerSite int
+
+	// Bandwidth overrides every site's in/out budget in stream units
+	// (uniform: 20−ε; heterogeneous: 30/20/10). 0 keeps the kind's
+	// default. Applied after the kind's random draws and consuming none
+	// itself, so the rest of the sample is unchanged.
+	Bandwidth int
 }
 
 func (c Config) withDefaults() Config {
@@ -169,6 +183,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("workload: subscribe fraction %v out of [0,1]", c.SubscribeFraction)
 	case c.CoverageRate < 0 || c.CoverageRate > 1:
 		return fmt.Errorf("workload: coverage rate %v out of [0,1]", c.CoverageRate)
+	case c.StreamsPerSite < 0:
+		return fmt.Errorf("workload: negative streams per site %d", c.StreamsPerSite)
+	case c.Bandwidth < 0:
+		return fmt.Errorf("workload: negative bandwidth %d", c.Bandwidth)
 	}
 	return nil
 }
@@ -404,6 +422,15 @@ func generateSites(cfg Config, rng *rand.Rand) []Site {
 		rng.Shuffle(len(caps), func(a, b int) { caps[a], caps[b] = caps[b], caps[a] })
 		for i := range sites {
 			sites[i] = Site{In: caps[i], Out: caps[i], NumStreams: 10 + rng.Intn(21)}
+		}
+	}
+	for i := range sites {
+		if cfg.StreamsPerSite > 0 {
+			sites[i].NumStreams = cfg.StreamsPerSite
+		}
+		if cfg.Bandwidth > 0 {
+			sites[i].In = cfg.Bandwidth
+			sites[i].Out = cfg.Bandwidth
 		}
 	}
 	return sites
