@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet test race bench bench-smoke sweep-smoke ci
+.PHONY: build fmt-check vet test race bench bench-smoke sweep-smoke fuzz-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -37,4 +37,17 @@ sweep-smoke:
 	@test "$$(wc -l < /tmp/tisweep-smoke.jsonl)" -eq 8 || { echo "bad JSONL record count"; exit 1; }
 	@echo "sweep-smoke OK"
 
-ci: build fmt-check vet race bench-smoke sweep-smoke
+# fuzz-smoke runs each native fuzz target briefly — enough for the
+# coverage-guided mutator to probe beyond the seed corpus without turning
+# CI into a fuzzing campaign. `go test -fuzz` accepts one target at a
+# time, hence one invocation per target.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDynamicChurn$$' -fuzztime 20s ./internal/overlay
+	$(GO) test -run '^$$' -fuzz '^FuzzSimEvents$$' -fuzztime 20s ./internal/sim
+
+# cover prints per-package statement coverage for the internal tree; CI
+# publishes this into the workflow summary.
+cover:
+	$(GO) test -cover ./internal/...
+
+ci: build fmt-check vet race bench-smoke sweep-smoke fuzz-smoke

@@ -331,6 +331,25 @@ func BenchmarkBackboneShortestPaths(b *testing.B) {
 	}
 }
 
+// BenchmarkChurn runs the event-driven churn experiment: FOV-driven
+// sessions under seeded mid-session view dynamics, reporting the viewer's
+// disruption latency and the post-churn rejection ratio.
+func BenchmarkChurn(b *testing.B) {
+	r := newRunner(b)
+	var res experiments.ChurnResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = r.ChurnExperiment(experiments.ChurnPoint{
+			N: 8, RatePerSec: 4, ViewChangeMix: 0.7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MeanDisruptionMs, "disruption_ms")
+	b.ReportMetric(res.FinalRejection, "rejection")
+}
+
 func BenchmarkAblationDynamic(b *testing.B) {
 	r := newRunner(b)
 	var series []metrics.Series

@@ -6,6 +6,13 @@
 //	tisim -fig 8a|8b|8c|8d|9|10|11|all [-samples 200] [-seed 1] [-parallel 0] [-csv]
 //	tisim -fig ablation    # reservation-mode and join-policy ablations
 //	tisim -fig capacity    # the §1 capacity back-of-envelope table
+//	tisim -churn [-churnrate 4] [-churnmix 0.7]   # event-driven churn sweep
+//
+// The -churn mode runs the event-driven simulator over FOV-driven
+// sessions under seeded mid-session churn (view changes, joins, leaves)
+// and reports disruption latency — the time from a view change to the
+// first delivered frame of each newly needed stream — versus session
+// size.
 //
 // Output is an aligned text table per figure (or CSV with -csv).
 package main
@@ -21,28 +28,70 @@ import (
 	"github.com/tele3d/tele3d/internal/stream"
 )
 
+// options is the parsed command line.
+type options struct {
+	fig       string
+	samples   int
+	seed      int64
+	parallel  int
+	csv       bool
+	churn     bool
+	churnRate float64
+	churnMix  float64
+}
+
+// parseFlags parses the command line into options, writing usage and
+// error text to errW. Positional arguments are rejected: every knob is a
+// flag. A -h/-help request surfaces as flag.ErrHelp with the usage
+// already printed.
+func parseFlags(args []string, errW io.Writer) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("tisim", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	fs.StringVar(&o.fig, "fig", "all", "figure to regenerate: 8a, 8b, 8c, 8d, 9, 10, 11, ablation, capacity, all")
+	fs.IntVar(&o.samples, "samples", 200, "workload samples per data point (paper: 200)")
+	fs.Int64Var(&o.seed, "seed", 1, "base random seed")
+	fs.IntVar(&o.parallel, "parallel", 0, "sample-evaluation workers; 0 = GOMAXPROCS (results are seed-deterministic at any setting)")
+	fs.BoolVar(&o.csv, "csv", false, "emit CSV instead of an aligned table")
+	fs.BoolVar(&o.churn, "churn", false, "run the event-driven churn sweep instead of a figure")
+	fs.Float64Var(&o.churnRate, "churnrate", 4, "churn events per second (with -churn; spelled as tisweep's axis)")
+	fs.Float64Var(&o.churnMix, "churnmix", 0.7, "fraction of churn events that are view changes (with -churn)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if o.samples < 1 {
+		return o, fmt.Errorf("-samples %d < 1", o.samples)
+	}
+	return o, nil
+}
+
 func main() {
-	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 8a, 8b, 8c, 8d, 9, 10, 11, ablation, capacity, all")
-		samples  = flag.Int("samples", 200, "workload samples per data point (paper: 200)")
-		seed     = flag.Int64("seed", 1, "base random seed")
-		parallel = flag.Int("parallel", 0, "sample-evaluation workers; 0 = GOMAXPROCS (results are seed-deterministic at any setting)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	)
-	flag.Parse()
-	if err := run(os.Stdout, *fig, *samples, *seed, *parallel, *csv); err != nil {
+	opts, err := parseFlags(os.Args[1:], os.Stderr)
+	if err == flag.ErrHelp {
+		os.Exit(0)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tisim:", err)
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "tisim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, fig string, samples int, seed int64, parallel int, csv bool) error {
-	r, err := experiments.NewRunner(experiments.Config{Samples: samples, Seed: seed, Parallelism: parallel})
+func run(w io.Writer, opts options) error {
+	r, err := experiments.NewRunner(experiments.Config{
+		Samples: opts.samples, Seed: opts.seed, Parallelism: opts.parallel,
+	})
 	if err != nil {
 		return err
 	}
 	emit := func(title, xLabel string, series []metrics.Series) error {
-		if csv {
+		if opts.csv {
 			return experiments.WriteCSV(w, xLabel, series)
 		}
 		if err := experiments.WriteTable(w, title, xLabel, series); err != nil {
@@ -51,8 +100,17 @@ func run(w io.Writer, fig string, samples int, seed int64, parallel int, csv boo
 		_, err := fmt.Fprintln(w)
 		return err
 	}
-	figures := []string{fig}
-	if fig == "all" {
+	if opts.churn {
+		series, err := r.ChurnSweep(opts.churnRate, opts.churnMix)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Churn: disruption latency under view dynamics (rate=%g/s, view-change mix=%g)",
+			opts.churnRate, opts.churnMix)
+		return emit(title, "N", series)
+	}
+	figures := []string{opts.fig}
+	if opts.fig == "all" {
 		figures = []string{"8a", "8b", "8c", "8d", "9", "10", "11", "ablation", "capacity"}
 	}
 	for _, f := range figures {

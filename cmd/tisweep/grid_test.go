@@ -105,7 +105,7 @@ func TestParseAlgorithms(t *testing.T) {
 
 func TestSweepConfigCells(t *testing.T) {
 	cfg := sweepConfig{}
-	err := cfg.parseGrids("3,4", "0", "0,15", "3.0", "0.12", "uniform", "random", "stf,rj")
+	err := cfg.parseGrids("3,4", "0", "0,15", "3.0", "0.12", "uniform", "random", "stf,rj", "0", "0.7")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 //	tisweep -n 4,6,8,10 -alg stf,ltf,mctf,rj -bcost 2.5,3.0 \
 //	        -samples 50 -trials 3 -parallel 0 \
 //	        -csv sweep.csv -jsonl sweep.jsonl
+//	tisweep -n 4,8 -alg rj -churnrate 2,8 -churnmix 0.5,0.9   # churn cells
 //
 // CSV columns (JSONL carries the same fields, one object per line):
 //
@@ -24,7 +25,21 @@
 //	rejection          mean normalized rejection ratio (Equation 1)
 //	weighted_rejection mean normalized criticality-weighted ratio (Equation 3)
 //	util_mean, util_stddev, relay_fraction   out-degree utilization (Figure 10)
+//	churn_rate, churn_mix   churn events/sec and view-change fraction (0 = static cell)
+//	churn_events       mean applied churn events per sample (churn cells)
+//	disruption_mean_ms, disruption_max_ms    disruption latency (churn cells)
+//	delivered_fraction mean fraction of gained streams served before session end
 //	elapsed_ms         wall-clock cost of the cell
+//
+// A cell with churn_rate 0 is a static construction sweep (the original
+// engine path); a positive churn_rate runs the event-driven churn
+// experiment over FOV-driven sessions instead, and rejection reports the
+// post-churn forest state. Axes that do not apply to a cell family are
+// collapsed instead of crossed — churn cells ignore capacity/popularity/
+// frac (their records carry the "fov" sentinel; the FOV pipeline defines
+// the workload) and static cells ignore churnmix — so a multi-valued
+// inapplicable axis never repeats identical work or emits duplicate
+// records.
 package main
 
 import (
@@ -53,6 +68,8 @@ type sweepConfig struct {
 	capacities   []workload.CapacityKind
 	popularities []workload.PopularityKind
 	algs         []overlay.Algorithm
+	churnRates   []float64
+	churnMixes   []float64
 
 	samples  int
 	seed     int64
@@ -64,10 +81,108 @@ type sweepConfig struct {
 	quiet     bool
 }
 
-// cells returns the number of grid cells (excluding trials).
-func (c sweepConfig) cells() int {
-	return len(c.ns) * len(c.streams) * len(c.bandwidths) * len(c.bcosts) *
-		len(c.fracs) * len(c.capacities) * len(c.popularities) * len(c.algs)
+// cellSpec is one effective grid cell after axis collapse.
+type cellSpec struct {
+	n, streams, bw      int
+	bcost, frac         float64
+	capk                workload.CapacityKind
+	popk                workload.PopularityKind
+	alg                 overlay.Algorithm
+	churnRate, churnMix float64
+}
+
+// enumerateCells expands the grid cross product into the effective cell
+// list. Axes that do not apply to a cell family are collapsed rather than
+// crossed: static cells (churn rate 0) ignore the churn mix, and churn
+// cells ignore the capacity/popularity/frac axes (the FOV pipeline
+// defines their workload). Collapse is by axis position, not value, so a
+// grid that repeats a value still runs each effective cell once.
+func (c sweepConfig) enumerateCells() []cellSpec {
+	var cells []cellSpec
+	for _, n := range c.ns {
+		for _, streams := range c.streams {
+			for _, bw := range c.bandwidths {
+				for _, bcost := range c.bcosts {
+					for fi, frac := range c.fracs {
+						for ci, capk := range c.capacities {
+							for pi, popk := range c.popularities {
+								for _, alg := range c.algs {
+									for _, churnRate := range c.churnRates {
+										for mi, churnMix := range c.churnMixes {
+											if churnRate > 0 {
+												if ci != 0 || pi != 0 || fi != 0 {
+													continue
+												}
+											} else if mi != 0 {
+												continue
+											}
+											cells = append(cells, cellSpec{
+												n: n, streams: streams, bw: bw,
+												bcost: bcost, frac: frac,
+												capk: capk, popk: popk, alg: alg,
+												churnRate: churnRate, churnMix: churnMix,
+											})
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// cells returns the number of effective grid cells (excluding trials).
+func (c sweepConfig) cells() int { return len(c.enumerateCells()) }
+
+// evalCell evaluates one cell with one trial's runner, returning the
+// record with the axis and metric columns filled in; the caller stamps
+// the run metadata (cell/trial/seed/parallelism/elapsed).
+func evalCell(r *experiments.Runner, sp cellSpec) (record, error) {
+	rec := record{
+		N: sp.n, Streams: sp.streams, Bandwidth: sp.bw,
+		Bcost: sp.bcost, Frac: sp.frac,
+		Capacity: sp.capk.String(), Popularity: sp.popk.String(),
+		Algorithm: sp.alg.Name(),
+		ChurnRate: sp.churnRate, ChurnMix: sp.churnMix,
+	}
+	if sp.churnRate > 0 {
+		res, err := r.ChurnExperiment(experiments.ChurnPoint{
+			N: sp.n, RatePerSec: sp.churnRate, ViewChangeMix: sp.churnMix,
+			CamerasPerSite: sp.streams, Bandwidth: sp.bw,
+			BcostMultiplier: sp.bcost, Algorithm: sp.alg,
+		})
+		if err != nil {
+			return rec, err
+		}
+		// The FOV pipeline defines the workload; the collapsed axes must
+		// not claim otherwise.
+		rec.Capacity, rec.Popularity, rec.Frac = "fov", "fov", 0
+		rec.Rejection = res.FinalRejection
+		rec.ChurnEvents = res.Events
+		rec.DisruptionMeanMs = res.MeanDisruptionMs
+		rec.DisruptionMaxMs = res.MaxDisruptionMs
+		rec.DeliveredFraction = res.DeliveredFraction
+		return rec, nil
+	}
+	res, err := r.RunPoint(experiments.Point{
+		N: sp.n, Capacity: sp.capk, Popularity: sp.popk,
+		SubscribeFraction: sp.frac, StreamsPerSite: sp.streams,
+		Bandwidth: sp.bw, BcostMultiplier: sp.bcost,
+	}, sp.alg)
+	if err != nil {
+		return rec, err
+	}
+	rec.ChurnMix = 0 // no churn, no mix
+	rec.Rejection = res.Rejection
+	rec.WeightedRejection = res.WeightedNorm
+	rec.UtilMean = res.Utilization.MeanOut
+	rec.UtilStdDev = res.Utilization.StdDevOut
+	rec.RelayFraction = res.Utilization.RelayFraction
+	return rec, nil
 }
 
 // record is one sweep result: a grid cell evaluated by one engine run.
@@ -90,6 +205,12 @@ type record struct {
 	UtilMean          float64 `json:"util_mean"`
 	UtilStdDev        float64 `json:"util_stddev"`
 	RelayFraction     float64 `json:"relay_fraction"`
+	ChurnRate         float64 `json:"churn_rate"`
+	ChurnMix          float64 `json:"churn_mix"`
+	ChurnEvents       float64 `json:"churn_events"`
+	DisruptionMeanMs  float64 `json:"disruption_mean_ms"`
+	DisruptionMaxMs   float64 `json:"disruption_max_ms"`
+	DeliveredFraction float64 `json:"delivered_fraction"`
 	ElapsedMs         float64 `json:"elapsed_ms"`
 }
 
@@ -97,7 +218,9 @@ var csvHeader = []string{
 	"cell", "trial", "n", "streams", "bandwidth", "bcost", "frac",
 	"capacity", "popularity", "algorithm", "samples", "seed", "parallelism",
 	"rejection", "weighted_rejection", "util_mean", "util_stddev",
-	"relay_fraction", "elapsed_ms",
+	"relay_fraction", "churn_rate", "churn_mix", "churn_events",
+	"disruption_mean_ms", "disruption_max_ms", "delivered_fraction",
+	"elapsed_ms",
 }
 
 func (r record) csvRow() []string {
@@ -110,34 +233,38 @@ func (r record) csvRow() []string {
 		strconv.Itoa(r.Samples), strconv.FormatInt(r.Seed, 10), strconv.Itoa(r.Parallelism),
 		f(r.Rejection), f(r.WeightedRejection),
 		f(r.UtilMean), f(r.UtilStdDev), f(r.RelayFraction),
+		f(r.ChurnRate), f(r.ChurnMix), f(r.ChurnEvents),
+		f(r.DisruptionMeanMs), f(r.DisruptionMaxMs), f(r.DeliveredFraction),
 		strconv.FormatFloat(r.ElapsedMs, 'f', 1, 64),
 	}
 }
 
 func main() {
 	var (
-		nSpec      = flag.String("n", "4,6,8,10", "site-count grid")
-		streamSpec = flag.String("streams", "0", "streams-per-site grid; 0 = capacity kind default")
-		bwSpec     = flag.String("bandwidth", "0", "per-site in/out budget grid in stream units; 0 = capacity kind default")
-		bcostSpec  = flag.String("bcost", "3.0", "latency-bound multiplier grid (× median pairwise cost)")
-		fracSpec   = flag.String("frac", "0.12", "subscribe-fraction grid")
-		capSpec    = flag.String("capacity", "uniform", "capacity kind grid: uniform, heterogeneous")
-		popSpec    = flag.String("popularity", "random", "popularity kind grid: zipf, random, zipf-sites")
-		algSpec    = flag.String("alg", "stf,ltf,mctf,rj", "algorithm grid: stf, ltf, mctf, rj, co-rj, alltoall, gran-ltf:<g>")
-		samples    = flag.Int("samples", 50, "Monte-Carlo samples per cell (paper figures: 200)")
-		seed       = flag.Int64("seed", 1, "base random seed; trial t runs at a seed derived from it")
-		parallel   = flag.Int("parallel", 0, "sample-evaluation workers; 0 = GOMAXPROCS")
-		trials     = flag.Int("trials", 1, "repetitions of every cell at distinct derived seeds")
-		csvPath    = flag.String("csv", "sweep.csv", "CSV summary path; - for stdout, empty to disable")
-		jsonlPath  = flag.String("jsonl", "sweep.jsonl", "JSON-Lines records path; - for stdout, empty to disable")
-		quiet      = flag.Bool("quiet", false, "suppress per-cell progress on stderr")
+		nSpec         = flag.String("n", "4,6,8,10", "site-count grid")
+		streamSpec    = flag.String("streams", "0", "streams-per-site grid; 0 = capacity kind default")
+		bwSpec        = flag.String("bandwidth", "0", "per-site in/out budget grid in stream units; 0 = capacity kind default")
+		bcostSpec     = flag.String("bcost", "3.0", "latency-bound multiplier grid (× median pairwise cost)")
+		fracSpec      = flag.String("frac", "0.12", "subscribe-fraction grid")
+		capSpec       = flag.String("capacity", "uniform", "capacity kind grid: uniform, heterogeneous")
+		popSpec       = flag.String("popularity", "random", "popularity kind grid: zipf, random, zipf-sites")
+		algSpec       = flag.String("alg", "stf,ltf,mctf,rj", "algorithm grid: stf, ltf, mctf, rj, co-rj, alltoall, gran-ltf:<g>")
+		churnRateSpec = flag.String("churnrate", "0", "churn events/sec grid; 0 = static construction cell")
+		churnMixSpec  = flag.String("churnmix", "0.7", "view-change fraction grid for churn cells")
+		samples       = flag.Int("samples", 50, "Monte-Carlo samples per cell (paper figures: 200)")
+		seed          = flag.Int64("seed", 1, "base random seed; trial t runs at a seed derived from it")
+		parallel      = flag.Int("parallel", 0, "sample-evaluation workers; 0 = GOMAXPROCS")
+		trials        = flag.Int("trials", 1, "repetitions of every cell at distinct derived seeds")
+		csvPath       = flag.String("csv", "sweep.csv", "CSV summary path; - for stdout, empty to disable")
+		jsonlPath     = flag.String("jsonl", "sweep.jsonl", "JSON-Lines records path; - for stdout, empty to disable")
+		quiet         = flag.Bool("quiet", false, "suppress per-cell progress on stderr")
 	)
 	flag.Parse()
 	cfg := sweepConfig{
 		samples: *samples, seed: *seed, parallel: *parallel, trials: *trials,
 		csvPath: *csvPath, jsonlPath: *jsonlPath, quiet: *quiet,
 	}
-	err := cfg.parseGrids(*nSpec, *streamSpec, *bwSpec, *bcostSpec, *fracSpec, *capSpec, *popSpec, *algSpec)
+	err := cfg.parseGrids(*nSpec, *streamSpec, *bwSpec, *bcostSpec, *fracSpec, *capSpec, *popSpec, *algSpec, *churnRateSpec, *churnMixSpec)
 	if err == nil {
 		err = runSweep(cfg, os.Stdout, os.Stderr)
 	}
@@ -148,7 +275,7 @@ func main() {
 }
 
 // parseGrids fills the grid axes from their flag values.
-func (c *sweepConfig) parseGrids(n, streams, bw, bcost, frac, capacity, popularity, alg string) error {
+func (c *sweepConfig) parseGrids(n, streams, bw, bcost, frac, capacity, popularity, alg, churnRate, churnMix string) error {
 	var err error
 	if c.ns, err = parseInts("n", n); err != nil {
 		return err
@@ -171,7 +298,13 @@ func (c *sweepConfig) parseGrids(n, streams, bw, bcost, frac, capacity, populari
 	if c.popularities, err = parsePopularities(popularity); err != nil {
 		return err
 	}
-	c.algs, err = parseAlgorithms(alg)
+	if c.algs, err = parseAlgorithms(alg); err != nil {
+		return err
+	}
+	if c.churnRates, err = parseFloats("churnrate", churnRate); err != nil {
+		return err
+	}
+	c.churnMixes, err = parseFloats("churnmix", churnMix)
 	return err
 }
 
@@ -195,6 +328,16 @@ func runSweep(cfg sweepConfig, stdout, stderr io.Writer) error {
 	for _, f := range cfg.fracs {
 		if f <= 0 || f > 1 {
 			return fmt.Errorf("-frac: %v outside (0,1]", f)
+		}
+	}
+	for _, cr := range cfg.churnRates {
+		if cr < 0 {
+			return fmt.Errorf("-churnrate: %v negative", cr)
+		}
+	}
+	for _, cm := range cfg.churnMixes {
+		if cm < 0 || cm > 1 {
+			return fmt.Errorf("-churnmix: %v outside [0,1]", cm)
 		}
 	}
 	// Resolve the effective worker count so records describe the run
@@ -242,72 +385,42 @@ func runSweep(cfg sweepConfig, stdout, stderr io.Writer) error {
 		runners[t] = r
 	}
 
-	total := cfg.cells()
+	cells := cfg.enumerateCells()
+	total := len(cells)
 	if !cfg.quiet {
 		fmt.Fprintf(stderr, "tisweep: %d cells x %d trials, %d samples/cell, parallel=%d\n",
 			total, cfg.trials, cfg.samples, parallel)
 	}
 	start := time.Now()
-	cell := 0
-	for _, n := range cfg.ns {
-		for _, streams := range cfg.streams {
-			for _, bw := range cfg.bandwidths {
-				for _, bcost := range cfg.bcosts {
-					for _, frac := range cfg.fracs {
-						for _, capk := range cfg.capacities {
-							for _, popk := range cfg.popularities {
-								for _, alg := range cfg.algs {
-									pt := experiments.Point{
-										N: n, Capacity: capk, Popularity: popk,
-										SubscribeFraction: frac, StreamsPerSite: streams,
-										Bandwidth: bw, BcostMultiplier: bcost,
-									}
-									for t := 0; t < cfg.trials; t++ {
-										cellStart := time.Now()
-										res, err := runners[t].RunPoint(pt, alg)
-										if err != nil {
-											return fmt.Errorf("cell %d (n=%d alg=%s trial=%d): %w", cell, n, alg.Name(), t, err)
-										}
-										rec := record{
-											Cell: cell, Trial: t, N: n,
-											Streams: streams, Bandwidth: bw,
-											Bcost: bcost, Frac: frac,
-											Capacity: capk.String(), Popularity: popk.String(),
-											Algorithm: alg.Name(),
-											Samples:   cfg.samples, Seed: seeds[t], Parallelism: parallel,
-											Rejection:         res.Rejection,
-											WeightedRejection: res.WeightedNorm,
-											UtilMean:          res.Utilization.MeanOut,
-											UtilStdDev:        res.Utilization.StdDevOut,
-											RelayFraction:     res.Utilization.RelayFraction,
-											ElapsedMs:         float64(time.Since(cellStart).Microseconds()) / 1e3,
-										}
-										if csvEnc != nil {
-											if err := csvEnc.Write(rec.csvRow()); err != nil {
-												return err
-											}
-											csvEnc.Flush()
-											if err := csvEnc.Error(); err != nil {
-												return err
-											}
-										}
-										if jsonEnc != nil {
-											if err := jsonEnc.Encode(rec); err != nil {
-												return err
-											}
-										}
-										if !cfg.quiet {
-											fmt.Fprintf(stderr, "[%d/%d] n=%d streams=%d bw=%d bcost=%g frac=%g %s/%s %s trial=%d rejection=%.4f (%.0fms)\n",
-												cell+1, total, n, streams, bw, bcost, frac,
-												capk, popk, alg.Name(), t, rec.Rejection, rec.ElapsedMs)
-										}
-									}
-									cell++
-								}
-							}
-						}
-					}
+	for cell, sp := range cells {
+		for t := 0; t < cfg.trials; t++ {
+			cellStart := time.Now()
+			rec, err := evalCell(runners[t], sp)
+			if err != nil {
+				return fmt.Errorf("cell %d (n=%d alg=%s churn=%g trial=%d): %w",
+					cell, sp.n, sp.alg.Name(), sp.churnRate, t, err)
+			}
+			rec.Cell, rec.Trial = cell, t
+			rec.Samples, rec.Seed, rec.Parallelism = cfg.samples, seeds[t], parallel
+			rec.ElapsedMs = float64(time.Since(cellStart).Microseconds()) / 1e3
+			if csvEnc != nil {
+				if err := csvEnc.Write(rec.csvRow()); err != nil {
+					return err
 				}
+				csvEnc.Flush()
+				if err := csvEnc.Error(); err != nil {
+					return err
+				}
+			}
+			if jsonEnc != nil {
+				if err := jsonEnc.Encode(rec); err != nil {
+					return err
+				}
+			}
+			if !cfg.quiet {
+				fmt.Fprintf(stderr, "[%d/%d] n=%d streams=%d bw=%d bcost=%g frac=%g churn=%g/%g %s/%s %s trial=%d rejection=%.4f (%.0fms)\n",
+					cell+1, total, sp.n, sp.streams, sp.bw, sp.bcost, sp.frac, sp.churnRate, sp.churnMix,
+					sp.capk, sp.popk, sp.alg.Name(), t, rec.Rejection, rec.ElapsedMs)
 			}
 		}
 	}

@@ -21,7 +21,7 @@ func testConfig(t *testing.T, dir string, trials int) sweepConfig {
 		jsonlPath: filepath.Join(dir, "sweep.jsonl"),
 		quiet:     true,
 	}
-	if err := cfg.parseGrids("3,5", "0", "0", "2.5,3.0", "0.12", "uniform", "random", "ltf,rj"); err != nil {
+	if err := cfg.parseGrids("3,5", "0", "0", "2.5,3.0", "0.12", "uniform", "random", "ltf,rj", "0", "0.7"); err != nil {
 		t.Fatal(err)
 	}
 	return cfg
@@ -202,5 +202,104 @@ func TestRunSweepRejectsBadScalars(t *testing.T) {
 	cfg.fracs = []float64{1.5}
 	if err := runSweep(cfg, os.Stdout, &bytes.Buffer{}); err == nil {
 		t.Error("frac=1.5 accepted")
+	}
+}
+
+// TestRunSweepChurnCells mixes a static cell (churnrate 0) and a churn
+// cell in one grid and checks each populates its own column family.
+func TestRunSweepChurnCells(t *testing.T) {
+	dir := t.TempDir()
+	cfg := sweepConfig{
+		samples: 3, seed: 5, parallel: 2, trials: 1,
+		csvPath:   filepath.Join(dir, "churn.csv"),
+		jsonlPath: filepath.Join(dir, "churn.jsonl"),
+		quiet:     true,
+	}
+	// Two capacities and two mixes: the capacity axis must not multiply
+	// the churn cell, and the mix axis must not multiply the static one —
+	// 2 static cells (one per capacity) + 2 churn cells (one per mix).
+	if err := cfg.parseGrids("4", "0", "0", "3.0", "0.12", "uniform,heterogeneous", "random", "rj", "0,6", "0.8,0.4"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.cells() != 4 {
+		t.Fatalf("grid has %d cells, want 4", cfg.cells())
+	}
+	var stderr bytes.Buffer
+	if err := runSweep(cfg, os.Stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(cfg.jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var static, churn *record
+	var statics, churns int
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		var rec record
+		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		r := rec
+		if r.ChurnRate == 0 {
+			statics++
+			static = &r
+		} else {
+			churns++
+			churn = &r
+		}
+	}
+	if statics != 2 || churns != 2 {
+		t.Fatalf("got %d static + %d churn records, want 2 + 2 (collapsed axes)", statics, churns)
+	}
+	if static == nil || churn == nil {
+		t.Fatal("missing static or churn record")
+	}
+	if static.ChurnEvents != 0 || static.DisruptionMeanMs != 0 {
+		t.Errorf("static cell carries churn metrics: %+v", static)
+	}
+	if static.UtilMean <= 0 {
+		t.Errorf("static cell missing utilization: %+v", static)
+	}
+	if churn.ChurnRate != 6 || churn.ChurnMix != 0.4 {
+		t.Errorf("churn cell axes wrong: %+v", churn)
+	}
+	if churn.Capacity != "fov" || churn.Popularity != "fov" || churn.Frac != 0 {
+		t.Errorf("churn cell should carry the fov sentinel: %+v", churn)
+	}
+	if static.ChurnMix != 0 {
+		t.Errorf("static cell should zero the mix column: %+v", static)
+	}
+	if churn.ChurnEvents <= 0 || churn.DisruptionMeanMs <= 0 || churn.DeliveredFraction <= 0 {
+		t.Errorf("churn cell missing churn metrics: %+v", churn)
+	}
+	if churn.UtilMean != 0 {
+		t.Errorf("churn cell carries static utilization: %+v", churn)
+	}
+}
+
+// TestEnumerateCellsCollapsesByPosition pins the review finding: collapse
+// must key on axis position, so duplicated grid values (e.g. -capacity
+// uniform,uniform) still run each effective churn cell exactly once.
+func TestEnumerateCellsCollapsesByPosition(t *testing.T) {
+	cfg := sweepConfig{}
+	if err := cfg.parseGrids("4", "0", "0", "3.0", "0.12", "uniform,uniform", "random", "rj", "6", "0.8"); err != nil {
+		t.Fatal(err)
+	}
+	cells := cfg.enumerateCells()
+	if len(cells) != 1 {
+		t.Fatalf("duplicated capacity values produced %d churn cells, want 1", len(cells))
+	}
+	if got := cfg.cells(); got != len(cells) {
+		t.Errorf("cells() = %d, enumerateCells = %d", got, len(cells))
+	}
+	// Static family: duplicated mixes must not multiply static cells.
+	cfg = sweepConfig{}
+	if err := cfg.parseGrids("4", "0", "0", "3.0", "0.12", "uniform", "random", "rj", "0", "0.5,0.5"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.cells(); got != 1 {
+		t.Errorf("duplicated mixes produced %d static cells, want 1", got)
 	}
 }

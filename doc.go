@@ -14,13 +14,29 @@
 // (internal/sim), and the experiment harness regenerating every figure of
 // the paper's evaluation (internal/experiments, cmd/tisim).
 //
+// The simulator is event-driven: beyond replaying a frame schedule over
+// a static forest, sim.RunEvents applies a time-stamped trace of
+// subscribe, unsubscribe and FOV view-change events to the live forest
+// through the overlay's dynamic operations, and reports per-event
+// *disruption latency* — the time from a view change to the first
+// delivered frame of each newly needed stream. Churn traces come from
+// the session layer: workload.ChurnProfile schedules seeded Poisson
+// churn (rate, view-change vs join/leave mix) and session.ChurnTrace
+// binds each slot to concrete streams by rotating display FOVs and
+// diffing their contributing stream sets.
+//
 // Evaluation runs on a parallel experiment engine
 // (internal/experiments/engine.go): every Monte-Carlo sample is a pure
 // function of the seed and sample index, fanned across a worker pool and
 // reduced in deterministic order, so results are bit-identical at any
-// parallelism. cmd/tisweep sweeps that engine over parameter grids
-// (sites, streams per site, bandwidth budget, latency bound, algorithms),
-// streaming per-cell records to CSV and JSON-Lines.
+// parallelism — the churn experiment (Runner.ChurnExperiment, cmd/tisim
+// -churn) included. cmd/tisweep sweeps that engine over parameter grids
+// (sites, streams per site, bandwidth budget, latency bound, algorithms,
+// churn rate and view-change mix), streaming per-cell records to CSV and
+// JSON-Lines. Golden regression tests (internal/experiments/testdata)
+// pin every figure's output byte-for-byte, and native fuzz targets drive
+// random churn against the overlay invariants and the simulator's graph
+// lower bound.
 //
 // The root package carries the repository-level benchmarks: one per paper
 // table/figure (bench_test.go), including the serial-vs-parallel engine

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChurnExperimentDeterministicAcrossParallelism is the acceptance
+// property: the churn experiment's output is byte-identical at
+// Parallelism=1 and Parallelism=8 for the same seed.
+func TestChurnExperimentDeterministicAcrossParallelism(t *testing.T) {
+	pt := ChurnPoint{N: 5, RatePerSec: 4, ViewChangeMix: 0.7, DurationMs: 2000}
+	run := func(parallelism int) string {
+		r, err := NewRunner(Config{Samples: 12, Seed: 77, Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.ChurnExperiment(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%#v", res)
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial != parallel {
+		t.Errorf("churn results diverge across parallelism:\nserial   %s\nparallel %s", serial, parallel)
+	}
+}
+
+func TestChurnExperimentMetricsSane(t *testing.T) {
+	r, err := NewRunner(Config{Samples: 10, Seed: 3, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.ChurnExperiment(ChurnPoint{N: 6, RatePerSec: 5, ViewChangeMix: 0.6, DurationMs: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events <= 0 {
+		t.Errorf("mean events %v, want > 0 at 5 events/sec over 2.5s", res.Events)
+	}
+	if res.ViewChanges <= 0 || res.ViewChanges > res.Events {
+		t.Errorf("view changes %v outside (0, %v]", res.ViewChanges, res.Events)
+	}
+	if res.GainedAccepted <= 0 {
+		t.Errorf("gained accepted %v, want > 0", res.GainedAccepted)
+	}
+	if res.MeanDisruptionMs <= 0 || res.MaxDisruptionMs < res.MeanDisruptionMs {
+		t.Errorf("disruption mean %v max %v inconsistent", res.MeanDisruptionMs, res.MaxDisruptionMs)
+	}
+	if res.DeliveredFraction <= 0 || res.DeliveredFraction > 1 {
+		t.Errorf("delivered fraction %v outside (0,1]", res.DeliveredFraction)
+	}
+	if res.FinalRejection < 0 || res.FinalRejection > 1 {
+		t.Errorf("final rejection %v outside [0,1]", res.FinalRejection)
+	}
+}
+
+func TestChurnExperimentValidation(t *testing.T) {
+	r, err := NewRunner(Config{Samples: 2, Seed: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ChurnExperiment(ChurnPoint{N: 1, RatePerSec: 1}); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := r.ChurnExperiment(ChurnPoint{N: 5, RatePerSec: 0}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := r.ChurnExperiment(ChurnPoint{N: 5, RatePerSec: 1, ViewChangeMix: 2}); err == nil {
+		t.Error("mix > 1 accepted")
+	}
+}
+
+func TestChurnSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical experiment; skipped in -short")
+	}
+	r, err := NewRunner(Config{Samples: 6, Seed: 2, Parallelism: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := r.ChurnSweep(3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d, want 4", len(series))
+	}
+	for _, s := range series {
+		if len(s.X) != 4 { // N = 4, 6, 8, 10
+			t.Errorf("series %q has %d points, want 4", s.Label, len(s.X))
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+// golden_test.go pins the figure experiments byte-for-byte: each runner's
+// series render to CSV and must match the committed testdata/*.golden
+// files exactly. The engine contracts this locks down: per-sample purity
+// (seed + index → sample), index-ordered reduction, and the calibrated
+// defaults. Any refactor that shifts a single bit of any figure fails
+// here — regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// The golden runs use a small sample count and a fixed Parallelism of 4,
+// so the files also re-prove the engine's parallel determinism on every
+// CI run (a scheduling-dependent reduction would produce flaky diffs).
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/tele3d/tele3d/internal/metrics"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+const (
+	goldenSamples = 8
+	goldenSeed    = 1
+)
+
+func goldenRunner(t *testing.T) *Runner {
+	t.Helper()
+	r, err := NewRunner(Config{Samples: goldenSamples, Seed: goldenSeed, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// checkGolden renders the series as CSV and compares against (or, with
+// -update, rewrites) testdata/<name>.golden.
+func checkGolden(t *testing.T, name, xLabel string, series []metrics.Series) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, xLabel, series); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("%s drifted from golden output.\n--- got ---\n%s--- want ---\n%s"+
+			"If the change is intentional, regenerate with -update.", name, buf.String(), want)
+	}
+}
+
+func TestGoldenFig8(t *testing.T) {
+	r := goldenRunner(t)
+	for _, v := range []Fig8Variant{Fig8a, Fig8b, Fig8c, Fig8d} {
+		series, err := r.Fig8(v)
+		if err != nil {
+			t.Fatalf("Fig8(%s): %v", v, err)
+		}
+		checkGolden(t, "fig"+string(v), "N", series)
+	}
+}
+
+func TestGoldenFig9(t *testing.T) {
+	s, err := goldenRunner(t).Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig9", "g", []metrics.Series{s})
+}
+
+func TestGoldenFig10(t *testing.T) {
+	series, err := goldenRunner(t).Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig10", "N", series)
+}
+
+func TestGoldenFig11(t *testing.T) {
+	series, err := goldenRunner(t).Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig11", "N", series)
+}
+
+func TestGoldenChurn(t *testing.T) {
+	series, err := goldenRunner(t).ChurnSweep(4, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "churn", "N", series)
+}

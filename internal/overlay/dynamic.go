@@ -21,7 +21,9 @@ import (
 
 // Subscribe admits a new request into the constructed forest. The request
 // must not already exist; it is appended to the problem's request set and
-// processed with the basic node join algorithm.
+// processed with the basic node join algorithm. Duplicate detection is an
+// O(1) lookup in the forest's request-set index, so per-event churn never
+// pays a scan over the whole request slice.
 func (f *Forest) Subscribe(r Request) (JoinResult, error) {
 	if r.Node < 0 || r.Node >= f.problem.N() {
 		return 0, fmt.Errorf("overlay: subscribe from nonexistent node %d", r.Node)
@@ -29,28 +31,17 @@ func (f *Forest) Subscribe(r Request) (JoinResult, error) {
 	if r.Stream.Site < 0 || r.Stream.Site >= f.problem.N() || r.Stream.Site == r.Node {
 		return 0, fmt.Errorf("overlay: invalid subscribe target %v", r.Stream)
 	}
-	for _, existing := range f.problem.Requests {
-		if existing == r {
-			return 0, fmt.Errorf("overlay: duplicate subscription %v", r)
-		}
+	if _, dup := f.reqSet[r]; dup {
+		return 0, fmt.Errorf("overlay: duplicate subscription %v", r)
 	}
 	f.problem.Requests = append(f.problem.Requests, r)
+	f.reqSet[r] = struct{}{}
+	f.streamReqs[r.Stream]++
 	// A brand-new stream acquires a reservation obligation.
-	if !f.disseminated[r.Stream] && !f.hasOtherRequest(r.Stream, r) {
+	if !f.disseminated[r.Stream] && f.streamReqs[r.Stream] == 1 {
 		f.mhat[r.Stream.Site]++
 	}
 	return f.Join(r), nil
-}
-
-// hasOtherRequest reports whether any request besides skip targets the
-// stream.
-func (f *Forest) hasOtherRequest(id stream.ID, skip Request) bool {
-	for _, r := range f.problem.Requests {
-		if r.Stream == id && r != skip {
-			return true
-		}
-	}
-	return false
 }
 
 // Unsubscribe withdraws a request: the (node, stream) pair is removed from
@@ -60,6 +51,9 @@ func (f *Forest) hasOtherRequest(id stream.ID, skip Request) bool {
 // the current resource state has its request rejected. The withdrawn
 // request itself disappears from the accounting entirely.
 func (f *Forest) Unsubscribe(r Request) error {
+	if _, known := f.reqSet[r]; !known {
+		return fmt.Errorf("overlay: unsubscribe of unknown request %v", r)
+	}
 	idx := -1
 	for i, existing := range f.problem.Requests {
 		if existing == r {
@@ -67,10 +61,11 @@ func (f *Forest) Unsubscribe(r Request) error {
 			break
 		}
 	}
-	if idx < 0 {
-		return fmt.Errorf("overlay: unsubscribe of unknown request %v", r)
-	}
 	f.problem.Requests = append(f.problem.Requests[:idx], f.problem.Requests[idx+1:]...)
+	delete(f.reqSet, r)
+	if f.streamReqs[r.Stream]--; f.streamReqs[r.Stream] == 0 {
+		delete(f.streamReqs, r.Stream)
+	}
 
 	t := f.trees[r.Stream]
 	wasAccepted := t != nil && t.Contains(r.Node)
@@ -131,10 +126,8 @@ func (f *Forest) detachSubtree(t *Tree, root int) []int {
 // stream no longer has any request (nobody will ever need its first
 // dissemination) and reclaims bookkeeping for fully-emptied trees.
 func (f *Forest) releaseReservationIfOrphan(id stream.ID) {
-	for _, r := range f.problem.Requests {
-		if r.Stream == id {
-			return
-		}
+	if f.streamReqs[id] > 0 {
+		return
 	}
 	if !f.disseminated[id] {
 		if f.mhat[id.Site] > 0 {

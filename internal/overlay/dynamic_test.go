@@ -180,6 +180,71 @@ func TestUnsubscribeRejectedRequestClearsRecord(t *testing.T) {
 	}
 }
 
+// TestSubscribeIndexMatchesScan drives a long random churn sequence and
+// proves the request-set index makes exactly the decisions a brute-force
+// scan over problem.Requests would make: before every Subscribe the test
+// recomputes duplicate-ness linearly, and after every operation it
+// recounts the per-stream request totals the reservation logic depends on.
+func TestSubscribeIndexMatchesScan(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		p := coverageProblem(t, 6, workload.CapacityUniform, workload.PopularityRandom, 900+seed)
+		f, err := RJ{}.Construct(p, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed*17 + 3))
+		scanDup := func(r Request) bool {
+			for _, existing := range f.Problem().Requests {
+				if existing == r {
+					return true
+				}
+			}
+			return false
+		}
+		for op := 0; op < 200; op++ {
+			if rng.Intn(3) == 0 && len(f.problem.Requests) > 0 {
+				r := f.problem.Requests[rng.Intn(len(f.problem.Requests))]
+				if err := f.Unsubscribe(r); err != nil {
+					t.Fatalf("seed %d op %d: unsubscribe %v: %v", seed, op, r, err)
+				}
+				if scanDup(r) {
+					t.Fatalf("seed %d op %d: %v still in request set after Unsubscribe", seed, op, r)
+				}
+			} else {
+				r := Request{
+					Node:   rng.Intn(6),
+					Stream: stream.ID{Site: rng.Intn(6), Index: rng.Intn(20)},
+				}
+				if r.Node == r.Stream.Site {
+					continue
+				}
+				wantDup := scanDup(r)
+				_, err := f.Subscribe(r)
+				if gotDup := err != nil; gotDup != wantDup {
+					t.Fatalf("seed %d op %d: Subscribe(%v) duplicate=%v, linear scan says %v",
+						seed, op, r, gotDup, wantDup)
+				}
+			}
+			// Recount per-stream totals against the index.
+			counts := make(map[stream.ID]int)
+			for _, r := range f.problem.Requests {
+				counts[r.Stream]++
+			}
+			for id, want := range counts {
+				if got := f.streamReqs[id]; got != want {
+					t.Fatalf("seed %d op %d: index counts %d for %s, scan counts %d", seed, op, got, id, want)
+				}
+			}
+			if len(counts) != len(f.streamReqs) {
+				t.Fatalf("seed %d op %d: index tracks %d streams, scan %d", seed, op, len(f.streamReqs), len(counts))
+			}
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("seed %d final: %v", seed, err)
+		}
+	}
+}
+
 // TestDynamicChurnPreservesInvariants is the property test: random
 // subscribe/unsubscribe churn over a live forest never violates a §4.2
 // invariant.

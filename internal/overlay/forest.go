@@ -129,6 +129,15 @@ type Forest struct {
 	// disseminated[s] is true once stream s has left its source.
 	disseminated map[stream.ID]bool
 
+	// reqSet indexes problem.Requests for O(1) duplicate detection under
+	// per-event churn (Subscribe used to scan the whole request slice);
+	// streamReqs counts live requests per stream for the reservation
+	// bookkeeping. Both are maintained by Subscribe/Unsubscribe and are
+	// insensitive to request reordering, so the construction algorithms'
+	// shuffles never invalidate them.
+	reqSet     map[Request]struct{}
+	streamReqs map[stream.ID]int
+
 	accepted []Request
 	rejected []Request
 	// rej[i][j] counts rejected requests from node i for site j streams
@@ -150,7 +159,13 @@ func NewForest(p *Problem) (*Forest, error) {
 		dout:         make([]int, n),
 		mhat:         p.StreamsToSend(),
 		disseminated: make(map[stream.ID]bool),
+		reqSet:       make(map[Request]struct{}, len(p.Requests)),
+		streamReqs:   make(map[stream.ID]int),
 		rej:          make([][]int, n),
+	}
+	for _, r := range p.Requests {
+		f.reqSet[r] = struct{}{}
+		f.streamReqs[r.Stream]++
 	}
 	for i := range f.rej {
 		f.rej[i] = make([]int, n)

@@ -1,0 +1,95 @@
+package overlay
+
+// fuzz_test.go drives the dynamic operations with fuzzer-chosen event
+// sequences. The oracle is Validate: every §4.2 invariant — degree
+// bounds, tree shape, latency, request accounting, the reservation
+// counters, and the request-set index — must hold after every operation,
+// whatever interleaving of subscribes and unsubscribes the fuzzer finds.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tele3d/tele3d/internal/stream"
+)
+
+// fuzzProblem is a small, fixed instance with enough contention that the
+// fuzzer can exercise rejections, re-attachment, and reservation release:
+// 5 nodes, 6 streams per site, tight out-degree at the sources.
+func fuzzProblem() *Problem {
+	const n = 5
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i != j {
+				cost[i][j] = float64(3 + (i+j)%7)
+			}
+		}
+	}
+	p := &Problem{
+		In:    []int{4, 5, 3, 6, 4},
+		Out:   []int{5, 4, 6, 3, 5},
+		Cost:  cost,
+		Bcost: 18,
+	}
+	// A modest initial workload so the forest starts non-trivial.
+	for node := 0; node < n; node++ {
+		for j := 0; j < n; j++ {
+			if j != node && (node+j)%2 == 0 {
+				p.Requests = append(p.Requests, Request{Node: node, Stream: stream.ID{Site: j, Index: node % 3}})
+			}
+		}
+	}
+	return p
+}
+
+// FuzzDynamicChurn decodes the fuzz input as a sequence of churn
+// operations (4 bytes each: op, node, site, index) applied to a live
+// RJ-constructed forest, validating the full invariant set along the way.
+func FuzzDynamicChurn(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 1, 1, 2, 0}, int64(1))
+	f.Add([]byte{0, 0, 4, 5, 0, 2, 4, 5, 1, 0, 4, 5, 1, 2, 4, 5}, int64(7))
+	f.Add([]byte{2, 3, 1, 9, 0, 3, 1, 9, 2, 3, 1, 9}, int64(42))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		p := fuzzProblem()
+		forest, err := RJ{}.Construct(p, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := forest.Validate(); err != nil {
+			t.Fatalf("constructed forest invalid: %v", err)
+		}
+		const n = 5
+		for i := 0; i+3 < len(data); i += 4 {
+			op, a, b, c := data[i], data[i+1], data[i+2], data[i+3]
+			switch op % 3 {
+			case 0: // subscribe a decoded request
+				r := Request{Node: int(a) % n, Stream: stream.ID{Site: int(b) % n, Index: int(c) % 6}}
+				if _, err := forest.Subscribe(r); err != nil {
+					// Duplicates and own-stream targets are legal inputs
+					// for the fuzzer; the forest must refuse them cleanly.
+					continue
+				}
+			case 1: // unsubscribe a decoded request (often unknown)
+				r := Request{Node: int(a) % n, Stream: stream.ID{Site: int(b) % n, Index: int(c) % 6}}
+				if err := forest.Unsubscribe(r); err != nil {
+					continue
+				}
+			case 2: // unsubscribe a live request by position — guaranteed
+				// applicable, so deep churn sequences actually happen
+				reqs := forest.Problem().Requests
+				if len(reqs) == 0 {
+					continue
+				}
+				r := reqs[(int(a)<<8|int(b))%len(reqs)]
+				if err := forest.Unsubscribe(r); err != nil {
+					t.Fatalf("op %d: unsubscribe of live request %v: %v", i/4, r, err)
+				}
+			}
+			if err := forest.Validate(); err != nil {
+				t.Fatalf("op %d (byte %d): invariant violated: %v", i/4, op, err)
+			}
+		}
+	})
+}

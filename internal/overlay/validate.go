@@ -8,6 +8,8 @@ package overlay
 import (
 	"fmt"
 	"math"
+
+	"github.com/tele3d/tele3d/internal/stream"
 )
 
 // Validate checks all invariants of a constructed forest:
@@ -54,8 +56,27 @@ func (f *Forest) Validate() error {
 		return fmt.Errorf("overlay: accepted+rejected = %d, want %d requests", got, want)
 	}
 	seen := make(map[Request]bool, len(p.Requests))
+	streamReqs := make(map[stream.ID]int)
 	for _, r := range p.Requests {
 		seen[r] = true
+		streamReqs[r.Stream]++
+	}
+	// The request-set index must mirror the request slice exactly.
+	if len(f.reqSet) != len(p.Requests) {
+		return fmt.Errorf("overlay: request index holds %d entries, want %d", len(f.reqSet), len(p.Requests))
+	}
+	for _, r := range p.Requests {
+		if _, ok := f.reqSet[r]; !ok {
+			return fmt.Errorf("overlay: request %v missing from index", r)
+		}
+	}
+	if len(f.streamReqs) != len(streamReqs) {
+		return fmt.Errorf("overlay: per-stream index tracks %d streams, want %d", len(f.streamReqs), len(streamReqs))
+	}
+	for id, want := range streamReqs {
+		if got := f.streamReqs[id]; got != want {
+			return fmt.Errorf("overlay: per-stream index counts %d requests for %s, want %d", got, id, want)
+		}
 	}
 	outcome := make(map[Request]bool, len(p.Requests))
 	for _, r := range f.accepted {

@@ -1,0 +1,114 @@
+package session
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/tele3d/tele3d/internal/sim"
+	"github.com/tele3d/tele3d/internal/stream"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+func churnSession(t *testing.T, seed int64) *Session {
+	t.Helper()
+	s, err := Build(Spec{N: 5, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestChurnTraceDeterministic(t *testing.T) {
+	profile := workload.ChurnProfile{RatePerSec: 4, ViewChangeMix: 0.6}
+	s1 := churnSession(t, 21)
+	tr1, err := s1.ChurnTrace(profile, 3000, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := churnSession(t, 21)
+	tr2, err := s2.ChurnTrace(profile, 3000, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Error("same seed produced different traces")
+	}
+	if len(tr1) == 0 {
+		t.Fatal("trace empty at 4 events/sec over 3s")
+	}
+}
+
+func TestChurnTraceShape(t *testing.T) {
+	s := churnSession(t, 7)
+	profile := workload.ChurnProfile{RatePerSec: 6, ViewChangeMix: 0.5}
+	trace, err := s.ChurnTrace(profile, 4000, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[sim.EventKind]int{}
+	last := 0.0
+	for i, e := range trace {
+		kinds[e.Kind]++
+		if e.AtMs < last {
+			t.Errorf("event %d at %v before predecessor %v", i, e.AtMs, last)
+		}
+		last = e.AtMs
+		if e.Node < 0 || e.Node >= s.Workload.N() {
+			t.Errorf("event %d from site %d out of range", i, e.Node)
+		}
+		if len(e.Gained) == 0 && len(e.Lost) == 0 {
+			t.Errorf("event %d is empty", i)
+		}
+		for _, id := range append(append([]stream.ID{}, e.Gained...), e.Lost...) {
+			if id.Site == e.Node {
+				t.Errorf("event %d touches the node's own stream %v", i, id)
+			}
+			if id.Site < 0 || id.Site >= s.Workload.N() {
+				t.Errorf("event %d touches stream %v of nonexistent site", i, id)
+			}
+			if id.Index < 0 || id.Index >= s.Workload.Sites[id.Site].NumStreams {
+				t.Errorf("event %d touches nonexistent stream %v", i, id)
+			}
+		}
+	}
+	if kinds[sim.EventViewChange] == 0 {
+		t.Error("no view-change events at mix 0.5")
+	}
+	if kinds[sim.EventSubscribe]+kinds[sim.EventUnsubscribe] == 0 {
+		t.Error("no join/leave events at mix 0.5")
+	}
+}
+
+// TestChurnTraceReplaysCleanly is the integration property: every emitted
+// operation applies to the live forest (the generator's state mirror is
+// exact), and the forest stays valid through the whole trace.
+func TestChurnTraceReplaysCleanly(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		s := churnSession(t, 100+seed)
+		profile := workload.ChurnProfile{RatePerSec: 8, ViewChangeMix: 0.7}
+		const duration = 3000
+		trace, err := s.ChurnTrace(profile, duration, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.RunEvents(sim.Config{
+			Forest: s.Forest, Profile: stream.DefaultProfile(), DurationMs: duration,
+		}, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, out := range res.Events {
+			if out.Skipped != 0 {
+				t.Errorf("seed %d: event %d (%v at %v by %d) skipped %d ops",
+					seed, out.Index, out.Kind, out.AtMs, out.Node, out.Skipped)
+			}
+		}
+		if err := s.Forest.Validate(); err != nil {
+			t.Errorf("seed %d: forest invalid after trace: %v", seed, err)
+		}
+		if res.TotalFrames == 0 {
+			t.Errorf("seed %d: no frames delivered", seed)
+		}
+	}
+}

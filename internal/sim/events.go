@@ -1,0 +1,478 @@
+package sim
+
+// events.go makes the simulator event-driven: in addition to replaying a
+// frame schedule over a static forest (Run), RunEvents accepts a
+// time-stamped control trace — subscribe, unsubscribe and FOV view-change
+// events — and applies it to the live forest mid-session through the
+// overlay's dynamic operations. Frames keep flowing while the forest
+// reconfigures: a frame already in flight to a node that just left is
+// discarded at arrival, a subtree re-attached under a new parent misses
+// the frames its old parent would have forwarded, and a freshly admitted
+// subscriber starts receiving at the next frame its parent forwards.
+//
+// The headline metric this unlocks is *disruption latency*: for every
+// event that gains streams (a view change rotating a display's FOV, or a
+// plain subscribe), the time from the event to the first delivered frame
+// of each newly needed stream. This is what a viewer actually experiences
+// when the view changes mid-session — the quantity the paper's §6 future
+// work points at measuring for ViewCast-style view dynamics.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/stream"
+)
+
+// EventKind classifies a control event.
+type EventKind int
+
+const (
+	// EventSubscribe adds the Gained streams to the node's subscriptions.
+	EventSubscribe EventKind = iota
+	// EventUnsubscribe withdraws the Lost streams from the node.
+	EventUnsubscribe
+	// EventViewChange atomically swaps part of the node's view: the Lost
+	// streams are withdrawn, then the Gained streams are subscribed — the
+	// dissemination-level image of a display's FOV rotating.
+	EventViewChange
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventSubscribe:
+		return "subscribe"
+	case EventUnsubscribe:
+		return "unsubscribe"
+	case EventViewChange:
+		return "view-change"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one time-stamped control operation on the live forest.
+type Event struct {
+	// AtMs is the event time in session-relative milliseconds.
+	AtMs float64
+	// Kind selects the operation.
+	Kind EventKind
+	// Node is the subscribing RP.
+	Node int
+	// Gained lists streams to subscribe (EventSubscribe, EventViewChange).
+	Gained []stream.ID
+	// Lost lists streams to unsubscribe (EventUnsubscribe, EventViewChange).
+	Lost []stream.ID
+}
+
+// EventOutcome reports what one event did to the forest and what the
+// subscriber experienced afterwards.
+type EventOutcome struct {
+	// Index is the event's position in the (time-sorted) trace.
+	Index int
+	AtMs  float64
+	Kind  EventKind
+	Node  int
+	// GainedAccepted and GainedRejected partition the event's admitted
+	// gained streams by join outcome; Skipped counts operations the forest
+	// could not apply (duplicate subscribes, unknown unsubscribes, invalid
+	// targets) — a replayed trace that drifted from the forest state.
+	GainedAccepted int
+	GainedRejected int
+	Skipped        int
+	// LostApplied counts successful unsubscribes.
+	LostApplied int
+	// DeliveredGained counts accepted gained streams that received at
+	// least one frame before session end; Undelivered the remainder —
+	// gains still dry at session end, plus gains withdrawn (or
+	// superseded by a re-subscribe) before their first frame arrived.
+	// DeliveredGained + Undelivered == GainedAccepted always holds.
+	DeliveredGained int
+	Undelivered     int
+	// MeanDisruptionMs and MaxDisruptionMs summarize, over the delivered
+	// gained streams, the time from the event to the first delivered frame
+	// of that stream.
+	MeanDisruptionMs float64
+	MaxDisruptionMs  float64
+}
+
+// EventResult is a completed event-driven simulation.
+type EventResult struct {
+	// PerSubscription accumulates delivery stats per (node, stream) pair
+	// over the whole session, including pairs whose membership started or
+	// ended mid-session; sorted by (node, stream). Hops is the overlay
+	// path length at session end (0 if the node is no longer a member).
+	PerSubscription []DeliveryStats
+	// TotalFrames counts frame deliveries; MaxLatencyMs the worst frame
+	// latency observed anywhere.
+	TotalFrames  int
+	MaxLatencyMs float64
+	// Events holds one outcome per control event, in trace order.
+	Events []EventOutcome
+	// MeanDisruptionMs and MaxDisruptionMs aggregate disruption latency
+	// over every delivered gained stream of every event.
+	MeanDisruptionMs float64
+	MaxDisruptionMs  float64
+	// DeliveredGained / UndeliveredGained aggregate the per-event counts.
+	DeliveredGained   int
+	UndeliveredGained int
+	// FinalAccepted and FinalRejected snapshot the forest's accounting at
+	// session end.
+	FinalAccepted int
+	FinalRejected int
+}
+
+// evItem is a heap entry: either a frame arrival or a control event.
+// Control events sort before frame arrivals at equal timestamps, so a
+// frame forwarded at exactly the event time already sees the new forest.
+type evItem struct {
+	at      float64
+	control bool
+	node    int
+	stream  stream.ID
+	seq     int // frame sequence, or control-event index
+	ord     int // insertion order: the final, total tie-break
+}
+
+func (a evItem) before(b evItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.control != b.control {
+		return a.control
+	}
+	return a.ord < b.ord
+}
+
+// evHeap is a binary min-heap on evItem.before.
+type evHeap []evItem
+
+func (h *evHeap) push(e evItem) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].before((*h)[i]) {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *evHeap) pop() evItem {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r, smallest := 2*i+1, 2*i+2, i
+		if l < n && (*h)[l].before((*h)[smallest]) {
+			smallest = l
+		}
+		if r < n && (*h)[r].before((*h)[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// pendingKey identifies a gained stream awaiting its first delivery.
+type pendingKey struct {
+	node int
+	id   stream.ID
+}
+
+// pendingGain tracks one accepted gained stream until its first frame; a
+// re-subscribe of the same pair overwrites (supersedes) the older entry.
+type pendingGain struct {
+	event int // index into outcomes
+	since float64
+}
+
+// RunEvents executes an event-driven simulation: the frame schedule of
+// every stream the session ever needs plays over cfg.Forest while the
+// control trace reconfigures it live. The forest is mutated in place; it
+// ends in the post-trace state (callers needing the original forest must
+// construct a fresh one). Events are applied in time order; ties keep the
+// trace order. The trace may be unsorted.
+func RunEvents(cfg Config, events []Event) (*EventResult, error) {
+	if cfg.Forest == nil {
+		return nil, errors.New("sim: nil forest")
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DurationMs <= 0 {
+		return nil, fmt.Errorf("sim: duration %v <= 0", cfg.DurationMs)
+	}
+	if cfg.HopOverheadMs < 0 || math.IsNaN(cfg.HopOverheadMs) {
+		return nil, fmt.Errorf("sim: hop overhead %v invalid", cfg.HopOverheadMs)
+	}
+	for i, e := range events {
+		if math.IsNaN(e.AtMs) || e.AtMs < 0 || e.AtMs >= cfg.DurationMs {
+			return nil, fmt.Errorf("sim: event %d at %vms outside [0, %v)", i, e.AtMs, cfg.DurationMs)
+		}
+		switch e.Kind {
+		case EventSubscribe, EventUnsubscribe, EventViewChange:
+		default:
+			return nil, fmt.Errorf("sim: event %d has unknown kind %d", i, int(e.Kind))
+		}
+	}
+
+	f := cfg.Forest
+	p := f.Problem()
+	interval := cfg.Profile.FrameIntervalMs()
+	frames := int(cfg.DurationMs / interval)
+	if frames < 1 {
+		frames = 1
+	}
+
+	// Time-sort a copy of the trace; stable keeps trace order for ties.
+	trace := make([]Event, len(events))
+	copy(trace, events)
+	sort.SliceStable(trace, func(i, j int) bool { return trace[i].AtMs < trace[j].AtMs })
+
+	// Capture events cover every stream the session ever disseminates:
+	// the initial forest's trees plus every stream any event gains.
+	// Sources capture regardless of demand; frames of a stream with no
+	// subscribers die at the source.
+	captured := make(map[stream.ID]bool)
+	for _, t := range f.Trees() {
+		captured[t.Stream] = true
+	}
+	for _, e := range trace {
+		for _, id := range e.Gained {
+			if id.Site >= 0 && id.Site < p.N() {
+				captured[id] = true
+			}
+		}
+	}
+	capturedIDs := make([]stream.ID, 0, len(captured))
+	for id := range captured {
+		capturedIDs = append(capturedIDs, id)
+	}
+	sort.Slice(capturedIDs, func(i, j int) bool { return capturedIDs[i].Less(capturedIDs[j]) })
+
+	var heap evHeap
+	ord := 0
+	for _, id := range capturedIDs {
+		for seq := 0; seq < frames; seq++ {
+			heap.push(evItem{at: float64(seq) * interval, node: id.Site, stream: id, seq: seq, ord: ord})
+			ord++
+		}
+	}
+	for i, e := range trace {
+		heap.push(evItem{at: e.AtMs, control: true, seq: i, ord: ord})
+		ord++
+	}
+
+	res := &EventResult{Events: make([]EventOutcome, len(trace))}
+	for i, e := range trace {
+		res.Events[i] = EventOutcome{Index: i, AtMs: e.AtMs, Kind: e.Kind, Node: e.Node}
+	}
+
+	acc := make(map[pendingKey]*DeliveryStats)
+	pending := make(map[pendingKey]pendingGain)
+	// delivered dedups frame copies: during a re-attachment a node can be
+	// sent the same frame twice — once in flight from its detached old
+	// parent, once forwarded by its new parent. A real receiver discards
+	// the duplicate and does not re-forward it. The suppression is scoped
+	// to one membership epoch: a pair that unsubscribes and re-subscribes
+	// starts a fresh epoch (epochs bumps on every accepted gain), so a
+	// sequence legitimately re-delivered to the new membership — e.g. via
+	// a slower relay that had not yet forwarded it — is counted again.
+	type deliveryID struct {
+		node  int
+		id    stream.ID
+		seq   int
+		epoch int
+	}
+	delivered := make(map[deliveryID]struct{})
+	epochs := make(map[pendingKey]int)
+
+	for len(heap) > 0 {
+		item := heap.pop()
+		if item.control {
+			e := trace[item.seq]
+			out := &res.Events[item.seq]
+			for _, id := range e.Lost {
+				if err := f.Unsubscribe(overlay.Request{Node: e.Node, Stream: id}); err != nil {
+					out.Skipped++
+					continue
+				}
+				out.LostApplied++
+				// A gain withdrawn before its first frame never delivers:
+				// settle it as Undelivered on its subscribing event so
+				// DeliveredGained + Undelivered always equals GainedAccepted.
+				k := pendingKey{node: e.Node, id: id}
+				if pg, ok := pending[k]; ok {
+					res.Events[pg.event].Undelivered++
+					delete(pending, k)
+				}
+			}
+			for _, id := range e.Gained {
+				r, err := f.Subscribe(overlay.Request{Node: e.Node, Stream: id})
+				if err != nil {
+					out.Skipped++
+					continue
+				}
+				switch r {
+				case overlay.Joined, overlay.AlreadyMember:
+					out.GainedAccepted++
+					k := pendingKey{node: e.Node, id: id}
+					// A new membership epoch: old delivered entries no
+					// longer suppress this subscription's frames. A
+					// superseded pending gain (re-subscribe before any
+					// frame) settles as Undelivered first.
+					epochs[k]++
+					if pg, ok := pending[k]; ok {
+						res.Events[pg.event].Undelivered++
+					}
+					pending[k] = pendingGain{event: item.seq, since: e.AtMs}
+				default:
+					out.GainedRejected++
+				}
+			}
+			continue
+		}
+
+		t := f.Tree(item.stream)
+		if t == nil || !t.Contains(item.node) {
+			// The carrier left (or the stream lost its tree) while the
+			// frame was in flight; the frame is discarded.
+			continue
+		}
+		if item.node != t.Source {
+			k := pendingKey{node: item.node, id: item.stream}
+			dk := deliveryID{node: item.node, id: item.stream, seq: item.seq, epoch: epochs[k]}
+			if _, dup := delivered[dk]; dup {
+				continue
+			}
+			delivered[dk] = struct{}{}
+			st := acc[k]
+			if st == nil {
+				st = &DeliveryStats{Node: item.node, Stream: item.stream}
+				acc[k] = st
+			}
+			lat := item.at - float64(item.seq)*interval
+			st.Frames++
+			st.MeanLatMs += (lat - st.MeanLatMs) / float64(st.Frames)
+			st.MaxLatMs = math.Max(st.MaxLatMs, lat)
+			res.TotalFrames++
+			res.MaxLatencyMs = math.Max(res.MaxLatencyMs, lat)
+			if pg, ok := pending[k]; ok {
+				d := item.at - pg.since
+				out := &res.Events[pg.event]
+				out.DeliveredGained++
+				out.MeanDisruptionMs += (d - out.MeanDisruptionMs) / float64(out.DeliveredGained)
+				out.MaxDisruptionMs = math.Max(out.MaxDisruptionMs, d)
+				delete(pending, k)
+			}
+		}
+		for _, child := range t.Children(item.node) {
+			heap.push(evItem{
+				at:     item.at + p.Cost[item.node][child] + cfg.HopOverheadMs,
+				node:   child,
+				stream: item.stream,
+				seq:    item.seq,
+				ord:    ord,
+			})
+			ord++
+		}
+	}
+
+	// Accepted gains that never saw a frame.
+	for _, pg := range pending {
+		res.Events[pg.event].Undelivered++
+	}
+	// Aggregate disruption across events in trace order.
+	var sum float64
+	for _, out := range res.Events {
+		res.DeliveredGained += out.DeliveredGained
+		res.UndeliveredGained += out.Undelivered
+		sum += out.MeanDisruptionMs * float64(out.DeliveredGained)
+		res.MaxDisruptionMs = math.Max(res.MaxDisruptionMs, out.MaxDisruptionMs)
+	}
+	if res.DeliveredGained > 0 {
+		res.MeanDisruptionMs = sum / float64(res.DeliveredGained)
+	}
+
+	for k, st := range acc {
+		if t := f.Tree(k.id); t != nil && t.Contains(k.node) && k.node != t.Source {
+			h := 0
+			for cur := k.node; cur != t.Source; h++ {
+				parent, ok := t.Parent(cur)
+				if !ok {
+					return nil, fmt.Errorf("sim: tree %s disconnected at %d", t.Stream, cur)
+				}
+				cur = parent
+			}
+			st.Hops = h
+		}
+		res.PerSubscription = append(res.PerSubscription, *st)
+	}
+	sort.Slice(res.PerSubscription, func(i, j int) bool {
+		a, b := res.PerSubscription[i], res.PerSubscription[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Stream.Less(b.Stream)
+	})
+	res.FinalAccepted = len(f.Accepted())
+	res.FinalRejected = len(f.Rejected())
+	return res, nil
+}
+
+// MinEdgeCostMs returns the smallest off-diagonal edge cost of the
+// problem's latency matrix — the graph lower bound on any single overlay
+// hop, and therefore on any delivered frame's latency.
+func MinEdgeCostMs(p *overlay.Problem) float64 {
+	min := math.Inf(1)
+	for i := range p.Cost {
+		for j, c := range p.Cost[i] {
+			if i != j && c < min {
+				min = c
+			}
+		}
+	}
+	return min
+}
+
+// VerifyEventLowerBound checks that no delivered frame beat the graph
+// lower bound: every delivery crosses at least one overlay edge, so the
+// per-subscription mean and max latencies must be at least the cheapest
+// edge of the cost matrix. The fuzz harness runs this after every random
+// trace — a simulator bug that teleports frames fails here.
+func VerifyEventLowerBound(cfg Config, res *EventResult) error {
+	bound := MinEdgeCostMs(cfg.Forest.Problem())
+	const eps = 1e-9
+	for _, st := range res.PerSubscription {
+		if st.Frames == 0 {
+			continue
+		}
+		if st.MeanLatMs+eps < bound {
+			return fmt.Errorf("sim: node %d stream %s mean latency %.4fms below edge bound %.4fms",
+				st.Node, st.Stream, st.MeanLatMs, bound)
+		}
+		if st.MaxLatMs+eps < st.MeanLatMs {
+			return fmt.Errorf("sim: node %d stream %s max latency %.4fms below mean %.4fms",
+				st.Node, st.Stream, st.MaxLatMs, st.MeanLatMs)
+		}
+	}
+	if res.TotalFrames > 0 && res.MaxLatencyMs+eps < bound {
+		return fmt.Errorf("sim: max latency %.4fms below edge bound %.4fms", res.MaxLatencyMs, bound)
+	}
+	return nil
+}

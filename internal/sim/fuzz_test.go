@@ -1,0 +1,127 @@
+package sim
+
+// fuzz_test.go fuzzes the event-driven simulator with random traces over
+// a live forest. Three properties must survive any input:
+//
+//   - RunEvents terminates (the discrete-event loop cannot stall: every
+//     forwarded frame moves strictly forward in time because edge costs
+//     are positive — a deadlock here would hang the fuzzer and fail);
+//   - the forest passes Validate after the trace;
+//   - no reported latency beats the graph lower bound (a frame cannot
+//     arrive faster than the cheapest edge of the cost matrix).
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/stream"
+)
+
+// fuzzForest builds a 5-node forest with contention and an initial
+// workload, deterministic in the seed.
+func fuzzForest(seed int64) (*overlay.Forest, error) {
+	const n = 5
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i != j {
+				cost[i][j] = float64(2 + (i*3+j)%9)
+			}
+		}
+	}
+	p := &overlay.Problem{
+		In:    []int{4, 3, 5, 4, 3},
+		Out:   []int{4, 5, 3, 5, 4},
+		Cost:  cost,
+		Bcost: 25,
+	}
+	for node := 0; node < n; node++ {
+		for j := 0; j < n; j++ {
+			if j != node && (node*2+j)%3 == 0 {
+				p.Requests = append(p.Requests, overlay.Request{
+					Node: node, Stream: stream.ID{Site: j, Index: j % 2},
+				})
+			}
+		}
+	}
+	return overlay.RJ{}.Construct(p, rand.New(rand.NewSource(seed)))
+}
+
+// FuzzSimEvents decodes the fuzz input as an event trace (5 bytes per
+// event: time, kind, node, site, index) and replays it through RunEvents.
+func FuzzSimEvents(f *testing.F) {
+	f.Add([]byte{10, 0, 1, 2, 0, 200, 1, 1, 2, 0}, int64(1))
+	f.Add([]byte{50, 2, 3, 0, 1, 50, 2, 4, 0, 1, 90, 0, 3, 0, 1}, int64(5))
+	f.Add([]byte{0, 0, 0, 0, 0}, int64(9))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		forest, err := fuzzForest(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const durationMs = 400 // 10 fps below -> 4 frames per stream
+		prof := stream.Profile{Width: 64, Height: 48, FPS: 10, CompressionRatio: 10}
+		var events []Event
+		for i := 0; i+4 < len(data) && len(events) < 64; i += 5 {
+			at := float64(data[i]) / 256 * durationMs
+			kind := EventKind(int(data[i+1]) % 3)
+			node := int(data[i+2]) % 5
+			id := stream.ID{Site: int(data[i+3]) % 5, Index: int(data[i+4]) % 3}
+			e := Event{AtMs: at, Kind: kind, Node: node}
+			switch kind {
+			case EventSubscribe:
+				e.Gained = []stream.ID{id}
+			case EventUnsubscribe:
+				e.Lost = []stream.ID{id}
+			case EventViewChange:
+				e.Gained = []stream.ID{id}
+				e.Lost = []stream.ID{{Site: (id.Site + 1) % 5, Index: id.Index}}
+			}
+			events = append(events, e)
+		}
+		cfg := Config{Forest: forest, Profile: prof, DurationMs: durationMs}
+		res, err := RunEvents(cfg, events)
+		if err != nil {
+			t.Fatalf("RunEvents: %v", err)
+		}
+		if err := forest.Validate(); err != nil {
+			t.Fatalf("forest invalid after trace: %v", err)
+		}
+		if err := VerifyEventLowerBound(cfg, res); err != nil {
+			t.Fatalf("latency below graph lower bound: %v", err)
+		}
+		// Duplicate suppression: within one membership epoch a pair
+		// receives each captured frame at most once, and a pair gains a
+		// new epoch only through an accepted (re-)subscribe — so its
+		// cumulative count is bounded by captures × (1 + accepted gains).
+		frames := int(durationMs / prof.FrameIntervalMs())
+		var accepted int
+		for _, out := range res.Events {
+			accepted += out.GainedAccepted
+		}
+		for _, st := range res.PerSubscription {
+			if st.Frames > frames*(1+accepted) {
+				t.Fatalf("node %d stream %s got %d frames, source captured %d (%d gains accepted)",
+					st.Node, st.Stream, st.Frames, frames, accepted)
+			}
+		}
+		// Conservation: every operation in the trace is accounted exactly
+		// once across accepted/rejected/applied/skipped, and no event
+		// reports more delivered+undelivered gains than it accepted.
+		var wantOps, gotOps int
+		for _, e := range events {
+			wantOps += len(e.Gained) + len(e.Lost)
+		}
+		for _, out := range res.Events {
+			gotOps += out.GainedAccepted + out.GainedRejected + out.LostApplied + out.Skipped
+			if out.DeliveredGained+out.Undelivered != out.GainedAccepted {
+				t.Fatalf("event %d: delivered %d + undelivered %d != accepted %d",
+					out.Index, out.DeliveredGained, out.Undelivered, out.GainedAccepted)
+			}
+		}
+		if gotOps != wantOps {
+			t.Fatalf("outcomes account for %d ops, trace carried %d", gotOps, wantOps)
+		}
+	})
+}

@@ -52,55 +52,8 @@ type Result struct {
 	MaxLatencyMs float64
 }
 
-// event is one frame arrival at one node.
-type event struct {
-	at     float64 // ms
-	node   int
-	stream stream.ID
-	seq    int
-}
-
-// eventHeap is a binary min-heap on event.at.
-type eventHeap []event
-
-func (h *eventHeap) push(e event) {
-	*h = append(*h, e)
-	i := len(*h) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if (*h)[p].at <= (*h)[i].at {
-			break
-		}
-		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
-		i = p
-	}
-}
-
-func (h *eventHeap) pop() event {
-	old := *h
-	top := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	*h = old[:n]
-	i := 0
-	for {
-		l, r, smallest := 2*i+1, 2*i+2, i
-		if l < n && (*h)[l].at < (*h)[smallest].at {
-			smallest = l
-		}
-		if r < n && (*h)[r].at < (*h)[smallest].at {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
-		i = smallest
-	}
-	return top
-}
-
-// Run executes the simulation.
+// Run executes the simulation over a static forest. The shared event
+// heap (evHeap, events.go) orders frame arrivals by time.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Forest == nil {
 		return nil, errors.New("sim: nil forest")
@@ -144,12 +97,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	var heap eventHeap
+	var heap evHeap
+	ord := 0
 	res := &Result{}
 	// Seed capture events: every tree source emits `frames` frames.
 	for _, t := range cfg.Forest.Trees() {
 		for seq := 0; seq < frames; seq++ {
-			heap.push(event{at: float64(seq) * interval, node: t.Source, stream: t.Stream, seq: seq})
+			heap.push(evItem{at: float64(seq) * interval, node: t.Source, stream: t.Stream, seq: seq, ord: ord})
+			ord++
 		}
 	}
 	for len(heap) > 0 {
@@ -168,12 +123,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 		// Forward to children.
 		for _, child := range t.Children(e.node) {
-			heap.push(event{
+			heap.push(evItem{
 				at:     e.at + p.Cost[e.node][child] + cfg.HopOverheadMs,
 				node:   child,
 				stream: e.stream,
 				seq:    e.seq,
+				ord:    ord,
 			})
+			ord++
 		}
 	}
 

@@ -1,0 +1,101 @@
+package workload
+
+// churn.go generates seeded mid-session churn profiles: a Poisson event
+// schedule whose events are view changes (a display's FOV rotates,
+// swapping part of its contributing stream set) or join/leave churn (a
+// site picks up or drops a single subscription). The schedule carries
+// only times and kinds — the session layer resolves each slot against the
+// live FOV state into concrete subscribe/unsubscribe/view-change events.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ChurnKind classifies one churn slot.
+type ChurnKind int
+
+const (
+	// ChurnViewChange rotates one display's FOV.
+	ChurnViewChange ChurnKind = iota
+	// ChurnJoin adds one fresh subscription at a site.
+	ChurnJoin
+	// ChurnLeave drops one existing subscription at a site.
+	ChurnLeave
+)
+
+// String implements fmt.Stringer.
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnViewChange:
+		return "view-change"
+	case ChurnJoin:
+		return "join"
+	case ChurnLeave:
+		return "leave"
+	default:
+		return fmt.Sprintf("ChurnKind(%d)", int(k))
+	}
+}
+
+// ChurnProfile parameterizes a session's churn process.
+type ChurnProfile struct {
+	// RatePerSec is the mean churn event rate across the whole session
+	// (Poisson arrivals, exponential inter-event gaps).
+	RatePerSec float64
+	// ViewChangeMix in [0,1] is the probability that an event is a view
+	// change; the remainder splits evenly between join and leave.
+	ViewChangeMix float64
+}
+
+// Validate checks the profile.
+func (p ChurnProfile) Validate() error {
+	switch {
+	case p.RatePerSec <= 0 || math.IsNaN(p.RatePerSec) || math.IsInf(p.RatePerSec, 0):
+		return fmt.Errorf("workload: churn rate %v not positive and finite", p.RatePerSec)
+	case p.ViewChangeMix < 0 || p.ViewChangeMix > 1 || math.IsNaN(p.ViewChangeMix):
+		return fmt.Errorf("workload: view-change mix %v outside [0,1]", p.ViewChangeMix)
+	}
+	return nil
+}
+
+// ChurnSlot is one scheduled churn event: when it happens and what kind
+// of dynamics it is. The session layer binds it to sites, displays and
+// streams.
+type ChurnSlot struct {
+	AtMs float64
+	Kind ChurnKind
+}
+
+// Schedule draws the session's churn slots for a duration: a Poisson
+// process at RatePerSec, each arrival classified by the mix. The result
+// is sorted by time and deterministic in the rng state.
+func (p ChurnProfile) Schedule(durationMs float64, rng *rand.Rand) ([]ChurnSlot, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if durationMs <= 0 || math.IsNaN(durationMs) || math.IsInf(durationMs, 0) {
+		return nil, fmt.Errorf("workload: churn duration %v not positive and finite", durationMs)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	meanGapMs := 1000.0 / p.RatePerSec
+	var slots []ChurnSlot
+	for at := rng.ExpFloat64() * meanGapMs; at < durationMs; at += rng.ExpFloat64() * meanGapMs {
+		kind := ChurnViewChange
+		if rng.Float64() >= p.ViewChangeMix {
+			if rng.Float64() < 0.5 {
+				kind = ChurnJoin
+			} else {
+				kind = ChurnLeave
+			}
+		}
+		slots = append(slots, ChurnSlot{AtMs: at, Kind: kind})
+	}
+	// Exponential gaps already arrive sorted; keep the invariant explicit.
+	sort.SliceStable(slots, func(i, j int) bool { return slots[i].AtMs < slots[j].AtMs })
+	return slots, nil
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestChurnProfileValidate(t *testing.T) {
+	bad := []ChurnProfile{
+		{RatePerSec: 0, ViewChangeMix: 0.5},
+		{RatePerSec: -1, ViewChangeMix: 0.5},
+		{RatePerSec: math.NaN(), ViewChangeMix: 0.5},
+		{RatePerSec: 1, ViewChangeMix: -0.1},
+		{RatePerSec: 1, ViewChangeMix: 1.1},
+		{RatePerSec: 1, ViewChangeMix: math.NaN()},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %+v validated", p)
+		}
+	}
+	if err := (ChurnProfile{RatePerSec: 2, ViewChangeMix: 0.7}).Validate(); err != nil {
+		t.Errorf("good profile rejected: %v", err)
+	}
+}
+
+func TestChurnScheduleSortedInRangeDeterministic(t *testing.T) {
+	p := ChurnProfile{RatePerSec: 5, ViewChangeMix: 0.6}
+	s1, err := p.Schedule(10_000, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Schedule(10_000, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("same seed produced different schedules")
+	}
+	for i, slot := range s1 {
+		if slot.AtMs < 0 || slot.AtMs >= 10_000 {
+			t.Errorf("slot %d at %v outside [0, 10000)", i, slot.AtMs)
+		}
+		if i > 0 && slot.AtMs < s1[i-1].AtMs {
+			t.Errorf("slot %d out of order", i)
+		}
+	}
+	// 5/s over 10s: expect ~50 events; Poisson spread is sqrt(50) ≈ 7,
+	// so a wide window still catches a broken rate.
+	if len(s1) < 20 || len(s1) > 100 {
+		t.Errorf("schedule has %d slots, want ~50", len(s1))
+	}
+}
+
+func TestChurnScheduleMix(t *testing.T) {
+	p := ChurnProfile{RatePerSec: 100, ViewChangeMix: 0.7}
+	slots, err := p.Schedule(60_000, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[ChurnKind]int{}
+	for _, s := range slots {
+		counts[s.Kind]++
+	}
+	total := float64(len(slots))
+	if vc := float64(counts[ChurnViewChange]) / total; vc < 0.6 || vc > 0.8 {
+		t.Errorf("view-change fraction %.3f, want ~0.7", vc)
+	}
+	// Joins and leaves split the remainder roughly evenly.
+	if counts[ChurnJoin] == 0 || counts[ChurnLeave] == 0 {
+		t.Errorf("joins %d leaves %d, want both populated", counts[ChurnJoin], counts[ChurnLeave])
+	}
+	// Pure view-change mix produces no join/leave at all.
+	pure, err := ChurnProfile{RatePerSec: 20, ViewChangeMix: 1}.Schedule(10_000, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pure {
+		if s.Kind != ChurnViewChange {
+			t.Fatalf("mix=1 produced %v", s.Kind)
+		}
+	}
+}
+
+func TestChurnScheduleValidation(t *testing.T) {
+	p := ChurnProfile{RatePerSec: 1, ViewChangeMix: 0.5}
+	if _, err := p.Schedule(0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := p.Schedule(100, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := (ChurnProfile{}).Schedule(100, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero-value profile accepted")
+	}
+}
