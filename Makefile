@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet test race bench bench-smoke sweep-smoke fuzz-smoke cover ci
+.PHONY: build fmt-check vet test race live-race bench bench-smoke sweep-smoke fuzz-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# live-race exercises the networked control/data plane — transport,
+# membership control loop, RP hot-swap, and the live-vs-sim churn
+# cross-check — under the race detector with a bounded timeout, so a
+# deadlocked control loop fails fast instead of hanging CI.
+live-race:
+	$(GO) test -race -timeout 180s \
+		./internal/transport ./internal/membership ./internal/rp ./internal/session
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
@@ -50,4 +58,4 @@ fuzz-smoke:
 cover:
 	$(GO) test -cover ./internal/...
 
-ci: build fmt-check vet race bench-smoke sweep-smoke fuzz-smoke
+ci: build fmt-check vet race live-race bench-smoke sweep-smoke fuzz-smoke

@@ -97,4 +97,11 @@ func main() {
 	f := srv.Forest()
 	fmt.Printf("membershipd: forest constructed: %d trees, %d accepted, %d rejected\n",
 		len(f.Trees()), len(f.Accepted()), len(f.Rejected()))
+
+	// The session is live: keep applying mid-session resubscriptions and
+	// pushing routing deltas until interrupted.
+	fmt.Println("membershipd: serving resubscriptions (ctrl-c to stop)")
+	<-ctx.Done()
+	srv.Wait()
+	fmt.Printf("membershipd: shut down at routing epoch %d\n", srv.Epoch())
 }

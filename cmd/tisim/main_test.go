@@ -30,9 +30,30 @@ func TestParseFlagsCustom(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := options{fig: "9", samples: 25, seed: 7, parallel: 3, csv: true,
-		churn: true, churnRate: 2.5, churnMix: 0.4}
+		churn: true, churnRate: 2.5, churnMix: 0.4, liveN: 4, liveMs: 2000}
 	if o != want {
 		t.Errorf("parsed %+v, want %+v", o, want)
+	}
+}
+
+func TestParseFlagsLive(t *testing.T) {
+	o, err := parseFlags([]string{"-churn", "-live", "-liven", "6", "-livems", "900"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.live || o.liveN != 6 || o.liveMs != 900 {
+		t.Errorf("live options = %+v", o)
+	}
+	// -live is a churn mode; bare -live is a usage error, as are
+	// degenerate session parameters.
+	for _, args := range [][]string{
+		{"-live"},
+		{"-churn", "-live", "-liven", "1"},
+		{"-churn", "-live", "-livems", "0"},
+	} {
+		if _, err := parseFlags(args, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }
 

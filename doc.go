@@ -25,6 +25,20 @@
 // binds each slot to concrete streams by rotating display FOVs and
 // diffing their contributing stream sets.
 //
+// The networked plane supports the same dynamics live: the membership
+// server is a long-lived control loop (registration connections stay
+// open; MsgResubscribe diffs are applied to the live forest and
+// epoch-versioned MsgRoutesUpdate deltas are pushed to the affected RPs
+// only), and rp.Node hot-swaps an immutable, epoch-tagged routing-table
+// snapshot while frames keep flowing — stale in-flight frames are
+// discarded, duplicates across a parent swap are suppressed by a
+// per-stream sequence watermark, and the first delivered frame of each
+// gained stream is timestamped. session.RunLive drives a churn trace
+// over real TCP loopback and reports the same disruption-latency metric
+// as sim.RunEvents; session.SimPrediction reconstructs the membership
+// server's exact forest so the two planes are directly comparable
+// (cmd/tisim -churn -live prints them side by side).
+//
 // Evaluation runs on a parallel experiment engine
 // (internal/experiments/engine.go): every Monte-Carlo sample is a pure
 // function of the seed and sample index, fanned across a worker pool and

@@ -6,6 +6,15 @@
 // The paper takes the centralized approach deliberately: 3DTI sessions
 // are small to medium sized, so a single coordination point is simpler
 // than a distributed control plane.
+//
+// The server is a long-lived control loop: registration connections stay
+// open for the whole session, and each RP may send MsgResubscribe diffs
+// (view changes, joins, leaves) mid-session. Diffs are applied to the
+// live forest through the overlay's dynamic Subscribe/Unsubscribe
+// operations, the session epoch is bumped, and per-site routing deltas
+// (MsgRoutesUpdate) are pushed to the affected RPs only — unaffected
+// sites never see control traffic for changes that do not touch their
+// routing duties.
 package membership
 
 import (
@@ -14,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 
 	"github.com/tele3d/tele3d/internal/overlay"
@@ -47,22 +57,40 @@ type Server struct {
 	mu       sync.Mutex
 	sites    map[int]*siteState
 	computed bool
-	forest   *overlay.Forest
+
+	// conns tracks every open control connection under its own mutex so
+	// the shutdown watcher can sweep them even while a routing-update
+	// write to a stalled peer is blocked holding s.mu — closing the
+	// connection is exactly what unblocks that write.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	forest *overlay.Forest
+	// cur is the last full routing table dictated to each site; deltas
+	// are computed against it.
+	cur map[int]*transport.Routes
+	// epoch is the session-wide routing-table version; bumped once per
+	// applied resubscription.
+	epoch uint64
 
 	// Ready is closed once routing tables have been sent to every RP.
-	ready chan struct{}
-	// failed is closed on the first handler error so that handlers
-	// blocked waiting for completeness unwind instead of deadlocking.
-	failed   chan struct{}
-	failOnce sync.Once
-	errCh    chan error
-	wg       sync.WaitGroup
+	ready     chan struct{}
+	readyOnce sync.Once
+	errCh     chan error
+	wg        sync.WaitGroup
 }
 
 type siteState struct {
 	hello *transport.Hello
 	subs  []stream.ID
 	conn  net.Conn
+	wmu   sync.Mutex // serializes writes on conn
+}
+
+// write sends one control message on the site's connection.
+func (st *siteState) write(m *transport.Message) error {
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	return transport.WriteMessage(st.conn, m)
 }
 
 // New creates a server and begins listening (but not accepting).
@@ -90,12 +118,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("membership: listen: %w", err)
 	}
 	return &Server{
-		cfg:    cfg,
-		ln:     ln,
-		sites:  make(map[int]*siteState),
-		ready:  make(chan struct{}),
-		failed: make(chan struct{}),
-		errCh:  make(chan error, cfg.N+1),
+		cfg:   cfg,
+		ln:    ln,
+		sites: make(map[int]*siteState),
+		conns: make(map[net.Conn]struct{}),
+		cur:   make(map[int]*transport.Routes),
+		ready: make(chan struct{}),
+		errCh: make(chan error, cfg.N+1),
 	}, nil
 }
 
@@ -105,102 +134,162 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Ready is closed once every RP has received its routing table.
 func (s *Server) Ready() <-chan struct{} { return s.ready }
 
-// Forest returns the constructed overlay forest (nil before Ready).
+// Forest returns the live overlay forest (nil before Ready). It is
+// mutated by mid-session resubscriptions.
 func (s *Server) Forest() *overlay.Forest {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.forest
 }
 
-// Serve accepts RP registrations until all N sites are registered and the
-// routing tables have been dictated, then returns. Cancelling ctx aborts.
+// Epoch returns the current routing-table version (1 after the initial
+// distribution, +1 per applied resubscription).
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Serve accepts RP registrations and blocks until all N sites hold their
+// initial routing tables (then returns nil), the session fails to
+// assemble, or ctx is cancelled. Registration connections stay open: a
+// background control loop keeps applying mid-session resubscriptions and
+// pushing routing deltas until ctx is cancelled. Connections that break
+// the registration protocol (duplicate site, out-of-range index) receive
+// a MsgError and are dropped without failing the session. Call Wait
+// after cancelling ctx to let the control loop unwind.
 func (s *Server) Serve(ctx context.Context) error {
-	defer s.ln.Close()
+	s.wg.Add(1)
 	go func() {
+		defer s.wg.Done()
 		<-ctx.Done()
 		s.ln.Close()
-	}()
-	for i := 0; i < s.cfg.N; i++ {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			return fmt.Errorf("membership: accept: %w", err)
+		s.connMu.Lock()
+		for conn := range s.conns {
+			conn.Close()
 		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			if err := s.handle(conn); err != nil {
-				s.errCh <- err
-				s.failOnce.Do(func() { close(s.failed) })
+		s.connMu.Unlock()
+	}()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := s.ln.Accept()
+			if err != nil {
+				return // listener closed (ctx cancelled or session failed)
 			}
-		}()
-	}
-	s.wg.Wait()
-	select {
-	case err := <-s.errCh:
-		return err
-	default:
-	}
+			s.connMu.Lock()
+			s.conns[conn] = struct{}{}
+			s.connMu.Unlock()
+			if ctx.Err() != nil {
+				// Lost the race with the shutdown watcher's sweep.
+				conn.Close()
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer func() {
+					s.connMu.Lock()
+					delete(s.conns, conn)
+					s.connMu.Unlock()
+				}()
+				s.handle(conn)
+			}()
+		}
+	}()
 	select {
 	case <-s.ready:
 		return nil
+	case err := <-s.errCh:
+		s.ln.Close()
+		return err
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-// handle reads one RP's Hello and Subscribe, then blocks until the forest
-// is computed and the RP's routes are sent.
-func (s *Server) handle(conn net.Conn) error {
-	defer conn.Close()
+// Wait blocks until every server goroutine has unwound; call after
+// cancelling the Serve context for a clean shutdown.
+func (s *Server) Wait() { s.wg.Wait() }
+
+// rejectConn reports a registration protocol error to the peer and
+// closes the connection; the session keeps waiting for valid sites.
+func rejectConn(conn net.Conn, msg string) {
+	_ = transport.WriteMessage(conn, &transport.Message{
+		Type: transport.MsgError, Error: &transport.ProtocolError{Msg: msg},
+	})
+	conn.Close()
+}
+
+// handle reads one RP's Hello and Subscribe, then serves the connection
+// for the session lifetime: once all sites are registered the routing
+// table goes out on it, after which resubscription diffs are read and
+// applied until the connection closes.
+func (s *Server) handle(conn net.Conn) {
 	m, err := transport.ReadMessage(conn)
 	if err != nil {
-		return fmt.Errorf("membership: read hello: %w", err)
+		conn.Close()
+		return
 	}
 	if m.Type != transport.MsgHello {
-		return fmt.Errorf("membership: expected hello, got type %d", m.Type)
+		rejectConn(conn, fmt.Sprintf("expected hello, got type %d", m.Type))
+		return
 	}
 	hello := m.Hello
 	if hello.Site < 0 || hello.Site >= s.cfg.N {
-		return fmt.Errorf("membership: site %d out of range", hello.Site)
+		rejectConn(conn, fmt.Sprintf("site %d out of range [0, %d)", hello.Site, s.cfg.N))
+		return
 	}
 	m, err = transport.ReadMessage(conn)
 	if err != nil {
-		return fmt.Errorf("membership: read subscribe: %w", err)
+		conn.Close()
+		return
 	}
 	if m.Type != transport.MsgSubscribe || m.Subscribe.Site != hello.Site {
-		return fmt.Errorf("membership: expected subscribe from site %d", hello.Site)
+		rejectConn(conn, fmt.Sprintf("expected subscribe from site %d", hello.Site))
+		return
 	}
 
+	st := &siteState{hello: hello, subs: m.Subscribe.Streams, conn: conn}
 	s.mu.Lock()
 	if _, dup := s.sites[hello.Site]; dup {
 		s.mu.Unlock()
-		return fmt.Errorf("membership: duplicate registration for site %d", hello.Site)
+		rejectConn(conn, fmt.Sprintf("duplicate registration for site %d", hello.Site))
+		return
 	}
-	s.sites[hello.Site] = &siteState{hello: hello, subs: m.Subscribe.Streams, conn: conn}
+	s.sites[hello.Site] = st
 	complete := len(s.sites) == s.cfg.N
 	s.mu.Unlock()
 
 	if complete {
 		if err := s.computeAndDistribute(); err != nil {
-			return err
+			s.errCh <- err
+			conn.Close()
+			return
 		}
-		close(s.ready)
+		s.readyOnce.Do(func() { close(s.ready) })
 	}
-	// Hold the connection open until the session is ready (the routing
-	// table goes out on it) or another handler has failed the session.
-	select {
-	case <-s.ready:
-		return nil
-	case <-s.failed:
-		return nil
+
+	// The RP sends nothing until its routing table arrives, so this read
+	// loop implicitly waits for session readiness.
+	defer conn.Close()
+	for {
+		m, err := transport.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		if m.Type != transport.MsgResubscribe || m.Resubscribe.Site != hello.Site {
+			_ = st.write(&transport.Message{Type: transport.MsgError, Error: &transport.ProtocolError{
+				Msg: fmt.Sprintf("unexpected control message type %d", m.Type),
+			}})
+			continue
+		}
+		s.applyResubscribe(m.Resubscribe)
 	}
 }
 
 // computeAndDistribute builds the forest from the global subscription
-// workload and sends each RP its routing table.
+// workload and sends each RP its initial (epoch 1) routing table.
 func (s *Server) computeAndDistribute() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -235,17 +324,72 @@ func (s *Server) computeAndDistribute() error {
 		return fmt.Errorf("membership: constructed forest invalid: %w", err)
 	}
 	s.forest = f
+	s.epoch = 1
 
 	routes := s.buildRoutes(f)
 	for i, st := range s.sites {
-		if err := transport.WriteMessage(st.conn, &transport.Message{Type: transport.MsgRoutes, Routes: routes[i]}); err != nil {
+		if err := st.write(&transport.Message{Type: transport.MsgRoutes, Routes: routes[i]}); err != nil {
 			return fmt.Errorf("membership: send routes to site %d: %w", i, err)
 		}
+		s.cur[i] = routes[i]
 	}
 	return nil
 }
 
-// buildRoutes converts the forest into per-site routing directives.
+// applyResubscribe applies one RP's subscription diff to the live forest
+// through the overlay's dynamic operations, bumps the session epoch, and
+// pushes routing deltas to every site whose table changed. The requester
+// always receives an update (its acknowledgement), even when its own
+// table is otherwise unchanged.
+func (s *Server) applyResubscribe(r *transport.Resubscribe) {
+	s.mu.Lock()
+	if s.forest == nil {
+		s.mu.Unlock()
+		return
+	}
+	for _, id := range r.Lost {
+		// Unknown requests (trace drift) are skipped; the forest is
+		// authoritative.
+		_ = s.forest.Unsubscribe(overlay.Request{Node: r.Site, Stream: id})
+	}
+	for _, id := range r.Gained {
+		_, _ = s.forest.Subscribe(overlay.Request{Node: r.Site, Stream: id})
+	}
+
+	s.epoch++
+	next := s.buildRoutes(s.forest)
+	// Deltas are cumulative per site, so they must hit each connection in
+	// epoch order: pushing under the lock serializes concurrent
+	// resubscriptions end to end. Control messages are small and the RPs'
+	// control loops always read promptly, so the writes cannot stall the
+	// session (the centralized-coordinator simplicity the paper argues
+	// for).
+	for i := 0; i < s.cfg.N; i++ {
+		u := diffRoutes(s.cur[i], next[i])
+		if u == nil && i != r.Site {
+			continue
+		}
+		if u == nil {
+			// The requester always gets an acknowledgement, even when its
+			// own table is unchanged (e.g. every gain was rejected).
+			u = &transport.RoutesUpdate{Site: i}
+		}
+		u.Epoch = s.epoch
+		if i == r.Site {
+			u.ReplyTo = r.ID
+		}
+		s.cur[i] = next[i]
+		if st := s.sites[i]; st != nil {
+			// A site whose connection died mid-session just misses
+			// updates; its handler unwinds independently.
+			_ = st.write(&transport.Message{Type: transport.MsgRoutesUpdate, Update: u})
+		}
+	}
+	s.mu.Unlock()
+}
+
+// buildRoutes converts the forest into per-site routing directives at
+// the current epoch. Slices are sorted so tables compare structurally.
 func (s *Server) buildRoutes(f *overlay.Forest) map[int]*transport.Routes {
 	out := make(map[int]*transport.Routes, s.cfg.N)
 	peers := make(map[int]string, s.cfg.N)
@@ -261,6 +405,7 @@ func (s *Server) buildRoutes(f *overlay.Forest) map[int]*transport.Routes {
 		}
 		out[i] = &transport.Routes{
 			Site:    i,
+			Epoch:   s.epoch,
 			Peers:   peers,
 			DelayMs: delays,
 			Forward: nil,
@@ -273,6 +418,7 @@ func (s *Server) buildRoutes(f *overlay.Forest) map[int]*transport.Routes {
 			children[e[0]] = append(children[e[0]], e[1])
 		}
 		for parent, ch := range children {
+			sort.Ints(ch)
 			out[parent].Forward = append(out[parent].Forward, transport.Route{Stream: t.Stream, Children: ch})
 		}
 	}
@@ -282,5 +428,106 @@ func (s *Server) buildRoutes(f *overlay.Forest) map[int]*transport.Routes {
 	for _, r := range f.Rejected() {
 		out[r.Node].Rejected = append(out[r.Node].Rejected, r.Stream)
 	}
+	for _, r := range out {
+		sort.Slice(r.Forward, func(a, b int) bool { return r.Forward[a].Stream.Less(r.Forward[b].Stream) })
+		sortIDs(r.Accepted)
+		sortIDs(r.Rejected)
+	}
 	return out
+}
+
+func sortIDs(ids []stream.ID) {
+	sort.Slice(ids, func(a, b int) bool { return ids[a].Less(ids[b]) })
+}
+
+// diffRoutes computes the delta turning table old into table new for one
+// site, or nil when nothing changed. Epoch and ReplyTo are left for the
+// caller to fill.
+func diffRoutes(old, new *transport.Routes) *transport.RoutesUpdate {
+	u := &transport.RoutesUpdate{Site: new.Site}
+	changed := false
+
+	oldFw := make(map[stream.ID][]int, len(old.Forward))
+	for _, r := range old.Forward {
+		oldFw[r.Stream] = r.Children
+	}
+	newFw := make(map[stream.ID][]int, len(new.Forward))
+	for _, r := range new.Forward {
+		newFw[r.Stream] = r.Children
+	}
+	for _, r := range new.Forward {
+		if !equalInts(oldFw[r.Stream], r.Children) {
+			u.SetForward = append(u.SetForward, r)
+			changed = true
+		}
+	}
+	for id := range oldFw {
+		if _, ok := newFw[id]; !ok {
+			u.SetForward = append(u.SetForward, transport.Route{Stream: id})
+			changed = true
+		}
+	}
+	sort.Slice(u.SetForward, func(a, b int) bool { return u.SetForward[a].Stream.Less(u.SetForward[b].Stream) })
+
+	u.AddAccepted, u.DelAccepted = diffIDs(old.Accepted, new.Accepted)
+	u.AddRejected, u.DelRejected = diffIDs(old.Rejected, new.Rejected)
+	changed = changed || len(u.AddAccepted)+len(u.DelAccepted)+len(u.AddRejected)+len(u.DelRejected) > 0
+
+	for k, v := range new.Peers {
+		if old.Peers[k] != v {
+			if u.Peers == nil {
+				u.Peers = make(map[int]string)
+			}
+			u.Peers[k] = v
+			changed = true
+		}
+	}
+	for k, v := range new.DelayMs {
+		if old.DelayMs[k] != v {
+			if u.DelayMs == nil {
+				u.DelayMs = make(map[int]float64)
+			}
+			u.DelayMs[k] = v
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	return u
+}
+
+// diffIDs returns new-minus-old (added) and old-minus-new (removed).
+func diffIDs(old, new []stream.ID) (added, removed []stream.ID) {
+	oldSet := make(map[stream.ID]bool, len(old))
+	for _, id := range old {
+		oldSet[id] = true
+	}
+	newSet := make(map[stream.ID]bool, len(new))
+	for _, id := range new {
+		newSet[id] = true
+		if !oldSet[id] {
+			added = append(added, id)
+		}
+	}
+	for _, id := range old {
+		if !newSet[id] {
+			removed = append(removed, id)
+		}
+	}
+	sortIDs(added)
+	sortIDs(removed)
+	return added, removed
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -3,6 +3,17 @@
 // forwards streams according to the membership server's routing table, and
 // delivers subscribed streams to the local displays.
 //
+// The routing table is live: the control connection to the membership
+// server stays open for the whole session, and epoch-versioned
+// RoutesUpdate deltas are applied by atomically hot-swapping an immutable
+// table snapshot while frames keep flowing. Every frame is routed under
+// exactly one epoch (the snapshot loaded when it arrives): a frame in
+// flight for a stream the site no longer accepts is discarded and counted
+// as stale, a frame already delivered under an earlier path is discarded
+// as a duplicate (per-stream sequence watermark), and the first delivered
+// frame of each newly gained stream is timestamped so the live plane
+// reports the same disruption-latency metric as sim.RunEvents.
+//
 // WAN latency is emulated per overlay edge: frames queued toward a peer
 // are released only after the edge's one-way delay (derived from the
 // geographic cost matrix) has elapsed, so end-to-end delivery latencies
@@ -14,8 +25,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tele3d/tele3d/internal/stream"
@@ -39,7 +52,7 @@ type Config struct {
 	Subscriptions []stream.ID
 
 	// DeliveryBuffer bounds the local display queue; when full, the
-	// oldest undelivered frame is dropped (video semantics). 0 means 256.
+	// newest frame is dropped (video semantics). 0 means 256.
 	DeliveryBuffer int
 }
 
@@ -54,9 +67,70 @@ type Delivery struct {
 type StreamStats struct {
 	Frames     int
 	Dropped    int // dropped at the local delivery queue
+	Duplicates int // second copies discarded by the sequence watermark
+	Stale      int // frames of streams the site no longer accepts
 	MeanLatMs  float64
 	MaxSeq     uint64
 	totalLatMs float64
+}
+
+// Disruption records the resubscription experience for one gained
+// stream: the moment the routing update that granted it took effect
+// locally, and the first frame actually delivered afterwards.
+type Disruption struct {
+	Stream stream.ID
+	// Epoch is the routing-table version that gained the stream.
+	Epoch uint64
+	// Applied is when the update took effect; FirstFrame when the first
+	// frame of the stream reached the local displays.
+	Applied    time.Time
+	FirstFrame time.Time
+	// LatencyMs is FirstFrame − Applied in milliseconds.
+	LatencyMs float64
+}
+
+// ResubscribeResult reports the membership server's decision on a
+// mid-session subscription diff.
+type ResubscribeResult struct {
+	// Epoch is the routing-table version that incorporates the change.
+	Epoch uint64
+	// Accepted and Rejected partition the gained streams by admission.
+	Accepted []stream.ID
+	Rejected []stream.ID
+}
+
+// routingTable is an immutable snapshot of the node's routing state; the
+// node swaps the whole snapshot atomically on every update, so a frame is
+// always routed under exactly one epoch.
+type routingTable struct {
+	epoch    uint64
+	routes   *transport.Routes
+	forward  map[stream.ID][]int
+	accepted map[stream.ID]bool
+}
+
+func newRoutingTable(r *transport.Routes) *routingTable {
+	t := &routingTable{
+		epoch:    r.Epoch,
+		routes:   r,
+		forward:  make(map[stream.ID][]int, len(r.Forward)),
+		accepted: make(map[stream.ID]bool, len(r.Accepted)),
+	}
+	for _, route := range r.Forward {
+		if len(route.Children) > 0 {
+			t.forward[route.Stream] = route.Children
+		}
+	}
+	for _, id := range r.Accepted {
+		t.accepted[id] = true
+	}
+	return t
+}
+
+// gainMark tracks a newly accepted stream until its first delivery.
+type gainMark struct {
+	epoch uint64
+	at    time.Time
 }
 
 // Node is a running rendezvous point.
@@ -65,15 +139,24 @@ type Node struct {
 	ln  net.Listener
 	rig *stream.Rig
 
-	routes     *transport.Routes
-	routesOnce sync.Once
-	routesErr  error
-	ready      chan struct{}
+	tbl       atomic.Pointer[routingTable]
+	ready     chan struct{}
+	readyOnce sync.Once
 
-	mu        sync.Mutex
-	peers     map[int]*peerLink
-	stats     map[stream.ID]*StreamStats
-	published int
+	ctrlConn net.Conn
+	ctrlMu   sync.Mutex // serializes writes on the control connection
+	resubID  atomic.Uint64
+
+	mu           sync.Mutex
+	peers        map[int]*peerLink
+	inbound      map[net.Conn]struct{}
+	stats        map[stream.ID]*StreamStats
+	pendingGain  map[stream.ID]gainMark
+	disruptions  []Disruption
+	waiters      map[uint64]chan *ResubscribeResult
+	published    int
+	staleUpdates int
+	firstErr     error
 
 	deliveries chan Delivery
 	ctx        context.Context
@@ -83,12 +166,10 @@ type Node struct {
 
 // peerLink is an outgoing connection with WAN delay emulation.
 type peerLink struct {
-	conn    net.Conn
-	delay   time.Duration
-	queue   chan timedFrame
-	done    chan struct{}
-	errOnce sync.Once
-	err     error
+	conn  net.Conn
+	delay time.Duration
+	queue chan timedFrame
+	err   error // write error; set by run before it returns
 }
 
 type timedFrame struct {
@@ -115,12 +196,15 @@ func New(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	return &Node{
-		cfg:        cfg,
-		rig:        rig,
-		ready:      make(chan struct{}),
-		peers:      make(map[int]*peerLink),
-		stats:      make(map[stream.ID]*StreamStats),
-		deliveries: make(chan Delivery, cfg.DeliveryBuffer),
+		cfg:         cfg,
+		rig:         rig,
+		ready:       make(chan struct{}),
+		peers:       make(map[int]*peerLink),
+		inbound:     make(map[net.Conn]struct{}),
+		stats:       make(map[stream.ID]*StreamStats),
+		pendingGain: make(map[stream.ID]gainMark),
+		waiters:     make(map[uint64]chan *ResubscribeResult),
+		deliveries:  make(chan Delivery, cfg.DeliveryBuffer),
 	}, nil
 }
 
@@ -128,7 +212,9 @@ func New(cfg Config) (*Node, error) {
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
 // Start listens for peers, registers with the membership server, and
-// blocks until the routing table arrives or ctx is cancelled.
+// blocks until the initial routing table arrives or ctx is cancelled.
+// The control connection stays open afterwards: routing updates pushed
+// by the server are applied live until Close or ctx cancellation.
 func (n *Node) Start(ctx context.Context) error {
 	ln, err := net.Listen("tcp", n.cfg.ListenAddr)
 	if err != nil {
@@ -168,25 +254,33 @@ func (n *Node) Start(ctx context.Context) error {
 	}
 	resCh := make(chan result, 1)
 	go func() {
-		defer conn.Close()
 		m, err := transport.ReadMessage(conn)
 		if err != nil {
 			resCh <- result{err: fmt.Errorf("rp: site %d read routes: %w", n.cfg.Site, err)}
 			return
 		}
-		if m.Type != transport.MsgRoutes {
+		switch m.Type {
+		case transport.MsgRoutes:
+			resCh <- result{routes: m.Routes}
+		case transport.MsgError:
+			resCh <- result{err: fmt.Errorf("rp: site %d rejected by membership: %s", n.cfg.Site, m.Error.Msg)}
+		default:
 			resCh <- result{err: fmt.Errorf("rp: site %d expected routes, got type %d", n.cfg.Site, m.Type)}
-			return
 		}
-		resCh <- result{routes: m.Routes}
 	}()
 	select {
 	case r := <-resCh:
 		if r.err != nil {
+			conn.Close()
 			n.Close()
 			return r.err
 		}
+		// ctrlConn must be set before the ready gate opens: Resubscribe
+		// treats ready as "the control plane is usable".
+		n.ctrlConn = conn
 		n.installRoutes(r.routes)
+		n.wg.Add(1)
+		go n.controlLoop(conn)
 		return nil
 	case <-ctx.Done():
 		conn.Close()
@@ -195,46 +289,211 @@ func (n *Node) Start(ctx context.Context) error {
 	}
 }
 
+// table returns the current routing snapshot (nil before installation).
+func (n *Node) table() *routingTable { return n.tbl.Load() }
+
 // Routes returns the installed routing table (nil before Start returns).
+// The returned value is a snapshot: later updates never mutate it.
 func (n *Node) Routes() *transport.Routes {
-	select {
-	case <-n.ready:
-		return n.routes
-	default:
-		return nil
+	if t := n.table(); t != nil {
+		return t.routes
 	}
+	return nil
+}
+
+// Epoch returns the version of the routing table currently in effect
+// (0 before installation).
+func (n *Node) Epoch() uint64 {
+	if t := n.table(); t != nil {
+		return t.epoch
+	}
+	return 0
 }
 
 func (n *Node) installRoutes(r *transport.Routes) {
-	n.routesOnce.Do(func() {
-		n.routes = r
-		close(n.ready)
-	})
+	if r.Epoch == 0 {
+		r.Epoch = 1
+	}
+	n.tbl.Store(newRoutingTable(r))
+	n.readyOnce.Do(func() { close(n.ready) })
 }
 
-// forwardChildren returns the sites to forward a stream to.
-func (n *Node) forwardChildren(id stream.ID) []int {
-	for _, route := range n.routes.Forward {
-		if route.Stream == id {
-			return route.Children
+// controlLoop applies routing updates pushed on the long-lived control
+// connection until the connection closes or the node shuts down.
+func (n *Node) controlLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	for {
+		m, err := transport.ReadMessage(conn)
+		if err != nil {
+			if n.ctx.Err() == nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				n.recordErr(fmt.Errorf("rp: site %d control read: %w", n.cfg.Site, err))
+			}
+			return
+		}
+		switch m.Type {
+		case transport.MsgRoutesUpdate:
+			res := n.applyUpdate(m.Update)
+			if m.Update.ReplyTo != 0 {
+				n.mu.Lock()
+				ch := n.waiters[m.Update.ReplyTo]
+				n.mu.Unlock()
+				if ch != nil {
+					ch <- res
+				}
+			}
+		case transport.MsgError:
+			n.recordErr(fmt.Errorf("rp: site %d control: %s", n.cfg.Site, m.Error.Msg))
 		}
 	}
-	return nil
+}
+
+// applyUpdate merges an epoch-versioned delta into a fresh routing
+// snapshot and swaps it in. Updates whose epoch is not newer than the
+// running table are dropped deterministically (a reordered or replayed
+// delta must not roll the table back).
+func (n *Node) applyUpdate(u *transport.RoutesUpdate) *ResubscribeResult {
+	res := &ResubscribeResult{Epoch: u.Epoch, Accepted: u.AddAccepted, Rejected: u.AddRejected}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cur := n.table()
+	if cur == nil || u.Epoch <= cur.epoch {
+		n.staleUpdates++
+		return res
+	}
+
+	r := &transport.Routes{
+		Site:    cur.routes.Site,
+		Epoch:   u.Epoch,
+		Peers:   make(map[int]string, len(cur.routes.Peers)),
+		DelayMs: make(map[int]float64, len(cur.routes.DelayMs)),
+	}
+	for k, v := range cur.routes.Peers {
+		r.Peers[k] = v
+	}
+	for k, v := range u.Peers {
+		r.Peers[k] = v
+	}
+	for k, v := range cur.routes.DelayMs {
+		r.DelayMs[k] = v
+	}
+	for k, v := range u.DelayMs {
+		r.DelayMs[k] = v
+	}
+
+	// Merge into fresh lookup maps, then build the snapshot directly from
+	// them — the Routes slices are derived once for the stored copy.
+	forward := make(map[stream.ID][]int, len(cur.forward))
+	for id, ch := range cur.forward {
+		forward[id] = ch
+	}
+	for _, route := range u.SetForward {
+		if len(route.Children) == 0 {
+			delete(forward, route.Stream)
+		} else {
+			forward[route.Stream] = route.Children
+		}
+	}
+	for id, ch := range forward {
+		r.Forward = append(r.Forward, transport.Route{Stream: id, Children: ch})
+	}
+
+	accepted := make(map[stream.ID]bool, len(cur.accepted))
+	for id := range cur.accepted {
+		accepted[id] = true
+	}
+	for _, id := range u.AddAccepted {
+		accepted[id] = true
+	}
+	for _, id := range u.DelAccepted {
+		delete(accepted, id)
+	}
+	for id := range accepted {
+		r.Accepted = append(r.Accepted, id)
+	}
+
+	rejected := make(map[stream.ID]bool, len(cur.routes.Rejected))
+	for _, id := range cur.routes.Rejected {
+		rejected[id] = true
+	}
+	for _, id := range u.AddRejected {
+		rejected[id] = true
+	}
+	for _, id := range u.DelRejected {
+		delete(rejected, id)
+	}
+	for id := range rejected {
+		r.Rejected = append(r.Rejected, id)
+	}
+
+	n.tbl.Store(&routingTable{epoch: u.Epoch, routes: r, forward: forward, accepted: accepted})
+
+	// Track newly gained streams until their first delivered frame; a
+	// stream withdrawn before that settles as never-delivered.
+	now := time.Now()
+	for _, id := range u.AddAccepted {
+		if !cur.accepted[id] {
+			n.pendingGain[id] = gainMark{epoch: u.Epoch, at: now}
+		}
+	}
+	for _, id := range u.DelAccepted {
+		delete(n.pendingGain, id)
+	}
+	return res
+}
+
+// Resubscribe sends a mid-session subscription diff to the membership
+// server and blocks until the server's routing update acknowledging it
+// has been applied locally (or ctx is cancelled). Frames keep flowing
+// throughout.
+func (n *Node) Resubscribe(ctx context.Context, gained, lost []stream.ID) (*ResubscribeResult, error) {
+	select {
+	case <-n.ready:
+	default:
+		return nil, errors.New("rp: routes not installed")
+	}
+	id := n.resubID.Add(1)
+	ch := make(chan *ResubscribeResult, 1)
+	n.mu.Lock()
+	n.waiters[id] = ch
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.waiters, id)
+		n.mu.Unlock()
+	}()
+
+	msg := &transport.Message{Type: transport.MsgResubscribe, Resubscribe: &transport.Resubscribe{
+		Site: n.cfg.Site, ID: id, Gained: gained, Lost: lost,
+	}}
+	n.ctrlMu.Lock()
+	err := transport.WriteMessage(n.ctrlConn, msg)
+	n.ctrlMu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("rp: site %d resubscribe: %w", n.cfg.Site, err)
+	}
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-n.ctx.Done():
+		return nil, n.ctx.Err()
+	}
 }
 
 // PublishTick captures one frame from every local camera and disseminates
 // them through the overlay. Frames are stamped with wall-clock capture
 // time so receivers can measure true end-to-end latency.
 func (n *Node) PublishTick() error {
-	select {
-	case <-n.ready:
-	default:
+	tbl := n.table()
+	if tbl == nil {
 		return errors.New("rp: routes not installed")
 	}
 	now := time.Now().UnixMilli()
 	for _, f := range n.rig.Tick() {
 		f.CaptureMs = now
-		if err := n.dispatch(f); err != nil {
+		if err := n.dispatch(f, tbl); err != nil {
 			return err
 		}
 		n.mu.Lock()
@@ -245,10 +504,10 @@ func (n *Node) PublishTick() error {
 }
 
 // dispatch forwards a frame (local or received) to the overlay children
-// for its stream.
-func (n *Node) dispatch(f *stream.Frame) error {
-	for _, child := range n.forwardChildren(f.Stream) {
-		link, err := n.peer(child)
+// its stream has under the given table snapshot.
+func (n *Node) dispatch(f *stream.Frame, tbl *routingTable) error {
+	for _, child := range tbl.forward[f.Stream] {
+		link, err := n.peer(child, tbl)
 		if err != nil {
 			return err
 		}
@@ -257,14 +516,19 @@ func (n *Node) dispatch(f *stream.Frame) error {
 	return nil
 }
 
-// peer returns (dialing on first use) the outgoing link to a site.
-func (n *Node) peer(site int) (*peerLink, error) {
+// peer returns (dialing on first use) the outgoing link to a site. The
+// dial and handshake happen outside n.mu — a slow or unreachable peer
+// must not stall frame receipt or routing updates on this node — so two
+// dispatchers can race to create the same link; the loser's connection
+// is discarded.
+func (n *Node) peer(site int, tbl *routingTable) (*peerLink, error) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if link, ok := n.peers[site]; ok {
+	link, ok := n.peers[site]
+	n.mu.Unlock()
+	if ok {
 		return link, nil
 	}
-	addr, ok := n.routes.Peers[site]
+	addr, ok := tbl.routes.Peers[site]
 	if !ok {
 		return nil, fmt.Errorf("rp: site %d has no address for peer %d", n.cfg.Site, site)
 	}
@@ -278,19 +542,38 @@ func (n *Node) peer(site int) (*peerLink, error) {
 		conn.Close()
 		return nil, err
 	}
-	link := &peerLink{
+	link = &peerLink{
 		conn:  conn,
-		delay: time.Duration(n.routes.DelayMs[site] * float64(time.Millisecond)),
+		delay: time.Duration(tbl.routes.DelayMs[site] * float64(time.Millisecond)),
 		queue: make(chan timedFrame, 1024),
-		done:  make(chan struct{}),
+	}
+	n.mu.Lock()
+	if existing, ok := n.peers[site]; ok {
+		n.mu.Unlock()
+		conn.Close()
+		return existing, nil
 	}
 	n.peers[site] = link
 	n.wg.Add(1)
+	n.mu.Unlock()
 	go func() {
 		defer n.wg.Done()
 		link.run(n.ctx)
+		if err := link.err; err != nil {
+			n.recordErr(fmt.Errorf("rp: site %d link to peer %d: %w", n.cfg.Site, site, err))
+		}
 	}()
 	return link, nil
+}
+
+// recordErr keeps the first asynchronous failure (a severed peer link, a
+// control-plane protocol error) for Err and Close to surface.
+func (n *Node) recordErr(err error) {
+	n.mu.Lock()
+	if n.firstErr == nil {
+		n.firstErr = err
+	}
+	n.mu.Unlock()
 }
 
 // send schedules the frame for delivery after the edge's WAN delay.
@@ -304,9 +587,9 @@ func (l *peerLink) send(f *stream.Frame) {
 }
 
 // run drains the delay queue in order; the constant per-edge delay keeps
-// the queue sorted by due time.
+// the queue sorted by due time. A write failure is recorded in l.err
+// before run returns, so the spawning goroutine can surface it.
 func (l *peerLink) run(ctx context.Context) {
-	defer close(l.done)
 	defer l.conn.Close()
 	for {
 		select {
@@ -321,7 +604,9 @@ func (l *peerLink) run(ctx context.Context) {
 				}
 			}
 			if err := transport.WriteMessage(l.conn, &transport.Message{Type: transport.MsgFrame, Frame: tf.frame}); err != nil {
-				l.errOnce.Do(func() { l.err = err })
+				if ctx.Err() == nil {
+					l.err = err
+				}
 				return
 			}
 		}
@@ -336,10 +621,18 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		n.mu.Lock()
+		n.inbound[conn] = struct{}{}
+		n.mu.Unlock()
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				n.mu.Lock()
+				delete(n.inbound, conn)
+				n.mu.Unlock()
+			}()
 			n.handlePeer(conn)
 		}()
 	}
@@ -358,12 +651,19 @@ func (n *Node) handlePeer(conn net.Conn) {
 		if m.Type != transport.MsgFrame {
 			continue
 		}
-		n.receive(m.Frame)
+		// The snapshot loaded here is the frame's routing epoch: accept,
+		// dedup, and forwarding decisions all read this one table.
+		n.receive(m.Frame, n.table())
 	}
 }
 
-// receive delivers a frame locally and forwards it downstream.
-func (n *Node) receive(f *stream.Frame) {
+// receive delivers a frame locally and forwards it downstream. Stats,
+// dedup, and the delivery-queue drop decision happen in one locked
+// section so per-stream counters stay consistent under concurrency.
+func (n *Node) receive(f *stream.Frame, tbl *routingTable) {
+	if tbl == nil {
+		return
+	}
 	now := time.Now()
 	lat := float64(now.UnixMilli() - f.CaptureMs)
 
@@ -373,24 +673,40 @@ func (n *Node) receive(f *stream.Frame) {
 		st = &StreamStats{}
 		n.stats[f.Stream] = st
 	}
-	st.Frames++
-	st.totalLatMs += lat
-	st.MeanLatMs = st.totalLatMs / float64(st.Frames)
-	if f.Seq > st.MaxSeq {
-		st.MaxSeq = f.Seq
+	switch {
+	case !tbl.accepted[f.Stream]:
+		// The site does not (or no longer does) accept this stream: a
+		// relay-only duty, or a frame in flight across an unsubscribe.
+		st.Stale++
+	case st.Frames > 0 && f.Seq <= st.MaxSeq:
+		// Already delivered under an earlier path (e.g. the old parent
+		// during a reroute): a receiver shows each frame at most once.
+		st.Duplicates++
+	default:
+		st.Frames++
+		st.totalLatMs += lat
+		st.MeanLatMs = st.totalLatMs / float64(st.Frames)
+		if f.Seq > st.MaxSeq {
+			st.MaxSeq = f.Seq
+		}
+		select {
+		case n.deliveries <- Delivery{Frame: f, ReceivedAt: now, LatencyMs: lat}:
+			if g, ok := n.pendingGain[f.Stream]; ok {
+				n.disruptions = append(n.disruptions, Disruption{
+					Stream: f.Stream, Epoch: g.epoch,
+					Applied: g.at, FirstFrame: now,
+					LatencyMs: float64(now.Sub(g.at)) / float64(time.Millisecond),
+				})
+				delete(n.pendingGain, f.Stream)
+			}
+		default:
+			st.Dropped++
+		}
 	}
 	n.mu.Unlock()
 
-	select {
-	case n.deliveries <- Delivery{Frame: f, ReceivedAt: now, LatencyMs: lat}:
-	default:
-		n.mu.Lock()
-		st.Dropped++
-		n.mu.Unlock()
-	}
-
-	// Forward to overlay children (relay duty).
-	_ = n.dispatch(f)
+	// Forward to overlay children (relay duty) under the same epoch.
+	_ = n.dispatch(f, tbl)
 }
 
 // Deliveries exposes the local display feed.
@@ -407,6 +723,25 @@ func (n *Node) Stats() map[stream.ID]StreamStats {
 	return out
 }
 
+// StaleUpdates reports how many routing updates were dropped because
+// their epoch was not newer than the running table — reordered or
+// replayed deltas handled deterministically rather than applied.
+func (n *Node) StaleUpdates() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.staleUpdates
+}
+
+// Disruptions snapshots the per-stream first-frame-after-change records
+// accumulated by mid-session routing updates.
+func (n *Node) Disruptions() []Disruption {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Disruption, len(n.disruptions))
+	copy(out, n.disruptions)
+	return out
+}
+
 // Published returns the number of locally captured frames dispatched.
 func (n *Node) Published() int {
 	n.mu.Lock()
@@ -414,18 +749,36 @@ func (n *Node) Published() int {
 	return n.published
 }
 
-// Close shuts the node down and waits for all goroutines.
-func (n *Node) Close() {
+// Err returns the first asynchronous failure the node observed: a peer
+// link whose write failed (severed connection) or a control-plane
+// protocol error. nil while the node is healthy.
+func (n *Node) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.firstErr
+}
+
+// Close shuts the node down, waits for all goroutines, and returns the
+// first asynchronous failure observed during the session (nil on a clean
+// run).
+func (n *Node) Close() error {
 	if n.cancel != nil {
 		n.cancel()
 	}
 	if n.ln != nil {
 		n.ln.Close()
 	}
+	if n.ctrlConn != nil {
+		n.ctrlConn.Close()
+	}
 	n.mu.Lock()
 	for _, link := range n.peers {
 		link.conn.Close()
 	}
+	for conn := range n.inbound {
+		conn.Close()
+	}
 	n.mu.Unlock()
 	n.wg.Wait()
+	return n.Err()
 }

@@ -9,6 +9,7 @@ import (
 	"github.com/tele3d/tele3d/internal/membership"
 	"github.com/tele3d/tele3d/internal/overlay"
 	"github.com/tele3d/tele3d/internal/stream"
+	"github.com/tele3d/tele3d/internal/transport"
 )
 
 // testProfile keeps frames small so the test moves thousands of frames
@@ -292,6 +293,306 @@ func TestRejectedSubscriptionNotDelivered(t *testing.T) {
 	time.Sleep(150 * time.Millisecond)
 	if st := nodes[1].Stats()[stream.ID{Site: 0, Index: 0}]; st.Frames != 0 {
 		t.Errorf("rejected stream delivered %d frames", st.Frames)
+	}
+}
+
+// TestMidSessionReroute swaps a subscriber's parent mid-stream: with the
+// source constrained to one out slot the overlay chains 0 -> relay ->
+// far; the relay then unsubscribes over the wire, the membership server
+// re-attaches far directly under the source, and frames keep flowing.
+// far must see every frame at most once across the swap, and a stream
+// gained afterwards must report a finite disruption latency.
+func TestMidSessionReroute(t *testing.T) {
+	cost := [][]float64{
+		{0, 10, 10},
+		{10, 0, 10},
+		{10, 10, 0},
+	}
+	s00 := stream.ID{Site: 0, Index: 0}
+	subs := [][]stream.ID{nil, {s00}, {s00}}
+	n := 3
+	srv, err := membership.New(membership.Config{
+		N: n, Cost: cost, Bcost: 100, Algorithm: overlay.RJ{}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Serve(ctx) }()
+
+	outs := []int{1, 50, 50} // source constrained: forces the relay chain
+	nodes := make([]*Node, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		node, err := New(Config{
+			Site: i, Membership: srv.Addr(),
+			In: 50, Out: outs[i],
+			Cameras: 2, Profile: testProfile(), Seed: int64(i),
+			Subscriptions:  subs[i],
+			DeliveryBuffer: 8192,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := node.Start(ctx); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := <-srvErr; err != nil {
+		t.Fatalf("membership: %v", err)
+	}
+	defer func() {
+		cancel()
+		for _, node := range nodes {
+			node.Close()
+		}
+	}()
+
+	tr := srv.Forest().Tree(s00)
+	relay := tr.Children(0)[0]
+	far := 3 - relay
+
+	// Publish continuously from the source while the control plane works.
+	stopPub := make(chan struct{})
+	var pubWG sync.WaitGroup
+	pubWG.Add(1)
+	go func() {
+		defer pubWG.Done()
+		for {
+			select {
+			case <-stopPub:
+				return
+			default:
+				if err := nodes[0].PublishTick(); err != nil {
+					t.Error(err)
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}()
+	defer func() {
+		select {
+		case <-stopPub:
+		default:
+			close(stopPub)
+		}
+		pubWG.Wait()
+	}()
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timeout waiting for %s", what)
+	}
+	waitFor("frames at far before the swap", func() bool {
+		return nodes[far].Stats()[s00].Frames > 3
+	})
+
+	// The relay withdraws its subscription mid-session: far is orphaned
+	// and must be re-attached directly under the source.
+	res, err := nodes[relay].Resubscribe(ctx, nil, []stream.ID{s00})
+	if err != nil {
+		t.Fatalf("relay resubscribe: %v", err)
+	}
+	if res.Epoch < 2 {
+		t.Errorf("resubscribe epoch = %d, want >= 2", res.Epoch)
+	}
+	tr2 := srv.Forest().Tree(s00)
+	if tr2.Contains(relay) {
+		t.Error("relay still in the tree after unsubscribe")
+	}
+	if parent, _ := tr2.Parent(far); parent != 0 {
+		t.Errorf("far's parent after swap = %d, want the source", parent)
+	}
+
+	// Frames keep flowing to far across the swap.
+	seqAtSwap := nodes[far].Stats()[s00].MaxSeq
+	waitFor("frames at far after the swap", func() bool {
+		return nodes[far].Stats()[s00].MaxSeq > seqAtSwap+3
+	})
+
+	// far gains a stream of the relay's site mid-session (the source's
+	// single out slot is spoken for); its first frame after the change
+	// must be recorded as a finite disruption. The relay's site must now
+	// publish too, so the gained stream has frames on the wire.
+	gained := stream.ID{Site: relay, Index: 0}
+	pubWG.Add(1)
+	go func() {
+		defer pubWG.Done()
+		for {
+			select {
+			case <-stopPub:
+				return
+			default:
+				if err := nodes[relay].PublishTick(); err != nil {
+					t.Error(err)
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}()
+	res2, err := nodes[far].Resubscribe(ctx, []stream.ID{gained}, nil)
+	if err != nil {
+		t.Fatalf("far resubscribe: %v", err)
+	}
+	if len(res2.Accepted) != 1 || res2.Accepted[0] != gained {
+		t.Fatalf("gained stream not accepted: %+v", res2)
+	}
+	waitFor("disruption record for the gained stream", func() bool {
+		return len(nodes[far].Disruptions()) > 0
+	})
+	d := nodes[far].Disruptions()[0]
+	if d.Stream != gained || d.Epoch != res2.Epoch {
+		t.Errorf("disruption = %+v, want stream %v at epoch %d", d, gained, res2.Epoch)
+	}
+	if d.LatencyMs <= 0 || d.LatencyMs > 5000 {
+		t.Errorf("disruption latency %.1fms not finite/plausible", d.LatencyMs)
+	}
+
+	close(stopPub)
+	pubWG.Wait()
+	time.Sleep(200 * time.Millisecond) // drain in-flight frames
+
+	for i, node := range nodes {
+		if got := node.StaleUpdates(); got != 0 {
+			t.Errorf("site %d dropped %d updates as stale on a healthy session", i, got)
+		}
+	}
+
+	// No frame was delivered twice at far, swap included.
+	seen := make(map[stream.ID]map[uint64]bool)
+	for {
+		select {
+		case del := <-nodes[far].Deliveries():
+			m := seen[del.Frame.Stream]
+			if m == nil {
+				m = make(map[uint64]bool)
+				seen[del.Frame.Stream] = m
+			}
+			if m[del.Frame.Seq] {
+				t.Fatalf("frame %v seq %d delivered twice", del.Frame.Stream, del.Frame.Seq)
+			}
+			m[del.Frame.Seq] = true
+		default:
+			if len(seen[s00]) == 0 {
+				t.Error("no deliveries drained at far")
+			}
+			return
+		}
+	}
+}
+
+// TestDeliveryQueueOverflowCountsDrops overflows the local display queue
+// and checks that the consolidated receive path counts every frame
+// exactly once: Frames counts receipts, Dropped the ones the full queue
+// refused, and the drained deliveries are the complement.
+func TestDeliveryQueueOverflowCountsDrops(t *testing.T) {
+	node, err := New(Config{Site: 1, Cameras: 1, Profile: testProfile(), DeliveryBuffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := stream.ID{Site: 0, Index: 0}
+	node.installRoutes(&transport.Routes{Site: 1, Epoch: 1, Accepted: []stream.ID{src}})
+	tbl := node.table()
+	const total = 10
+	for i := 0; i < total; i++ {
+		node.receive(&stream.Frame{
+			Stream: src, Seq: uint64(i), CaptureMs: time.Now().UnixMilli(), Payload: []byte{1},
+		}, tbl)
+	}
+	st := node.Stats()[src]
+	if st.Frames != total {
+		t.Errorf("Frames = %d, want %d", st.Frames, total)
+	}
+	if st.Dropped != total-4 {
+		t.Errorf("Dropped = %d, want %d", st.Dropped, total-4)
+	}
+	delivered := 0
+	for {
+		select {
+		case <-node.Deliveries():
+			delivered++
+			continue
+		default:
+		}
+		break
+	}
+	if delivered != 4 {
+		t.Errorf("delivered = %d, want the buffer size 4", delivered)
+	}
+	if st.Frames-st.Dropped != delivered {
+		t.Errorf("Frames-Dropped = %d, want %d", st.Frames-st.Dropped, delivered)
+	}
+}
+
+// TestStaleRoutesUpdateDropped checks the epoch gate: a delta whose
+// epoch is not newer than the running table must be dropped (counted),
+// never applied, so reordered or replayed updates cannot roll the
+// routing table back.
+func TestStaleRoutesUpdateDropped(t *testing.T) {
+	node, err := New(Config{Site: 1, Cameras: 1, Profile: testProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := stream.ID{Site: 0, Index: 0}
+	node.installRoutes(&transport.Routes{Site: 1, Epoch: 2})
+	node.applyUpdate(&transport.RoutesUpdate{Site: 1, Epoch: 2, AddAccepted: []stream.ID{src}})
+	if got := node.StaleUpdates(); got != 1 {
+		t.Errorf("StaleUpdates = %d, want 1", got)
+	}
+	if node.Epoch() != 2 || node.table().accepted[src] {
+		t.Errorf("stale update applied: epoch %d, accepted %v", node.Epoch(), node.table().accepted)
+	}
+	node.applyUpdate(&transport.RoutesUpdate{Site: 1, Epoch: 3, AddAccepted: []stream.ID{src}})
+	if node.Epoch() != 3 || !node.table().accepted[src] {
+		t.Errorf("newer update not applied: epoch %d", node.Epoch())
+	}
+}
+
+// TestSeveredPeerLinkSurfacesError cuts the receiving RP out from under
+// an active link and checks the writer reports the failure instead of
+// swallowing it.
+func TestSeveredPeerLinkSurfacesError(t *testing.T) {
+	cost := [][]float64{{0, 5}, {5, 0}}
+	subs := [][]stream.ID{nil, {{Site: 0, Index: 0}}}
+	_, nodes, cleanup := startSession(t, cost, 100, subs, 1)
+	defer cleanup()
+
+	// Prime the link, then sever the subscriber.
+	if err := nodes[0].PublishTick(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	nodes[1].Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for nodes[0].Err() == nil && time.Now().Before(deadline) {
+		if err := nodes[0].PublishTick(); err != nil {
+			break // dispatch errors are also acceptable surfacing
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if nodes[0].Err() == nil {
+		t.Fatal("severed peer link never surfaced through Err")
+	}
+	if err := nodes[0].Close(); err == nil {
+		t.Error("Close returned nil despite a failed link")
 	}
 }
 

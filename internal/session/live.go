@@ -1,0 +1,355 @@
+package session
+
+// live.go drives a session over the real networked control and data
+// plane: a membership server plus one rendezvous point per site on
+// loopback TCP, with the same churn traces the event-driven simulator
+// replays. Events are applied mid-session over the wire (MsgResubscribe
+// → MsgRoutesUpdate deltas), frames keep flowing while routing tables
+// hot-swap, and per-event disruption latency — view change to first
+// delivered frame of each newly needed stream — is measured from real
+// wall-clock deliveries. SimPrediction builds the exact forest the
+// membership server will construct and runs sim.RunEvents over the same
+// trace, so live measurements can be cross-checked against the
+// simulator's figure (see LiveSimToleranceMs).
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/tele3d/tele3d/internal/membership"
+	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/rp"
+	"github.com/tele3d/tele3d/internal/sim"
+	"github.com/tele3d/tele3d/internal/stream"
+)
+
+// LiveSimToleranceMs is the documented tolerance between the mean
+// disruption latency measured on the live TCP plane and the figure
+// sim.RunEvents predicts for the same trace. The live plane adds the
+// control round-trip (loopback, single-digit ms), up to one frame
+// interval of capture-schedule skew, and OS scheduling noise; the
+// simulator adds none of these. The integration test asserts the two
+// means agree within this bound.
+const LiveSimToleranceMs = 300
+
+// LiveConfig parameterizes a live run.
+type LiveConfig struct {
+	// Profile is the per-camera encoding profile (also the frame cadence).
+	Profile stream.Profile
+	// DurationMs is the session length: frames are published from t=0 to
+	// DurationMs, mirroring the simulator's schedule.
+	DurationMs float64
+	// Algorithm constructs the forest at the membership server; nil
+	// means overlay.RJ{}.
+	Algorithm overlay.Algorithm
+	// Seed drives the membership server's randomized construction.
+	Seed int64
+	// DrainMs is how long after the last published frame the run keeps
+	// listening for in-flight deliveries; 0 means 400.
+	DrainMs float64
+}
+
+// LiveEventOutcome reports what one control event did over the wire and
+// what the resubscribing site then experienced.
+type LiveEventOutcome struct {
+	// Index is the event's position in the (time-sorted) trace; AtMs its
+	// nominal session-relative time; Node the resubscribing site.
+	Index int
+	AtMs  float64
+	Node  int
+	// Epoch is the routing-table version the membership server assigned
+	// to the change.
+	Epoch uint64
+	// GainedAccepted / GainedRejected / Skipped partition the event's
+	// gained streams the same way sim.RunEvents does.
+	GainedAccepted int
+	GainedRejected int
+	Skipped        int
+	// DeliveredGained counts accepted gains whose first frame arrived
+	// before session end; Undelivered the remainder.
+	DeliveredGained int
+	Undelivered     int
+	// MeanDisruptionMs and MaxDisruptionMs summarize, over the delivered
+	// gains, the wall-clock time from the resubscription request to the
+	// first delivered frame of each gained stream.
+	MeanDisruptionMs float64
+	MaxDisruptionMs  float64
+}
+
+// LiveResult is a completed live churn run.
+type LiveResult struct {
+	// Events holds one outcome per control event, in time-sorted order.
+	Events []LiveEventOutcome
+	// DeliveredGained / UndeliveredGained aggregate the per-event counts.
+	DeliveredGained   int
+	UndeliveredGained int
+	// MeanDisruptionMs / MaxDisruptionMs aggregate disruption latency
+	// over every delivered gained stream of every event.
+	MeanDisruptionMs float64
+	MaxDisruptionMs  float64
+	// TotalFrames counts frames delivered to displays across all sites.
+	TotalFrames int
+	// FinalEpoch is the routing-table version at session end.
+	FinalEpoch uint64
+}
+
+func (c LiveConfig) withDefaults() LiveConfig {
+	if c.Algorithm == nil {
+		c.Algorithm = overlay.RJ{}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DrainMs == 0 {
+		c.DrainMs = 400
+	}
+	return c
+}
+
+// SimPrediction runs the event-driven simulator over the same trace and
+// the same forest the membership server will construct for this session
+// (identical workload, latency bound, algorithm and seed), producing the
+// figure RunLive is cross-checked against.
+func (s *Session) SimPrediction(cfg LiveConfig, events []sim.Event) (*sim.EventResult, error) {
+	cfg = cfg.withDefaults()
+	p, err := overlay.FromWorkload(s.Workload, s.Sites.Cost, s.Problem.Bcost)
+	if err != nil {
+		return nil, err
+	}
+	f, err := cfg.Algorithm.Construct(p, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunEvents(sim.Config{
+		Forest: f, Profile: cfg.Profile, DurationMs: cfg.DurationMs,
+	}, events)
+}
+
+// RunLive executes the session over real TCP loopback: a membership
+// server and one RP per site are booted, frames are published on the
+// profile's cadence, and the trace's events are applied mid-session
+// through each site's Resubscribe — the wire path, not the simulator.
+// Disruption latency is measured per gained stream from the moment the
+// resubscription request is sent to the first frame delivered at the
+// site's displays. The trace may be unsorted; ties keep trace order.
+func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Event) (*LiveResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DurationMs <= 0 {
+		return nil, fmt.Errorf("session: live duration %v <= 0", cfg.DurationMs)
+	}
+	n := s.Workload.N()
+	for i, e := range events {
+		if e.Node < 0 || e.Node >= n {
+			return nil, fmt.Errorf("session: event %d node %d out of range", i, e.Node)
+		}
+		if math.IsNaN(e.AtMs) || e.AtMs < 0 || e.AtMs >= cfg.DurationMs {
+			return nil, fmt.Errorf("session: event %d at %vms outside [0, %v)", i, e.AtMs, cfg.DurationMs)
+		}
+	}
+
+	trace := make([]sim.Event, len(events))
+	copy(trace, events)
+	sort.SliceStable(trace, func(i, j int) bool { return trace[i].AtMs < trace[j].AtMs })
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	srv, err := membership.New(membership.Config{
+		N: n, Cost: s.Sites.Cost, Bcost: s.Problem.Bcost,
+		Algorithm: cfg.Algorithm, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Serve(ctx) }()
+
+	nodes := make([]*rp.Node, n)
+	defer func() {
+		cancel()
+		for _, node := range nodes {
+			if node != nil {
+				node.Close()
+			}
+		}
+		srv.Wait()
+	}()
+	startErrs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		node, err := rp.New(rp.Config{
+			Site: i, Membership: srv.Addr(),
+			In: s.Workload.Sites[i].In, Out: s.Workload.Sites[i].Out,
+			Cameras: s.Workload.Sites[i].NumStreams,
+			Profile: cfg.Profile, Seed: cfg.Seed*1000 + int64(i),
+			Subscriptions:  s.Workload.Subs[i],
+			DeliveryBuffer: 8192,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = node
+		go func() { startErrs <- node.Start(ctx) }()
+	}
+	// Collect every Start result before acting on a failure: returning
+	// early would let the deferred Close race with handshakes still in
+	// flight on sibling nodes.
+	var startErr error
+	for i := 0; i < n; i++ {
+		if err := <-startErrs; err != nil && startErr == nil {
+			startErr = err
+			cancel() // unblock the remaining handshakes
+		}
+	}
+	if startErr != nil {
+		return nil, startErr
+	}
+	if err := <-srvErr; err != nil {
+		return nil, fmt.Errorf("session: membership: %w", err)
+	}
+
+	// Publish on the profile's cadence from every site, mirroring the
+	// simulator's frame schedule (sources capture regardless of demand).
+	interval := time.Duration(cfg.Profile.FrameIntervalMs() * float64(time.Millisecond))
+	t0 := time.Now()
+	pubDone := make(chan error, 1)
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			for _, node := range nodes {
+				if err := node.PublishTick(); err != nil {
+					pubDone <- err
+					return
+				}
+			}
+			select {
+			case <-ctx.Done():
+				pubDone <- nil
+				return
+			case <-ticker.C:
+			}
+			if time.Since(t0) >= time.Duration(cfg.DurationMs*float64(time.Millisecond)) {
+				pubDone <- nil
+				return
+			}
+		}
+	}()
+
+	// Apply the trace over the wire at its nominal times, failing fast if
+	// the publisher dies mid-session instead of replaying events into a
+	// session with no frames.
+	pubFinished := false
+	type applied struct {
+		sentAt time.Time
+		res    *rp.ResubscribeResult
+	}
+	outcomes := make([]applied, len(trace))
+	for i, e := range trace {
+		at := t0.Add(time.Duration(e.AtMs * float64(time.Millisecond)))
+		for wait := time.Until(at); wait > 0; wait = time.Until(at) {
+			if pubFinished {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				continue
+			}
+			select {
+			case <-time.After(wait):
+			case err := <-pubDone:
+				pubFinished = true
+				if err != nil {
+					return nil, fmt.Errorf("session: live publish: %w", err)
+				}
+				// Normal completion: the schedule's last tick can precede
+				// the trace's last events; keep applying them.
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		sentAt := time.Now()
+		res, err := nodes[e.Node].Resubscribe(ctx, e.Gained, e.Lost)
+		if err != nil {
+			return nil, fmt.Errorf("session: live event %d (node %d): %w", i, e.Node, err)
+		}
+		outcomes[i] = applied{sentAt: sentAt, res: res}
+	}
+
+	// Let the publisher finish its schedule, then drain in-flight frames.
+	if !pubFinished {
+		if err := <-pubDone; err != nil {
+			return nil, fmt.Errorf("session: live publish: %w", err)
+		}
+	}
+	select {
+	case <-time.After(time.Duration(cfg.DrainMs * float64(time.Millisecond))):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+
+	for i, node := range nodes {
+		if err := node.Err(); err != nil {
+			return nil, fmt.Errorf("session: site %d failed mid-run: %w", i, err)
+		}
+	}
+
+	// Match per-node disruption records (epoch, stream) to the events
+	// whose acknowledged routing update carried that epoch.
+	type gainKey struct {
+		node  int
+		epoch uint64
+		id    stream.ID
+	}
+	firstFrame := make(map[gainKey]time.Time)
+	for i, node := range nodes {
+		for _, d := range node.Disruptions() {
+			firstFrame[gainKey{node: i, epoch: d.Epoch, id: d.Stream}] = d.FirstFrame
+		}
+	}
+
+	res := &LiveResult{Events: make([]LiveEventOutcome, len(trace))}
+	var sum float64
+	for i, e := range trace {
+		o := &res.Events[i]
+		o.Index, o.AtMs, o.Node = i, e.AtMs, e.Node
+		o.Epoch = outcomes[i].res.Epoch
+		o.GainedAccepted = len(outcomes[i].res.Accepted)
+		o.GainedRejected = len(outcomes[i].res.Rejected)
+		o.Skipped = len(e.Gained) - o.GainedAccepted - o.GainedRejected
+		for _, id := range outcomes[i].res.Accepted {
+			ff, ok := firstFrame[gainKey{node: e.Node, epoch: o.Epoch, id: id}]
+			if !ok {
+				o.Undelivered++
+				continue
+			}
+			d := float64(ff.Sub(outcomes[i].sentAt)) / float64(time.Millisecond)
+			o.DeliveredGained++
+			o.MeanDisruptionMs += (d - o.MeanDisruptionMs) / float64(o.DeliveredGained)
+			o.MaxDisruptionMs = math.Max(o.MaxDisruptionMs, d)
+		}
+		res.DeliveredGained += o.DeliveredGained
+		res.UndeliveredGained += o.Undelivered
+		sum += o.MeanDisruptionMs * float64(o.DeliveredGained)
+		res.MaxDisruptionMs = math.Max(res.MaxDisruptionMs, o.MaxDisruptionMs)
+	}
+	if res.DeliveredGained > 0 {
+		res.MeanDisruptionMs = sum / float64(res.DeliveredGained)
+	}
+	for _, node := range nodes {
+		for _, st := range node.Stats() {
+			res.TotalFrames += st.Frames
+		}
+		if e := node.Epoch(); e > res.FinalEpoch {
+			res.FinalEpoch = e
+		}
+	}
+	return res, nil
+}

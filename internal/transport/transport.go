@@ -1,6 +1,7 @@
 // Package transport defines the wire protocol of the 3DTI data plane:
 // length-prefixed messages over TCP carrying either JSON control payloads
-// (registration, subscription, routing tables) or binary 3D video frames.
+// (registration, subscription, epoch-versioned routing tables and their
+// mid-session deltas) or binary 3D video frames.
 //
 // Message layout (big endian):
 //
@@ -34,6 +35,15 @@ const (
 	MsgFrame MsgType = 4
 	// MsgPeerHello identifies the dialing RP on an RP-to-RP connection.
 	MsgPeerHello MsgType = 5
+	// MsgResubscribe carries a mid-session subscription diff from an RP
+	// to the membership server (a view change, join, or leave).
+	MsgResubscribe MsgType = 6
+	// MsgRoutesUpdate carries an incremental, epoch-versioned routing
+	// delta from the membership server to one affected RP.
+	MsgRoutesUpdate MsgType = 7
+	// MsgError reports a control-plane protocol error to the peer (e.g.
+	// a duplicate site registration) before the connection is closed.
+	MsgError MsgType = 8
 )
 
 // MaxMessage bounds a single wire message (a frame plus slack).
@@ -65,9 +75,54 @@ type Route struct {
 	Children []int     `json:"children"` // sites to forward the stream to
 }
 
+// Resubscribe is an RP's mid-session subscription diff: streams its
+// displays newly need and streams they no longer need. ID is a per-RP
+// request counter echoed back in the requester's RoutesUpdate, so the
+// RP can match the server's acknowledgement to the request.
+type Resubscribe struct {
+	Site   int         `json:"site"`
+	ID     uint64      `json:"id"`
+	Gained []stream.ID `json:"gained,omitempty"`
+	Lost   []stream.ID `json:"lost,omitempty"`
+}
+
+// RoutesUpdate is an incremental routing-table delta for one RP. Epoch
+// is the session-wide table version after the change: an RP applies an
+// update only if its epoch is newer than the table it currently runs,
+// so reordered or replayed updates are handled deterministically
+// (dropped). ReplyTo is non-zero only on the update sent to the RP
+// whose Resubscribe triggered the change, echoing that request's ID.
+type RoutesUpdate struct {
+	Site    int    `json:"site"`
+	Epoch   uint64 `json:"epoch"`
+	ReplyTo uint64 `json:"replyTo,omitempty"`
+	// SetForward replaces the forwarding duty for each listed stream; an
+	// entry with no children clears the duty for that stream.
+	SetForward []Route `json:"setForward,omitempty"`
+	// AddAccepted/DelAccepted adjust the set of remote streams this RP
+	// receives; AddRejected/DelRejected adjust the unsatisfiable set.
+	AddAccepted []stream.ID `json:"addAccepted,omitempty"`
+	DelAccepted []stream.ID `json:"delAccepted,omitempty"`
+	AddRejected []stream.ID `json:"addRejected,omitempty"`
+	DelRejected []stream.ID `json:"delRejected,omitempty"`
+	// Peers and DelayMs merge new or changed peer addresses and edge
+	// delays into the RP's table (normally empty mid-session).
+	Peers   map[int]string  `json:"peers,omitempty"`
+	DelayMs map[int]float64 `json:"delayMs,omitempty"`
+}
+
+// ProtocolError is the server's explanation for rejecting a control
+// connection.
+type ProtocolError struct {
+	Msg string `json:"msg"`
+}
+
 // Routes is the membership server's routing directive for one RP.
 type Routes struct {
 	Site int `json:"site"`
+	// Epoch versions the table; RoutesUpdate deltas carry the epochs
+	// that follow.
+	Epoch uint64 `json:"epoch"`
 	// Peers maps site index to its RP dial address.
 	Peers map[int]string `json:"peers"`
 	// DelayMs maps site index to the emulated one-way WAN latency applied
@@ -85,12 +140,15 @@ type Routes struct {
 // Message is one decoded wire message. Exactly one payload field is set,
 // according to Type.
 type Message struct {
-	Type      MsgType
-	Hello     *Hello
-	Subscribe *Subscribe
-	PeerHello *PeerHello
-	Routes    *Routes
-	Frame     *stream.Frame
+	Type        MsgType
+	Hello       *Hello
+	Subscribe   *Subscribe
+	PeerHello   *PeerHello
+	Routes      *Routes
+	Frame       *stream.Frame
+	Resubscribe *Resubscribe
+	Update      *RoutesUpdate
+	Error       *ProtocolError
 }
 
 // ErrMessageTooLarge is returned when a length prefix exceeds MaxMessage.
@@ -109,6 +167,12 @@ func WriteMessage(w io.Writer, m *Message) error {
 		payload, err = json.Marshal(m.PeerHello)
 	case MsgRoutes:
 		payload, err = json.Marshal(m.Routes)
+	case MsgResubscribe:
+		payload, err = json.Marshal(m.Resubscribe)
+	case MsgRoutesUpdate:
+		payload, err = json.Marshal(m.Update)
+	case MsgError:
+		payload, err = json.Marshal(m.Error)
 	case MsgFrame:
 		payload, err = stream.Encode(m.Frame)
 	default:
@@ -161,6 +225,15 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	case MsgRoutes:
 		m.Routes = &Routes{}
 		return m, unmarshal(payload, m.Routes)
+	case MsgResubscribe:
+		m.Resubscribe = &Resubscribe{}
+		return m, unmarshal(payload, m.Resubscribe)
+	case MsgRoutesUpdate:
+		m.Update = &RoutesUpdate{}
+		return m, unmarshal(payload, m.Update)
+	case MsgError:
+		m.Error = &ProtocolError{}
+		return m, unmarshal(payload, m.Error)
 	case MsgFrame:
 		f, _, err := stream.Decode(payload)
 		if err != nil {

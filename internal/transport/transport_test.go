@@ -69,6 +69,60 @@ func TestRoutesRoundTrip(t *testing.T) {
 	}
 }
 
+func TestResubscribeRoundTrip(t *testing.T) {
+	r := &Resubscribe{
+		Site:   2,
+		ID:     41,
+		Gained: []stream.ID{{Site: 0, Index: 1}},
+		Lost:   []stream.ID{{Site: 1, Index: 3}, {Site: 3, Index: 0}},
+	}
+	m := roundTrip(t, &Message{Type: MsgResubscribe, Resubscribe: r})
+	if m.Resubscribe.Site != 2 || m.Resubscribe.ID != 41 {
+		t.Errorf("resubscribe = %+v", m.Resubscribe)
+	}
+	if len(m.Resubscribe.Gained) != 1 || len(m.Resubscribe.Lost) != 2 || m.Resubscribe.Lost[1] != r.Lost[1] {
+		t.Errorf("gained/lost = %+v / %+v", m.Resubscribe.Gained, m.Resubscribe.Lost)
+	}
+}
+
+func TestRoutesUpdateRoundTrip(t *testing.T) {
+	u := &RoutesUpdate{
+		Site:    0,
+		Epoch:   7,
+		ReplyTo: 41,
+		SetForward: []Route{
+			{Stream: stream.ID{Site: 0, Index: 1}, Children: []int{2}},
+			{Stream: stream.ID{Site: 0, Index: 0}}, // clears the duty
+		},
+		AddAccepted: []stream.ID{{Site: 1, Index: 0}},
+		DelAccepted: []stream.ID{{Site: 2, Index: 2}},
+		AddRejected: []stream.ID{{Site: 3, Index: 1}},
+		Peers:       map[int]string{3: "d:4"},
+		DelayMs:     map[int]float64{3: 44.5},
+	}
+	m := roundTrip(t, &Message{Type: MsgRoutesUpdate, Update: u})
+	got := m.Update
+	if got.Epoch != 7 || got.ReplyTo != 41 || got.Site != 0 {
+		t.Errorf("update = %+v", got)
+	}
+	if len(got.SetForward) != 2 || len(got.SetForward[1].Children) != 0 {
+		t.Errorf("setForward = %+v", got.SetForward)
+	}
+	if len(got.AddAccepted) != 1 || len(got.DelAccepted) != 1 || len(got.AddRejected) != 1 || len(got.DelRejected) != 0 {
+		t.Errorf("accept/reject deltas = %+v", got)
+	}
+	if got.Peers[3] != "d:4" || got.DelayMs[3] != 44.5 {
+		t.Errorf("peers/delays = %v / %v", got.Peers, got.DelayMs)
+	}
+}
+
+func TestProtocolErrorRoundTrip(t *testing.T) {
+	m := roundTrip(t, &Message{Type: MsgError, Error: &ProtocolError{Msg: "duplicate registration for site 3"}})
+	if m.Error.Msg != "duplicate registration for site 3" {
+		t.Errorf("error = %+v", m.Error)
+	}
+}
+
 func TestFrameRoundTrip(t *testing.T) {
 	f := &stream.Frame{Stream: stream.ID{Site: 2, Index: 5}, Seq: 99, CaptureMs: 1234, Payload: []byte{1, 2, 3, 4}}
 	m := roundTrip(t, &Message{Type: MsgFrame, Frame: f})
