@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet test race live-race bench bench-smoke sweep-smoke fuzz-smoke cover ci
+.PHONY: build fmt-check vet test race live-race bench bench-smoke bench-compare sweep-smoke fuzz-smoke cover profile ci
 
 build:
 	$(GO) build ./...
@@ -28,13 +28,49 @@ live-race:
 	$(GO) test -race -timeout 180s \
 		./internal/transport ./internal/membership ./internal/rp ./internal/session
 
+# bench runs the full suite at the default 1s benchtime (stable ns/op,
+# unlike a single-iteration smoke) and records the machine-readable
+# trajectory point BENCH_<date>.json (benchmark name -> ns/op, allocs/op,
+# headline metrics) alongside the human-readable output. The go test
+# output is captured to a file (not piped) so a failing or panicking
+# benchmark fails the target instead of being masked by the pipeline.
+BENCH_DATE ?= $(shell date +%F)
+BENCH_JSON ?= BENCH_$(BENCH_DATE).json
 bench:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+	$(GO) test -bench=. -benchmem -run '^$$' . > /tmp/tele3d-bench.txt || { cat /tmp/tele3d-bench.txt; exit 1; }
+	@cat /tmp/tele3d-bench.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) -date $(BENCH_DATE) < /tmp/tele3d-bench.txt
+	@echo "wrote $(BENCH_JSON)"
 
 # bench-smoke runs the Fig8a serial/parallel pair once — enough to catch a
-# broken benchmark without paying for a full measurement.
+# broken benchmark without paying for a full measurement — and emits the
+# JSON artifact CI uploads.
 bench-smoke:
-	$(GO) test -bench=Fig8a -benchtime=1x -run '^$$' .
+	$(GO) test -bench=Fig8a -benchtime=1x -run '^$$' . > /tmp/tele3d-bench-smoke.txt || { cat /tmp/tele3d-bench-smoke.txt; exit 1; }
+	@cat /tmp/tele3d-bench-smoke.txt
+	$(GO) run ./cmd/benchjson -o bench-smoke.json < /tmp/tele3d-bench-smoke.txt
+
+# bench-compare re-runs the overlay-core micro-benchmarks at the default
+# benchtime and fails if any regresses its ns/op by more than
+# BENCH_THRESHOLD against the committed baseline (the newest BENCH_*.json
+# in the repo; override with BENCH_BASELINE=...). ns/op comparisons are
+# only meaningful on comparable hardware — regenerate the baseline with
+# `make bench` when the reference machine changes, or widen the
+# threshold for noisy shared runners.
+BENCH_BASELINE ?= $(shell ls BENCH_*.json 2>/dev/null | sort | tail -1)
+BENCH_THRESHOLD ?= 0.20
+bench-compare:
+	@test -n "$(BENCH_BASELINE)" || { echo "no BENCH_*.json baseline committed"; exit 1; }
+	$(GO) test -bench='Construct|Fig8aSerial|Churn$$' -run '^$$' . > /tmp/tele3d-bench-cmp.txt || { cat /tmp/tele3d-bench-cmp.txt; exit 1; }
+	@cat /tmp/tele3d-bench-cmp.txt
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) -threshold $(BENCH_THRESHOLD) < /tmp/tele3d-bench-cmp.txt
+
+# profile captures CPU and heap profiles of the serial Fig. 8a sweep — the
+# calibrated hot path every overlay perf change should start from.
+profile:
+	$(GO) run ./cmd/tisim -fig 8a -samples 50 -parallel 1 \
+		-cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+	@echo "wrote cpu.prof mem.prof; view with: go tool pprof -http=: cpu.prof"
 
 # sweep-smoke drives cmd/tisweep end-to-end over an 8-cell grid and checks
 # the CSV and JSONL record counts (header + 8 rows; 8 records).

@@ -1,0 +1,215 @@
+// Command benchjson converts `go test -bench` output into the repo's
+// machine-readable benchmark schema, and compares runs against a
+// committed baseline.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run '^$' . | benchjson -o BENCH_2026-07-27.json
+//	go test -bench=Construct -run '^$' . | benchjson -compare BENCH_2026-07-27.json -threshold 0.20
+//
+// In emit mode (default) the parsed benchmarks are written as JSON:
+// benchmark name → ns/op, B/op, allocs/op and any custom b.ReportMetric
+// headline metrics. In compare mode (-compare) the current run's ns/op
+// is checked against the baseline file and the process exits non-zero if
+// any shared benchmark regressed by more than the threshold — the CI
+// bench-compare gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result holds one benchmark's parsed measurements.
+type Result struct {
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the on-disk schema of a BENCH_<date>.json trajectory point.
+type File struct {
+	Schema     int               `json:"schema"`
+	Date       string            `json:"date"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix strips the -N procs suffix Go appends to benchmark
+// names, so runs at different GOMAXPROCS compare under one key.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench parses `go test -bench` output. Unparseable lines are
+// skipped; header lines (cpu:, goos:, ...) fill the file metadata.
+func parseBench(r io.Reader) (File, error) {
+	out := File{
+		Schema:     1,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: map[string]Result{},
+	}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "goos:"):
+			out.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			out.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		name = gomaxprocsSuffix.ReplaceAllString(name, "")
+		res := Result{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesPerOp = val
+			case "allocs/op":
+				res.AllocsPerOp = val
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = val
+			}
+		}
+		out.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	if len(out.Benchmarks) == 0 {
+		return out, fmt.Errorf("no benchmark lines found in input")
+	}
+	return out, nil
+}
+
+// compare checks the current run against a baseline: every benchmark
+// present in both must not regress its ns/op by more than threshold.
+// The returned report always lists the shared benchmarks; failed is true
+// if any regressed past the threshold.
+func compare(baseline, current File, threshold float64) (report string, failed bool) {
+	names := make([]string, 0, len(current.Benchmarks))
+	for name := range current.Benchmarks {
+		if _, ok := baseline.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, name := range names {
+		base := baseline.Benchmarks[name].NsPerOp
+		cur := current.Benchmarks[name].NsPerOp
+		if base <= 0 {
+			continue
+		}
+		delta := (cur - base) / base
+		status := ""
+		if delta > threshold {
+			status = "  REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(&b, "%-28s %14.0f %14.0f %+7.1f%%%s\n", name, base, cur, delta*100, status)
+	}
+	if len(names) == 0 {
+		// An empty intersection means the gate checked nothing — e.g.
+		// the bench pattern matched no baseline entries. That must fail
+		// loudly rather than pass green.
+		b.WriteString("no shared benchmarks between baseline and current run\n")
+		failed = true
+	}
+	return b.String(), failed
+}
+
+func run(stdin io.Reader, stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "", "write JSON to this file instead of stdout")
+	date := fs.String("date", "", "date stamp for the emitted JSON (default: today)")
+	baselinePath := fs.String("compare", "", "compare mode: check ns/op against this baseline JSON instead of emitting")
+	threshold := fs.Float64("threshold", 0.20, "maximum tolerated ns/op regression in compare mode (0.20 = +20%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	parsed, err := parseBench(stdin)
+	if err != nil {
+		return err
+	}
+	if *date == "" {
+		*date = time.Now().Format("2006-01-02")
+	}
+	parsed.Date = *date
+
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			return err
+		}
+		var baseline File
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			return fmt.Errorf("parse baseline %s: %w", *baselinePath, err)
+		}
+		report, failed := compare(baseline, parsed, *threshold)
+		fmt.Fprint(stdout, report)
+		if failed {
+			return fmt.Errorf("benchmarks regressed more than %.0f%% vs %s", *threshold*100, *baselinePath)
+		}
+		return nil
+	}
+
+	enc, err := json.MarshalIndent(parsed, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout, os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

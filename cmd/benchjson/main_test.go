@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/tele3d/tele3d
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkFig8aSerial       	       3	 188938320 ns/op	30795520 B/op	  200885 allocs/op
+BenchmarkFig8aParallel-8   	       3	  70000000 ns/op	30795520 B/op	  200885 allocs/op
+BenchmarkChurn             	       3	  77211474 ns/op	       112.8 disruption_ms	         0.02498 rejection	29883165 B/op	   97278 allocs/op
+PASS
+ok  	github.com/tele3d/tele3d	1.2s
+`
+
+func TestParseBench(t *testing.T) {
+	f, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GOOS != "linux" || f.GOARCH != "amd64" || !strings.Contains(f.CPU, "Xeon") {
+		t.Errorf("metadata = %s/%s/%s", f.GOOS, f.GOARCH, f.CPU)
+	}
+	serial, ok := f.Benchmarks["Fig8aSerial"]
+	if !ok {
+		t.Fatalf("Fig8aSerial missing; have %v", f.Benchmarks)
+	}
+	if serial.NsPerOp != 188938320 || serial.AllocsPerOp != 200885 || serial.BytesPerOp != 30795520 {
+		t.Errorf("Fig8aSerial = %+v", serial)
+	}
+	if _, ok := f.Benchmarks["Fig8aParallel"]; !ok {
+		t.Error("GOMAXPROCS suffix not stripped from Fig8aParallel-8")
+	}
+	churn := f.Benchmarks["Churn"]
+	if churn.Metrics["disruption_ms"] != 112.8 || churn.Metrics["rejection"] != 0.02498 {
+		t.Errorf("Churn custom metrics = %v", churn.Metrics)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("empty bench output accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := File{Benchmarks: map[string]Result{
+		"A": {NsPerOp: 100},
+		"B": {NsPerOp: 100},
+		"C": {NsPerOp: 100}, // absent from current: ignored
+	}}
+	cur := File{Benchmarks: map[string]Result{
+		"A": {NsPerOp: 115}, // +15%: within a 20% budget
+		"B": {NsPerOp: 130}, // +30%: regression
+		"D": {NsPerOp: 1},   // absent from baseline: ignored
+	}}
+	report, failed := compare(base, cur, 0.20)
+	if !failed {
+		t.Error("30% regression not flagged")
+	}
+	if !strings.Contains(report, "REGRESSION") || !strings.Contains(report, "B") {
+		t.Errorf("report missing regression marker:\n%s", report)
+	}
+	if strings.Count(report, "REGRESSION") != 1 {
+		t.Errorf("want exactly one regression:\n%s", report)
+	}
+	if _, failed := compare(base, cur, 0.50); failed {
+		t.Error("30% regression flagged at a 50% threshold")
+	}
+	// A gate that checked nothing must fail, not pass green.
+	disjoint := File{Benchmarks: map[string]Result{"Z": {NsPerOp: 1}}}
+	if _, failed := compare(disjoint, cur, 0.20); !failed {
+		t.Error("empty baseline∩current intersection passed")
+	}
+}
+
+func TestRunEmitAndCompareRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	if err := run(strings.NewReader(sampleOutput), os.Stdout, []string{"-o", path, "-date", "2026-07-27"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Date != "2026-07-27" || f.Schema != 1 || len(f.Benchmarks) != 3 {
+		t.Errorf("round-tripped file = date %s schema %d %d benchmarks", f.Date, f.Schema, len(f.Benchmarks))
+	}
+	// Same run compared against itself: zero delta, no failure.
+	var sb strings.Builder
+	if err := run(strings.NewReader(sampleOutput), &sb, []string{"-compare", path}); err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "Fig8aSerial") {
+		t.Errorf("compare report missing benchmarks:\n%s", sb.String())
+	}
+}

@@ -96,7 +96,7 @@ func main() {
 	}
 	f := srv.Forest()
 	fmt.Printf("membershipd: forest constructed: %d trees, %d accepted, %d rejected\n",
-		len(f.Trees()), len(f.Accepted()), len(f.Rejected()))
+		f.NumTrees(), f.NumAccepted(), f.NumRejected())
 
 	// The session is live: keep applying mid-session resubscriptions and
 	// pushing routing deltas until interrupted.

@@ -56,7 +56,7 @@ func main() {
 		fmt.Printf(" %s;", node.City.Name)
 	}
 	fmt.Printf("\n  planned forest: %d trees, rejection %.3f, bound %.0f ms\n",
-		len(plan.Forest.Trees()), metrics.Rejection(plan.Forest), plan.Problem.Bcost)
+		plan.Forest.NumTrees(), metrics.Rejection(plan.Forest), plan.Problem.Bcost)
 
 	srv, err := membership.New(membership.Config{
 		N: *n, Cost: plan.Sites.Cost, Bcost: plan.Problem.Bcost, Algorithm: alg, Seed: *seed,

@@ -8,6 +8,7 @@
 //	tisim -fig capacity    # the §1 capacity back-of-envelope table
 //	tisim -churn [-churnrate 4] [-churnmix 0.7]   # event-driven churn sweep
 //	tisim -churn -live [-liven 4] [-livems 2000]  # same churn, real TCP loopback
+//	tisim -fig 8a -cpuprofile cpu.prof -memprofile mem.prof  # pprof capture (see `make profile`)
 //
 // The -churn mode runs the event-driven simulator over FOV-driven
 // sessions under seeded mid-session churn (view changes, joins, leaves)
@@ -31,6 +32,8 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/tele3d/tele3d/internal/experiments"
@@ -43,17 +46,19 @@ import (
 
 // options is the parsed command line.
 type options struct {
-	fig       string
-	samples   int
-	seed      int64
-	parallel  int
-	csv       bool
-	churn     bool
-	churnRate float64
-	churnMix  float64
-	live      bool
-	liveN     int
-	liveMs    float64
+	fig        string
+	samples    int
+	seed       int64
+	parallel   int
+	csv        bool
+	churn      bool
+	churnRate  float64
+	churnMix   float64
+	live       bool
+	liveN      int
+	liveMs     float64
+	cpuprofile string
+	memprofile string
 }
 
 // parseFlags parses the command line into options, writing usage and
@@ -75,6 +80,8 @@ func parseFlags(args []string, errW io.Writer) (options, error) {
 	fs.BoolVar(&o.live, "live", false, "with -churn: replay one churn trace over real TCP loopback and compare against the sim prediction")
 	fs.IntVar(&o.liveN, "liven", 4, "number of sites for the live session (with -live)")
 	fs.Float64Var(&o.liveMs, "livems", 2000, "live session length in milliseconds (with -live)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file (view with `go tool pprof`)")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -102,10 +109,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tisim:", err)
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, opts); err != nil {
+	stopProfiles, err := startProfiles(opts)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tisim:", err)
+		os.Exit(2)
+	}
+	runErr := run(os.Stdout, opts)
+	profErr := stopProfiles()
+	for _, err := range []error{runErr, profErr} {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tisim:", err)
+		}
+	}
+	if runErr != nil || profErr != nil {
 		os.Exit(1)
 	}
+}
+
+// startProfiles starts the requested pprof captures and returns the
+// finalizer that stops the CPU profile and snapshots the heap. Profiling
+// is how every perf change to the overlay core starts: `make profile`
+// produces the flame-graph inputs for the calibrated Fig. 8a workload.
+func startProfiles(opts options) (stop func() error, err error) {
+	var cpuFile *os.File
+	if opts.cpuprofile != "" {
+		cpuFile, err = os.Create(opts.cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if opts.memprofile != "" {
+			f, err := os.Create(opts.memprofile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the snapshot reflects live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 func run(w io.Writer, opts options) error {

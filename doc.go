@@ -54,5 +54,29 @@
 //
 // The root package carries the repository-level benchmarks: one per paper
 // table/figure (bench_test.go), including the serial-vs-parallel engine
-// pair (BenchmarkFig8aSerial / BenchmarkFig8aParallel).
+// pair (BenchmarkFig8aSerial / BenchmarkFig8aParallel). `make bench`
+// records each run as a machine-readable BENCH_<date>.json trajectory
+// point (cmd/benchjson), and CI's bench-compare gate fails any pull
+// request that regresses the overlay-core micro-benchmarks more than 20%
+// against the committed baseline.
+//
+// # Flat-array invariants
+//
+// The overlay core stores every tree as dense flat arrays keyed by node
+// index — parent pointers (int32, -1 for "absent"), accumulated costs,
+// join-ordered child lists — plus a membership list maintained
+// incrementally in ascending node order. Two contracts follow:
+//
+//   - Dense node indexing: RP identifiers are small contiguous integers
+//     (array indices), as produced by overlay.Problem. Arrays grow to the
+//     highest node index touched; in steady state Join, Subscribe and
+//     Unsubscribe allocate nothing (pinned by testing.AllocsPerRun
+//     regression tests in internal/overlay).
+//
+//   - Iteration-order determinism: Tree.ForEachNode/Nodes visit members
+//     in ascending node order — exactly the order the historical
+//     sort.Ints(Nodes()) produced — and Forest's tree iteration is
+//     ascending by stream ID via incrementally maintained sorted
+//     indexes. Every golden file and the engine's bit-identical
+//     parallelism contract rest on this order never changing.
 package tele3d

@@ -85,18 +85,58 @@ type sampleObs struct {
 	util         metrics.Utilization
 }
 
+// sampleScratch is the per-worker reusable state behind runSample: the
+// selected site set (cost matrix included), the assembled problem, and
+// the overlay construction workspace. A worker drains samples
+// sequentially, so one scratch per in-flight sample (leased from the
+// runner's pool) amortizes every N×N matrix and forest allocation across
+// the batch without any cross-sample state leaking into results — each
+// field is fully re-filled or reset before use.
+type sampleScratch struct {
+	sites   topology.SiteSet
+	problem overlay.Problem
+	ws      overlay.Workspace
+}
+
+// fillProblem assembles the overlay problem from a workload sample into
+// p's reused storage; it mirrors overlay.FromWorkload without the fresh
+// allocations (validation happens in the forest reset).
+func fillProblem(p *overlay.Problem, w *workload.Workload, cost [][]float64, bcost float64) {
+	n := w.N()
+	if cap(p.In) >= n {
+		p.In = p.In[:n]
+		p.Out = p.Out[:n]
+	} else {
+		p.In = make([]int, n)
+		p.Out = make([]int, n)
+	}
+	for i, s := range w.Sites {
+		p.In[i] = s.In
+		p.Out[i] = s.Out
+	}
+	p.Cost = cost
+	p.Bcost = bcost
+	p.Requests = p.Requests[:0]
+	for i, subs := range w.Subs {
+		for _, id := range subs {
+			p.Requests = append(p.Requests, overlay.Request{Node: i, Stream: id})
+		}
+	}
+}
+
 // runSample evaluates one Monte-Carlo sample of a cell. It is pure up to
 // its deterministic per-sample RNGs — both derived from Config.Seed and
 // the sample index exactly as the historical serial loop derived them —
 // so any assignment of samples to workers reproduces the serial results.
 func (r *Runner) runSample(pt Point, alg overlay.Algorithm, s int) (sampleObs, error) {
 	var obs sampleObs
+	sc := r.scratch.Get().(*sampleScratch)
+	defer r.scratch.Put(sc)
 	// One deterministic sub-seed per sample; the same instance is
 	// presented to every algorithm (paired comparison, as in the paper's
 	// averaging over 200 fixed samples).
 	rng := rand.New(rand.NewSource(r.cfg.Seed + int64(s)*1_000_003 + int64(pt.N)*7919))
-	sites, err := topology.SelectSites(r.backbone, pt.N, rng)
-	if err != nil {
+	if err := r.backbone.SelectSitesInto(&sc.sites, r.allCost, pt.N, rng); err != nil {
 		return obs, err
 	}
 	w, err := workload.Generate(workload.Config{
@@ -113,13 +153,11 @@ func (r *Runner) runSample(pt Point, alg overlay.Algorithm, s int) (sampleObs, e
 	if err != nil {
 		return obs, err
 	}
-	p, err := overlay.FromWorkload(w, sites.Cost, sites.MedianCost()*pt.BcostMultiplier)
-	if err != nil {
-		return obs, err
-	}
+	p := &sc.problem
+	fillProblem(p, w, sc.sites.Cost, sc.sites.MedianCost()*pt.BcostMultiplier)
 	p.Reservation = pt.Reservation
 	p.JoinPolicy = pt.JoinPolicy
-	f, err := alg.Construct(p, rand.New(rand.NewSource(r.cfg.Seed+int64(s))))
+	f, err := overlay.ConstructWith(&sc.ws, alg, p, rand.New(rand.NewSource(r.cfg.Seed+int64(s))))
 	if err != nil {
 		return obs, err
 	}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 
 	"github.com/tele3d/tele3d/internal/geo"
 	"github.com/tele3d/tele3d/internal/metrics"
@@ -67,10 +68,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Runner owns the shared backbone topology.
+// Runner owns the shared backbone topology, its precomputed all-pairs
+// cost matrix, and a pool of per-worker scratch spaces that amortize the
+// per-sample allocations (site selection, problem assembly, forest
+// construction) across the whole Monte-Carlo batch.
 type Runner struct {
 	cfg      Config
 	backbone *topology.Graph
+	allCost  [][]float64
+	scratch  sync.Pool
 }
 
 // NewRunner builds a runner over the default backbone.
@@ -79,7 +85,13 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{cfg: cfg.withDefaults(), backbone: g}, nil
+	allCost, err := g.CostMatrix()
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{cfg: cfg.withDefaults(), backbone: g, allCost: allCost}
+	r.scratch.New = func() any { return new(sampleScratch) }
+	return r, nil
 }
 
 // Fig8Variant names one of the four subfigures of Figure 8.

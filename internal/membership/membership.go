@@ -411,17 +411,19 @@ func (s *Server) buildRoutes(f *overlay.Forest) map[int]*transport.Routes {
 			Forward: nil,
 		}
 	}
-	for _, t := range f.Trees() {
-		// Group the tree's edges by parent.
-		children := make(map[int][]int)
-		for _, e := range t.Edges() {
-			children[e[0]] = append(children[e[0]], e[1])
-		}
-		for parent, ch := range children {
+	f.ForEachTree(func(t *overlay.Tree) {
+		// Walk the tree's flat membership directly: each member with
+		// children contributes one forwarding directive, children sorted
+		// for structural comparability.
+		t.ForEachNode(func(parent int) {
+			ch := t.Children(parent)
+			if len(ch) == 0 {
+				return
+			}
 			sort.Ints(ch)
 			out[parent].Forward = append(out[parent].Forward, transport.Route{Stream: t.Stream, Children: ch})
-		}
-	}
+		})
+	})
 	for _, r := range f.Accepted() {
 		out[r.Node].Accepted = append(out[r.Node].Accepted, r.Stream)
 	}

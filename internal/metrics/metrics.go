@@ -18,11 +18,11 @@ import (
 // literal Equation 1 sums per-pair ratios and can exceed 1; see
 // PairwiseRejection).
 func Rejection(f *overlay.Forest) float64 {
-	total := len(f.Accepted()) + len(f.Rejected())
+	total := f.NumAccepted() + f.NumRejected()
 	if total == 0 {
 		return 0
 	}
-	return float64(len(f.Rejected())) / float64(total)
+	return float64(f.NumRejected()) / float64(total)
 }
 
 // PairwiseRejection is the literal Equation 1:
@@ -123,13 +123,13 @@ func MeasureUtilization(f *overlay.Forest) Utilization {
 	p := f.Problem()
 	n := p.N()
 	relayOut := make([]int, n)
-	for _, t := range f.Trees() {
-		for _, e := range t.Edges() {
-			if e[0] != t.Source {
-				relayOut[e[0]]++
+	f.ForEachTree(func(t *overlay.Tree) {
+		t.ForEachNode(func(v int) {
+			if parent, ok := t.Parent(v); ok && parent != t.Source {
+				relayOut[parent]++
 			}
-		}
-	}
+		})
+	})
 	var ratios, relays []float64
 	for i := 0; i < n; i++ {
 		if p.Out[i] == 0 {

@@ -75,38 +75,18 @@ func sortGroups(p *Problem, groups []Group, order groupOrder) {
 	})
 }
 
-// constructBatched is the shared engine: process the groups batch by batch
-// (granularity g = batch size in trees); within a batch all requests are
-// pooled and processed in randomized order with the basic node join
-// algorithm (§4.3, §5.3).
-func constructBatched(p *Problem, rng *rand.Rand, groups []Group, granularity int) (*Forest, error) {
+// constructOrdered is the shared engine behind the tree-based orderings:
+// shuffle the groups (randomized tie-breaking), sort by the criterion,
+// then construct batch by batch. See constructBatchedWS (workspace.go)
+// for the batching semantics.
+func constructOrdered(ws *Workspace, p *Problem, rng *rand.Rand, order groupOrder, granularity int) (*Forest, error) {
 	if rng == nil {
 		return nil, errors.New("overlay: nil rng")
 	}
-	if granularity < 1 {
-		return nil, fmt.Errorf("overlay: granularity %d < 1", granularity)
-	}
-	f, err := NewForest(p)
-	if err != nil {
-		return nil, err
-	}
-	for start := 0; start < len(groups); start += granularity {
-		end := start + granularity
-		if end > len(groups) {
-			end = len(groups)
-		}
-		var batch []Request
-		for _, g := range groups[start:end] {
-			for _, m := range g.Members {
-				batch = append(batch, Request{Node: m, Stream: g.Stream})
-			}
-		}
-		rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
-		for _, r := range batch {
-			f.Join(r)
-		}
-	}
-	return f, nil
+	groups := ws.groupsFor(p)
+	rng.Shuffle(len(groups), func(i, j int) { groups[i], groups[j] = groups[j], groups[i] })
+	sortGroups(p, groups, order)
+	return constructBatchedWS(ws, p, rng, groups, granularity)
 }
 
 // LTF is the Largest Tree First algorithm: construct trees one by one from
@@ -118,14 +98,12 @@ type LTF struct{}
 func (LTF) Name() string { return "LTF" }
 
 // Construct implements Algorithm.
-func (LTF) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
-	if rng == nil {
-		return nil, errors.New("overlay: nil rng")
-	}
-	groups := p.Groups()
-	rng.Shuffle(len(groups), func(i, j int) { groups[i], groups[j] = groups[j], groups[i] })
-	sortGroups(p, groups, orderLargestFirst)
-	return constructBatched(p, rng, groups, 1)
+func (a LTF) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
+	return a.constructWith(nil, p, rng)
+}
+
+func (LTF) constructWith(ws *Workspace, p *Problem, rng *rand.Rand) (*Forest, error) {
+	return constructOrdered(ws, p, rng, orderLargestFirst, 1)
 }
 
 // STF is the Smallest Tree First algorithm, LTF reversed; the paper
@@ -136,14 +114,12 @@ type STF struct{}
 func (STF) Name() string { return "STF" }
 
 // Construct implements Algorithm.
-func (STF) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
-	if rng == nil {
-		return nil, errors.New("overlay: nil rng")
-	}
-	groups := p.Groups()
-	rng.Shuffle(len(groups), func(i, j int) { groups[i], groups[j] = groups[j], groups[i] })
-	sortGroups(p, groups, orderSmallestFirst)
-	return constructBatched(p, rng, groups, 1)
+func (a STF) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
+	return a.constructWith(nil, p, rng)
+}
+
+func (STF) constructWith(ws *Workspace, p *Problem, rng *rand.Rand) (*Forest, error) {
+	return constructOrdered(ws, p, rng, orderSmallestFirst, 1)
 }
 
 // MCTF is the Minimum Capacity Tree First algorithm: construct first the
@@ -155,14 +131,12 @@ type MCTF struct{}
 func (MCTF) Name() string { return "MCTF" }
 
 // Construct implements Algorithm.
-func (MCTF) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
-	if rng == nil {
-		return nil, errors.New("overlay: nil rng")
-	}
-	groups := p.Groups()
-	rng.Shuffle(len(groups), func(i, j int) { groups[i], groups[j] = groups[j], groups[i] })
-	sortGroups(p, groups, orderMinCapacityFirst)
-	return constructBatched(p, rng, groups, 1)
+func (a MCTF) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
+	return a.constructWith(nil, p, rng)
+}
+
+func (MCTF) constructWith(ws *Workspace, p *Problem, rng *rand.Rand) (*Forest, error) {
+	return constructOrdered(ws, p, rng, orderMinCapacityFirst, 1)
 }
 
 // RJ is the Random Join algorithm (§4.3.3): randomize all requests for the
@@ -175,14 +149,18 @@ type RJ struct{}
 func (RJ) Name() string { return "RJ" }
 
 // Construct implements Algorithm.
-func (RJ) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
-	groups := p.Groups()
+func (a RJ) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
+	return a.constructWith(nil, p, rng)
+}
+
+func (RJ) constructWith(ws *Workspace, p *Problem, rng *rand.Rand) (*Forest, error) {
+	groups := ws.groupsFor(p)
 	// A single batch containing every tree: granularity F.
 	g := len(groups)
 	if g == 0 {
 		g = 1
 	}
-	return constructBatched(p, rng, groups, g)
+	return constructBatchedWS(ws, p, rng, groups, g)
 }
 
 // GranLTF is the granularity-spectrum algorithm of §5.3: sort groups
@@ -199,13 +177,11 @@ func (a GranLTF) Name() string { return fmt.Sprintf("Gran-LTF(%d)", a.G) }
 
 // Construct implements Algorithm.
 func (a GranLTF) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
-	if rng == nil {
-		return nil, errors.New("overlay: nil rng")
-	}
-	groups := p.Groups()
-	rng.Shuffle(len(groups), func(i, j int) { groups[i], groups[j] = groups[j], groups[i] })
-	sortGroups(p, groups, orderLargestFirst)
-	return constructBatched(p, rng, groups, a.G)
+	return a.constructWith(nil, p, rng)
+}
+
+func (a GranLTF) constructWith(ws *Workspace, p *Problem, rng *rand.Rand) (*Forest, error) {
+	return constructOrdered(ws, p, rng, orderLargestFirst, a.G)
 }
 
 // AllToAll is the conventional unicast baseline the paper abandons (§1):
@@ -219,11 +195,15 @@ type AllToAll struct{}
 func (AllToAll) Name() string { return "AllToAll" }
 
 // Construct implements Algorithm.
-func (AllToAll) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
+func (a AllToAll) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
+	return a.constructWith(nil, p, rng)
+}
+
+func (AllToAll) constructWith(ws *Workspace, p *Problem, rng *rand.Rand) (*Forest, error) {
 	if rng == nil {
 		return nil, errors.New("overlay: nil rng")
 	}
-	f, err := NewForest(p)
+	f, err := ws.newForest(p)
 	if err != nil {
 		return nil, err
 	}
@@ -232,8 +212,7 @@ func (AllToAll) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
 	for i := range f.mhat {
 		f.mhat[i] = 0
 	}
-	reqs := make([]Request, len(p.Requests))
-	copy(reqs, p.Requests)
+	reqs := ws.requestsFor(p)
 	rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
 	for _, r := range reqs {
 		src := r.Stream.Site
@@ -248,11 +227,11 @@ func (AllToAll) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
 		default:
 			// Direct bookkeeping: attach() would also consume the
 			// reservation counters, which unicast does not use.
-			t.addEdge(src, r.Node, p.Cost[src][r.Node])
+			f.attachEdge(t, src, r.Node, p.Cost[src][r.Node])
 			f.dout[src]++
 			f.din[r.Node]++
-			f.disseminated[r.Stream] = true
-			f.accepted = append(f.accepted, r)
+			f.slot(r.Stream).disseminated = true
+			f.markAccepted(r)
 		}
 	}
 	return f, nil

@@ -25,17 +25,20 @@ type CORJ struct{}
 func (CORJ) Name() string { return "CO-RJ" }
 
 // Construct implements Algorithm.
-func (CORJ) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
+func (a CORJ) Construct(p *Problem, rng *rand.Rand) (*Forest, error) {
+	return a.constructWith(nil, p, rng)
+}
+
+func (CORJ) constructWith(ws *Workspace, p *Problem, rng *rand.Rand) (*Forest, error) {
 	if rng == nil {
 		return nil, errors.New("overlay: nil rng")
 	}
-	f, err := NewForest(p)
+	f, err := ws.newForest(p)
 	if err != nil {
 		return nil, err
 	}
-	u := p.RequestMatrix()
-	reqs := make([]Request, len(p.Requests))
-	copy(reqs, p.Requests)
+	u := ws.requestMatrixFor(p)
+	reqs := ws.requestsFor(p)
 	rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
 	for _, r := range reqs {
 		switch f.Join(r) {
@@ -87,9 +90,13 @@ func (f *Forest) trySwap(r Request, u [][]int) bool {
 	if debugSwapStats {
 		swapStats.attempts++
 	}
-	for _, t := range f.Trees() {
+	// The per-node tree index lists exactly the trees containing i, in
+	// the same ascending stream order the historical full-forest scan
+	// visited them in, so the "least critical victim" tie-breaks are
+	// unchanged while the scan skips every irrelevant tree.
+	for _, t := range f.nodeTrees[i] {
 		k := t.Source
-		if k == j || !t.Contains(i) || t.Stream == r.Stream {
+		if k == j || t.Stream == r.Stream {
 			continue
 		}
 		q := Criticality(u, i, k)
@@ -132,7 +139,7 @@ func (f *Forest) trySwap(r Request, u [][]int) bool {
 	// Degrees stay balanced because the same physical link is re-pointed
 	// at the new stream.
 	vt := f.tree(victim)
-	vt.removeLeaf(i)
+	f.detachLeaf(vt, i)
 	f.dout[victimParent]--
 	f.din[i]--
 	victimReq := Request{Node: i, Stream: victim}
@@ -168,9 +175,9 @@ func (f *Forest) trySwapInbound(r Request, u [][]int) bool {
 		q      float64
 	}
 	var cands []candidate
-	for _, t := range f.Trees() {
+	for _, t := range f.nodeTrees[i] {
 		k := t.Source
-		if k == j || !t.Contains(i) || t.Stream == r.Stream {
+		if k == j || t.Stream == r.Stream {
 			continue
 		}
 		q := Criticality(u, i, k)
@@ -197,14 +204,14 @@ func (f *Forest) trySwapInbound(r Request, u [][]int) bool {
 		vt := f.tree(c.stream)
 		victimParent, _ := vt.Parent(i)
 		victimEdgeCost := f.problem.Cost[victimParent][i]
-		vt.removeLeaf(i)
+		f.detachLeaf(vt, i)
 		f.dout[victimParent]--
 		f.din[i]--
 
 		parent, ok := f.findParent(i, targetTree)
 		if !ok {
 			// Roll back: restore the victim edge exactly as it was.
-			vt.addEdge(victimParent, i, victimEdgeCost)
+			f.attachEdge(vt, victimParent, i, victimEdgeCost)
 			f.dout[victimParent]++
 			f.din[i]++
 			continue

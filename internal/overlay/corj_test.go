@@ -90,11 +90,11 @@ func figure7Forest(t *testing.T) (*Forest, Request) {
 	// Existing trees: s_a^2 reaches B then F; s_g^8 reaches F then E.
 	install := func(id stream.ID, parent, child int) {
 		tr := f.tree(id)
-		tr.addEdge(parent, child, cost[parent][child])
+		f.attachEdge(tr, parent, child, cost[parent][child])
 		f.dout[parent]++
 		f.din[child]++
-		f.disseminated[id] = true
-		f.accepted = append(f.accepted, Request{Node: child, Stream: id})
+		f.slot(id).disseminated = true
+		f.markAccepted(Request{Node: child, Stream: id})
 	}
 	install(sA, nA, nB)
 	install(sA, nB, nF)
@@ -188,7 +188,7 @@ func TestSwapRefusesNonLeafVictim(t *testing.T) {
 	sG8 := stream.ID{Site: nG, Index: 8}
 	tg := f.tree(sG8)
 	f.problem.Cost[nE][nD], f.problem.Cost[nD][nE] = 1, 1
-	tg.addEdge(nE, nD, 1)
+	f.attachEdge(tg, nE, nD, 1)
 	f.dout[nE]++
 	f.din[nD]++
 	if res := f.Join(req); res != RejectedSaturated {

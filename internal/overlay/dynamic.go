@@ -19,6 +19,20 @@ import (
 	"github.com/tele3d/tele3d/internal/stream"
 )
 
+// requestIndex returns the duplicate-detection index, building it from
+// the problem's request slice on first use. The static construction
+// algorithms never consult it, so forests that only ever run a static
+// construction skip the per-request map fill entirely.
+func (f *Forest) requestIndex() map[Request]struct{} {
+	if f.reqSet == nil {
+		f.reqSet = make(map[Request]struct{}, len(f.problem.Requests))
+		for _, r := range f.problem.Requests {
+			f.reqSet[r] = struct{}{}
+		}
+	}
+	return f.reqSet
+}
+
 // Subscribe admits a new request into the constructed forest. The request
 // must not already exist; it is appended to the problem's request set and
 // processed with the basic node join algorithm. Duplicate detection is an
@@ -31,14 +45,19 @@ func (f *Forest) Subscribe(r Request) (JoinResult, error) {
 	if r.Stream.Site < 0 || r.Stream.Site >= f.problem.N() || r.Stream.Site == r.Node {
 		return 0, fmt.Errorf("overlay: invalid subscribe target %v", r.Stream)
 	}
-	if _, dup := f.reqSet[r]; dup {
+	if r.Stream.Index < 0 || r.Stream.Index >= maxStreamIndex {
+		return 0, fmt.Errorf("overlay: subscribe stream index %d out of range", r.Stream.Index)
+	}
+	idx := f.requestIndex()
+	if _, dup := idx[r]; dup {
 		return 0, fmt.Errorf("overlay: duplicate subscription %v", r)
 	}
 	f.problem.Requests = append(f.problem.Requests, r)
-	f.reqSet[r] = struct{}{}
-	f.streamReqs[r.Stream]++
+	idx[r] = struct{}{}
+	s := f.slot(r.Stream)
+	s.reqs++
 	// A brand-new stream acquires a reservation obligation.
-	if !f.disseminated[r.Stream] && f.streamReqs[r.Stream] == 1 {
+	if !s.disseminated && s.reqs == 1 {
 		f.mhat[r.Stream.Site]++
 	}
 	return f.Join(r), nil
@@ -51,7 +70,8 @@ func (f *Forest) Subscribe(r Request) (JoinResult, error) {
 // the current resource state has its request rejected. The withdrawn
 // request itself disappears from the accounting entirely.
 func (f *Forest) Unsubscribe(r Request) error {
-	if _, known := f.reqSet[r]; !known {
+	reqIdx := f.requestIndex()
+	if _, known := reqIdx[r]; !known {
 		return fmt.Errorf("overlay: unsubscribe of unknown request %v", r)
 	}
 	idx := -1
@@ -62,12 +82,10 @@ func (f *Forest) Unsubscribe(r Request) error {
 		}
 	}
 	f.problem.Requests = append(f.problem.Requests[:idx], f.problem.Requests[idx+1:]...)
-	delete(f.reqSet, r)
-	if f.streamReqs[r.Stream]--; f.streamReqs[r.Stream] == 0 {
-		delete(f.streamReqs, r.Stream)
-	}
+	delete(reqIdx, r)
+	f.slot(r.Stream).reqs--
 
-	t := f.trees[r.Stream]
+	t := f.Tree(r.Stream)
 	wasAccepted := t != nil && t.Contains(r.Node)
 	if !wasAccepted {
 		// The request had been rejected; just drop the rejection record.
@@ -82,7 +100,7 @@ func (f *Forest) Unsubscribe(r Request) error {
 	orphans := f.detachSubtree(t, r.Node)
 	// Remove the leaving node itself.
 	parent, _ := t.Parent(r.Node)
-	t.removeLeaf(r.Node)
+	f.detachLeaf(t, r.Node)
 	f.dout[parent]--
 	f.din[r.Node]--
 
@@ -101,24 +119,30 @@ func (f *Forest) Unsubscribe(r Request) error {
 }
 
 // detachSubtree removes every edge under root (excluding root's own
-// parent edge) and returns the detached members in BFS order.
+// parent edge) and returns the detached members in BFS order. The
+// returned slice is forest-owned scratch, valid until the next call.
 func (f *Forest) detachSubtree(t *Tree, root int) []int {
-	var orphans []int
-	queue := t.Children(root)
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		orphans = append(orphans, cur)
-		queue = append(queue, t.Children(cur)...)
+	// The orphan list doubles as the BFS queue: a cursor walks it while
+	// each visited node appends its children, which is exactly the
+	// historical pop-front/append traversal order.
+	orphans := f.scratchOrphans[:0]
+	for _, c := range t.childrenOf(root) {
+		orphans = append(orphans, int(c))
 	}
-	// Remove deepest-first so removeLeaf always sees leaves.
+	for qi := 0; qi < len(orphans); qi++ {
+		for _, c := range t.childrenOf(orphans[qi]) {
+			orphans = append(orphans, int(c))
+		}
+	}
+	// Remove deepest-first so detachLeaf always sees leaves.
 	for i := len(orphans) - 1; i >= 0; i-- {
 		member := orphans[i]
 		parent, _ := t.Parent(member)
-		t.removeLeaf(member)
+		f.detachLeaf(t, member)
 		f.dout[parent]--
 		f.din[member]--
 	}
+	f.scratchOrphans = orphans
 	return orphans
 }
 
@@ -126,15 +150,16 @@ func (f *Forest) detachSubtree(t *Tree, root int) []int {
 // stream no longer has any request (nobody will ever need its first
 // dissemination) and reclaims bookkeeping for fully-emptied trees.
 func (f *Forest) releaseReservationIfOrphan(id stream.ID) {
-	if f.streamReqs[id] > 0 {
+	s := f.slotIfPresent(id)
+	if s == nil || s.reqs > 0 {
 		return
 	}
-	if !f.disseminated[id] {
+	if !s.disseminated {
 		if f.mhat[id.Site] > 0 {
 			f.mhat[id.Site]--
 		}
 	}
-	if t, ok := f.trees[id]; ok && t.Size() == 1 {
-		delete(f.trees, id)
+	if s.tree != nil && s.tree.Size() == 1 {
+		f.dropTree(s.tree)
 	}
 }

@@ -45,6 +45,17 @@ func TestSubscribeValidation(t *testing.T) {
 	if _, err := f.Subscribe(p.Requests[0]); err == nil {
 		t.Error("duplicate accepted")
 	}
+	// The dense slot table sizes rows by stream index: negative and
+	// absurd indexes must be rejected, not panic or allocate O(Index).
+	if _, err := f.Subscribe(Request{Node: 0, Stream: stream.ID{Site: 1, Index: -1}}); err == nil {
+		t.Error("negative stream index accepted")
+	}
+	if _, err := f.Subscribe(Request{Node: 0, Stream: stream.ID{Site: 1, Index: 1 << 30}}); err == nil {
+		t.Error("unbounded stream index accepted")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestUnsubscribeLeaf(t *testing.T) {
@@ -225,18 +236,25 @@ func TestSubscribeIndexMatchesScan(t *testing.T) {
 						seed, op, r, gotDup, wantDup)
 				}
 			}
-			// Recount per-stream totals against the index.
+			// Recount per-stream totals against the slot table.
 			counts := make(map[stream.ID]int)
 			for _, r := range f.problem.Requests {
 				counts[r.Stream]++
 			}
+			total := 0
 			for id, want := range counts {
-				if got := f.streamReqs[id]; got != want {
-					t.Fatalf("seed %d op %d: index counts %d for %s, scan counts %d", seed, op, got, id, want)
+				s := f.slotIfPresent(id)
+				got := 0
+				if s != nil {
+					got = s.reqs
 				}
+				if got != want {
+					t.Fatalf("seed %d op %d: slot counts %d for %s, scan counts %d", seed, op, got, id, want)
+				}
+				total += got
 			}
-			if len(counts) != len(f.streamReqs) {
-				t.Fatalf("seed %d op %d: index tracks %d streams, scan %d", seed, op, len(f.streamReqs), len(counts))
+			if total != len(f.problem.Requests) {
+				t.Fatalf("seed %d op %d: slots count %d requests, scan %d", seed, op, total, len(f.problem.Requests))
 			}
 		}
 		if err := f.Validate(); err != nil {

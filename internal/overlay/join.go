@@ -51,12 +51,24 @@ func (r JoinResult) String() string {
 // source, the source's own reservation does not count against it. Under
 // ReservationOff the m̂ term vanishes.
 func (f *Forest) effectiveRFC(k int, t *Tree) int {
-	if f.problem.Reservation == ReservationOff {
-		return f.problem.Out[k] - f.dout[k]
+	reserving := f.problem.Reservation != ReservationOff
+	srcBonus := 0
+	if reserving && !f.isDisseminated(t.Stream) {
+		srcBonus = 1
 	}
-	rfc := f.problem.Out[k] - f.dout[k] - f.mhat[k]
-	if k == t.Source && !f.disseminated[t.Stream] {
-		rfc++
+	return f.rfc(k, t, reserving, srcBonus)
+}
+
+// rfc is effectiveRFC with the per-tree state (reservation mode, the
+// undisseminated source's bonus slot) hoisted out, so findParent's scan
+// computes it per candidate without re-deriving tree-level lookups.
+func (f *Forest) rfc(k int, t *Tree, reserving bool, srcBonus int) int {
+	rfc := f.problem.Out[k] - f.dout[k]
+	if reserving {
+		rfc -= f.mhat[k]
+		if k == t.Source {
+			rfc += srcBonus
+		}
 	}
 	return rfc
 }
@@ -89,6 +101,11 @@ func (f *Forest) Join(r Request) JoinResult {
 // path, then the lower node ID, keeping construction deterministic for a
 // fixed request order.
 //
+// The scan walks the tree's incrementally-sorted membership list — the
+// same ascending node order the historical sort.Ints(Nodes()) produced —
+// with no allocation and no sorting; per-tree reservation state (the
+// undisseminated source's bonus slot) is hoisted out of the loop.
+//
 // Eligibility is dout < O plus the latency bound; under
 // ReservationBlocking a non-positive rfc additionally disqualifies the
 // node. Under PolicyRelayFirst, eligible non-source relays always outrank
@@ -96,23 +113,28 @@ func (f *Forest) Join(r Request) JoinResult {
 func (f *Forest) findParent(node int, t *Tree) (int, bool) {
 	relayFirst := f.problem.JoinPolicy == PolicyRelayFirst
 	blocking := f.problem.Reservation == ReservationBlocking
+	reserving := f.problem.Reservation != ReservationOff
+	srcBonus := 0
+	if reserving && !f.isDisseminated(t.Stream) {
+		srcBonus = 1
+	}
 	best := -1
 	bestRFC := math.MinInt
 	bestIsSource := false
 	var bestCost float64
-	for _, k := range t.Nodes() {
+	for _, m := range t.members {
+		k := int(m)
 		if k == node {
 			continue
 		}
 		if f.dout[k] >= f.problem.Out[k] {
 			continue
 		}
-		rfc := f.effectiveRFC(k, t)
+		rfc := f.rfc(k, t, reserving, srcBonus)
 		if blocking && rfc <= 0 {
 			continue
 		}
-		kCost, _ := t.CostFromSource(k)
-		pathCost := kCost + f.problem.Cost[k][node]
+		pathCost := t.cost[k] + f.problem.Cost[k][node]
 		if pathCost >= f.problem.Bcost {
 			continue
 		}
@@ -145,12 +167,12 @@ func (f *Forest) findParent(node int, t *Tree) (int, bool) {
 // accounting: degrees, the reservation counter on first dissemination, and
 // the accepted list.
 func (f *Forest) attach(r Request, t *Tree, parent int) {
-	t.addEdge(parent, r.Node, f.problem.Cost[parent][r.Node])
+	f.attachEdge(t, parent, r.Node, f.problem.Cost[parent][r.Node])
 	f.dout[parent]++
 	f.din[r.Node]++
-	if parent == t.Source && !f.disseminated[t.Stream] {
-		f.disseminated[t.Stream] = true
+	if s := f.slot(t.Stream); parent == t.Source && !s.disseminated {
+		s.disseminated = true
 		f.mhat[t.Source]--
 	}
-	f.accepted = append(f.accepted, r)
+	f.markAccepted(r)
 }

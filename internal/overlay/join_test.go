@@ -69,7 +69,7 @@ func figure6Forest(t *testing.T) (*Forest, *Tree) {
 	}
 	tr := f.tree(sID)
 	addEdge := func(parent, child int) {
-		tr.addEdge(parent, child, cost[parent][child])
+		f.attachEdge(tr, parent, child, cost[parent][child])
 		f.dout[parent]++
 		f.din[child]++
 	}
@@ -78,7 +78,7 @@ func figure6Forest(t *testing.T) (*Forest, *Tree) {
 	addEdge(figB, figC)
 	addEdge(figC, figD)
 	addEdge(figB, figE)
-	f.disseminated[sID] = true
+	f.slot(sID).disseminated = true
 
 	// Load the remaining dout and m̂ state from the figure's labels.
 	// (dout so far: S=2, B=2, C=1.)

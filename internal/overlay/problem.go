@@ -17,7 +17,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"github.com/tele3d/tele3d/internal/stream"
 	"github.com/tele3d/tele3d/internal/workload"
@@ -170,6 +169,9 @@ func (p *Problem) Validate() error {
 		if r.Stream.Site < 0 || r.Stream.Site >= n {
 			return fmt.Errorf("overlay: request %v for stream of nonexistent site", r)
 		}
+		if r.Stream.Index < 0 || r.Stream.Index >= maxStreamIndex {
+			return fmt.Errorf("overlay: request %v has stream index out of range", r)
+		}
 		if r.Stream.Site == r.Node {
 			return fmt.Errorf("overlay: request %v is for the node's own stream", r)
 		}
@@ -224,17 +226,10 @@ func (g Group) Size() int { return len(g.Members) }
 // Groups partitions the problem's requests into multicast groups, sorted
 // by stream ID for determinism.
 func (p *Problem) Groups() []Group {
-	byStream := make(map[stream.ID][]int)
-	for _, r := range p.Requests {
-		byStream[r.Stream] = append(byStream[r.Stream], r.Node)
-	}
-	out := make([]Group, 0, len(byStream))
-	for id, members := range byStream {
-		sort.Ints(members)
-		out = append(out, Group{Stream: id, Members: members})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Stream.Less(out[j].Stream) })
-	return out
+	scratch := make([]Request, len(p.Requests))
+	copy(scratch, p.Requests)
+	groups, _ := splitGroups(scratch, nil, nil)
+	return groups
 }
 
 // RequestMatrix returns u where u[i][j] is the number of requests node i

@@ -79,6 +79,12 @@ func TestProblemValidate(t *testing.T) {
 		{"bad stream site", func(p *Problem) {
 			p.Requests = append(p.Requests, Request{Node: 0, Stream: stream.ID{Site: 9, Index: 0}})
 		}},
+		{"negative stream index", func(p *Problem) {
+			p.Requests = append(p.Requests, Request{Node: 0, Stream: stream.ID{Site: 1, Index: -1}})
+		}},
+		{"unbounded stream index", func(p *Problem) {
+			p.Requests = append(p.Requests, Request{Node: 0, Stream: stream.ID{Site: 1, Index: 1 << 30}})
+		}},
 		{"duplicate request", func(p *Problem) {
 			p.Requests = append(p.Requests, p.Requests[0])
 		}},

@@ -29,7 +29,7 @@ func (f *Forest) Validate() error {
 
 	din := make([]int, n)
 	dout := make([]int, n)
-	for _, t := range f.trees {
+	for _, t := range f.treeList {
 		if err := f.validateTree(t, din, dout); err != nil {
 			return err
 		}
@@ -52,65 +52,177 @@ func (f *Forest) Validate() error {
 		}
 	}
 
+	// Incremental indexes must mirror the tree map: the sorted tree list,
+	// the per-node containment lists, and the accepted/rejected position
+	// maps are maintained on every mutation and drift is a bug.
+	if err := f.validateIndexes(); err != nil {
+		return err
+	}
+
 	if got, want := len(f.accepted)+len(f.rejected), len(p.Requests); got != want {
 		return fmt.Errorf("overlay: accepted+rejected = %d, want %d requests", got, want)
 	}
-	seen := make(map[Request]bool, len(p.Requests))
-	streamReqs := make(map[stream.ID]int)
-	for _, r := range p.Requests {
-		seen[r] = true
-		streamReqs[r.Stream]++
+	// Request accounting runs over a dense state array indexed by
+	// (node, flattened stream): the flat stream space is the slot
+	// table's, so one allocation and no hashing covers the request-set,
+	// per-stream-count and double-record checks that used to need three
+	// maps per validation.
+	offs := make([]int, n+1)
+	for site := 0; site < n; site++ {
+		offs[site+1] = offs[site] + len(f.slots[site])
 	}
-	// The request-set index must mirror the request slice exactly.
-	if len(f.reqSet) != len(p.Requests) {
-		return fmt.Errorf("overlay: request index holds %d entries, want %d", len(f.reqSet), len(p.Requests))
+	totalSlots := offs[n]
+	flat := func(r Request) int {
+		if r.Stream.Site < 0 || r.Stream.Site >= n || r.Stream.Index < 0 ||
+			r.Stream.Index >= offs[r.Stream.Site+1]-offs[r.Stream.Site] ||
+			r.Node < 0 || r.Node >= n {
+			return -1
+		}
+		return r.Node*totalSlots + offs[r.Stream.Site] + r.Stream.Index
 	}
+	const (
+		stateRequest  = 1 // the pair is in problem.Requests
+		stateRecorded = 2 // the pair appears in accepted or rejected
+	)
+	state := make([]uint8, n*totalSlots)
+	reqCounts := make([]int, totalSlots)
 	for _, r := range p.Requests {
-		if _, ok := f.reqSet[r]; !ok {
-			return fmt.Errorf("overlay: request %v missing from index", r)
+		i := flat(r)
+		if i < 0 {
+			return fmt.Errorf("overlay: request %v has no stream slot", r)
+		}
+		state[i] |= stateRequest
+		reqCounts[offs[r.Stream.Site]+r.Stream.Index]++
+	}
+	// The lazily-built request-set index, once materialized, must mirror
+	// the request slice exactly.
+	if f.reqSet != nil {
+		if len(f.reqSet) != len(p.Requests) {
+			return fmt.Errorf("overlay: request index holds %d entries, want %d", len(f.reqSet), len(p.Requests))
+		}
+		for _, r := range p.Requests {
+			if _, ok := f.reqSet[r]; !ok {
+				return fmt.Errorf("overlay: request %v missing from index", r)
+			}
 		}
 	}
-	if len(f.streamReqs) != len(streamReqs) {
-		return fmt.Errorf("overlay: per-stream index tracks %d streams, want %d", len(f.streamReqs), len(streamReqs))
-	}
-	for id, want := range streamReqs {
-		if got := f.streamReqs[id]; got != want {
-			return fmt.Errorf("overlay: per-stream index counts %d requests for %s, want %d", got, id, want)
+	// The per-stream slots must count exactly the live requests.
+	slotReqs := 0
+	for site := range f.slots {
+		for idx := range f.slots[site] {
+			s := &f.slots[site][idx]
+			if s.reqs < 0 {
+				return fmt.Errorf("overlay: stream s%d^%d has negative request count %d", site, idx, s.reqs)
+			}
+			slotReqs += s.reqs
+			if want := reqCounts[offs[site]+idx]; s.reqs != want {
+				return fmt.Errorf("overlay: per-stream slot counts %d requests for s%d^%d, want %d", s.reqs, site, idx, want)
+			}
 		}
 	}
-	outcome := make(map[Request]bool, len(p.Requests))
+	if slotReqs != len(p.Requests) {
+		return fmt.Errorf("overlay: slots count %d requests, want %d", slotReqs, len(p.Requests))
+	}
 	for _, r := range f.accepted {
-		if !seen[r] {
+		i := flat(r)
+		if i < 0 || state[i]&stateRequest == 0 {
 			return fmt.Errorf("overlay: accepted unknown request %v", r)
 		}
-		if outcome[r] {
+		if state[i]&stateRecorded != 0 {
 			return fmt.Errorf("overlay: request %v recorded twice", r)
 		}
-		outcome[r] = true
-		t := f.trees[r.Stream]
+		state[i] |= stateRecorded
+		t := f.Tree(r.Stream)
 		if t == nil || !t.Contains(r.Node) {
 			return fmt.Errorf("overlay: accepted request %v but node missing from tree", r)
 		}
 	}
-	rej := make([][]int, n)
-	for i := range rej {
-		rej[i] = make([]int, n)
-	}
+	rej := make([]int, n*n)
 	for _, r := range f.rejected {
-		if !seen[r] {
+		i := flat(r)
+		if i < 0 || state[i]&stateRequest == 0 {
 			return fmt.Errorf("overlay: rejected unknown request %v", r)
 		}
-		if outcome[r] {
+		if state[i]&stateRecorded != 0 {
 			return fmt.Errorf("overlay: request %v recorded twice", r)
 		}
-		outcome[r] = true
-		rej[r.Node][r.Stream.Site]++
+		state[i] |= stateRecorded
+		rej[r.Node*n+r.Stream.Site]++
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			if rej[i][j] != f.rej[i][j] {
-				return fmt.Errorf("overlay: rejection matrix [%d][%d] = %d, recount %d", i, j, f.rej[i][j], rej[i][j])
+			if rej[i*n+j] != f.rej[i][j] {
+				return fmt.Errorf("overlay: rejection matrix [%d][%d] = %d, recount %d", i, j, f.rej[i][j], rej[i*n+j])
 			}
+		}
+	}
+	return nil
+}
+
+// validateIndexes cross-checks the forest's incremental indexes against
+// the ground-truth tree map and outcome lists.
+func (f *Forest) validateIndexes() error {
+	if len(f.treeList) != f.numTrees {
+		return fmt.Errorf("overlay: tree list holds %d trees, slots %d", len(f.treeList), f.numTrees)
+	}
+	for i, t := range f.treeList {
+		if f.Tree(t.Stream) != t {
+			return fmt.Errorf("overlay: tree list entry %s not in slot table", t.Stream)
+		}
+		if i > 0 && !f.treeList[i-1].Stream.Less(t.Stream) {
+			return fmt.Errorf("overlay: tree list unsorted at %s", t.Stream)
+		}
+	}
+	slotTrees := 0
+	for site := range f.slots {
+		for idx := range f.slots[site] {
+			if t := f.slots[site][idx].tree; t != nil {
+				slotTrees++
+				if t.Stream != (stream.ID{Site: site, Index: idx}) {
+					return fmt.Errorf("overlay: slot s%d^%d holds tree for %s", site, idx, t.Stream)
+				}
+			}
+		}
+	}
+	if slotTrees != f.numTrees {
+		return fmt.Errorf("overlay: slot table holds %d trees, counter says %d", slotTrees, f.numTrees)
+	}
+	counted := 0
+	for node, list := range f.nodeTrees {
+		for i, t := range list {
+			if f.Tree(t.Stream) != t {
+				return fmt.Errorf("overlay: node %d indexed in dead tree %s", node, t.Stream)
+			}
+			if !t.Contains(node) {
+				return fmt.Errorf("overlay: node %d indexed in tree %s but not a member", node, t.Stream)
+			}
+			if i > 0 && !list[i-1].Stream.Less(t.Stream) {
+				return fmt.Errorf("overlay: node %d tree index unsorted at %s", node, t.Stream)
+			}
+			counted++
+		}
+	}
+	members := 0
+	for _, t := range f.treeList {
+		members += t.Size()
+	}
+	if counted != members {
+		return fmt.Errorf("overlay: node-tree index holds %d memberships, trees hold %d", counted, members)
+	}
+	if len(f.accPos) != len(f.accepted) || len(f.accSeq) != len(f.accepted) {
+		return fmt.Errorf("overlay: accepted position index holds %d entries for %d requests", len(f.accPos), len(f.accepted))
+	}
+	for i, r := range f.accepted {
+		if f.accPos[r] != i {
+			return fmt.Errorf("overlay: accepted index maps %v to %d, want %d", r, f.accPos[r], i)
+		}
+	}
+	if len(f.rejPos) != len(f.rejected) || len(f.rejSeq) != len(f.rejected) {
+		return fmt.Errorf("overlay: rejected position index holds %d entries for %d requests", len(f.rejPos), len(f.rejected))
+	}
+	for i, r := range f.rejected {
+		if f.rejPos[r] != i {
+			return fmt.Errorf("overlay: rejected index maps %v to %d, want %d", r, f.rejPos[r], i)
 		}
 	}
 	return nil
@@ -129,7 +241,8 @@ func (f *Forest) validateTree(t *Tree, din, dout []int) error {
 	if c, _ := t.CostFromSource(t.Source); c != 0 {
 		return fmt.Errorf("overlay: tree %s source cost %v != 0", t.Stream, c)
 	}
-	for _, v := range t.Nodes() {
+	for _, m := range t.members {
+		v := int(m)
 		if v == t.Source {
 			if _, hasParent := t.Parent(v); hasParent {
 				return fmt.Errorf("overlay: tree %s source has a parent", t.Stream)
@@ -168,12 +281,13 @@ func (f *Forest) validateTree(t *Tree, din, dout []int) error {
 		din[v]++
 		dout[parent]++
 	}
-	// Children lists must mirror the parent map.
+	// Children lists must mirror the parent array.
 	childCount := 0
-	for _, v := range t.Nodes() {
-		for _, c := range t.Children(v) {
+	for _, m := range t.members {
+		v := int(m)
+		for _, c := range t.childrenOf(v) {
 			childCount++
-			if got, ok := t.Parent(c); !ok || got != v {
+			if got, ok := t.Parent(int(c)); !ok || got != v {
 				return fmt.Errorf("overlay: tree %s child link %d->%d not mirrored", t.Stream, v, c)
 			}
 		}

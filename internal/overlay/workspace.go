@@ -1,0 +1,174 @@
+package overlay
+
+// workspace.go is the allocation-reuse layer for repeated constructions:
+// Monte-Carlo experiment engines build hundreds of forests per data point,
+// and without reuse every sample pays for fresh trees, group tables,
+// request copies and an N×N rejection matrix. A Workspace owns all of
+// that state and a ConstructWith call recycles it; the algorithms'
+// public Construct methods are ConstructWith with a nil workspace.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Workspace holds reusable storage for repeated forest constructions.
+// The forest returned by ConstructWith is owned by the workspace and is
+// valid until the next ConstructWith call with the same workspace; copy
+// anything that must outlive it. The zero value is ready to use.
+type Workspace struct {
+	forest  Forest
+	groups  []Group
+	members []int // shared backing array for group member slices
+	batch   []Request
+	reqs    []Request
+	u       [][]int // CO-RJ request matrix
+}
+
+// forestFor resets the workspace's forest for the problem.
+func (ws *Workspace) forestFor(p *Problem) (*Forest, error) {
+	if err := ws.forest.Reset(p); err != nil {
+		return nil, err
+	}
+	return &ws.forest, nil
+}
+
+// newForest returns a forest for the problem: the workspace's recycled
+// forest when ws is non-nil, a fresh one otherwise.
+func (ws *Workspace) newForest(p *Problem) (*Forest, error) {
+	if ws == nil {
+		return NewForest(p)
+	}
+	return ws.forestFor(p)
+}
+
+// groupsFor returns the problem's multicast groups, reusing the
+// workspace's group, member and request-copy storage when ws is non-nil.
+// The result is identical to Problem.Groups.
+func (ws *Workspace) groupsFor(p *Problem) []Group {
+	if ws == nil {
+		return p.Groups()
+	}
+	ws.reqs = append(ws.reqs[:0], p.Requests...)
+	ws.groups, ws.members = splitGroups(ws.reqs, ws.groups[:0], ws.members[:0])
+	return ws.groups
+}
+
+// requestsFor returns a mutable copy of the problem's requests, reusing
+// the workspace's buffer when ws is non-nil.
+func (ws *Workspace) requestsFor(p *Problem) []Request {
+	if ws == nil {
+		return append([]Request(nil), p.Requests...)
+	}
+	ws.reqs = append(ws.reqs[:0], p.Requests...)
+	return ws.reqs
+}
+
+// requestMatrixFor returns the problem's u matrix, reusing the
+// workspace's buffer when ws is non-nil.
+func (ws *Workspace) requestMatrixFor(p *Problem) [][]int {
+	if ws == nil {
+		return p.RequestMatrix()
+	}
+	n := p.N()
+	if cap(ws.u) >= n {
+		ws.u = ws.u[:n]
+	} else {
+		ws.u = make([][]int, n)
+	}
+	for i := range ws.u {
+		ws.u[i] = resizeInts(ws.u[i], n)
+	}
+	for _, r := range p.Requests {
+		ws.u[r.Node][r.Stream.Site]++
+	}
+	return ws.u
+}
+
+// reusable is implemented by algorithms that can construct into a
+// workspace. All package algorithms implement it.
+type reusable interface {
+	constructWith(ws *Workspace, p *Problem, rng *rand.Rand) (*Forest, error)
+}
+
+// ConstructWith runs the algorithm over the problem, recycling the
+// workspace's storage. With a nil workspace it is exactly
+// alg.Construct(p, rng); with a workspace, the returned forest is owned
+// by the workspace and valid until the next ConstructWith call.
+func ConstructWith(ws *Workspace, alg Algorithm, p *Problem, rng *rand.Rand) (*Forest, error) {
+	if ws == nil {
+		return alg.Construct(p, rng)
+	}
+	r, ok := alg.(reusable)
+	if !ok {
+		return alg.Construct(p, rng)
+	}
+	return r.constructWith(ws, p, rng)
+}
+
+// constructBatchedWS is constructBatched with optional storage reuse.
+func constructBatchedWS(ws *Workspace, p *Problem, rng *rand.Rand, groups []Group, granularity int) (*Forest, error) {
+	if rng == nil {
+		return nil, errors.New("overlay: nil rng")
+	}
+	if granularity < 1 {
+		return nil, fmt.Errorf("overlay: granularity %d < 1", granularity)
+	}
+	f, err := ws.newForest(p)
+	if err != nil {
+		return nil, err
+	}
+	var batch []Request
+	if ws != nil {
+		batch = ws.batch[:0]
+	}
+	for start := 0; start < len(groups); start += granularity {
+		end := start + granularity
+		if end > len(groups) {
+			end = len(groups)
+		}
+		batch = batch[:0]
+		for _, g := range groups[start:end] {
+			for _, m := range g.Members {
+				batch = append(batch, Request{Node: m, Stream: g.Stream})
+			}
+		}
+		rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+		for _, r := range batch {
+			f.Join(r)
+		}
+	}
+	if ws != nil {
+		ws.batch = batch
+	}
+	return f, nil
+}
+
+// splitGroups sorts the request scratch by (stream, node) in place and
+// splits it into multicast groups, appending to the provided buffers:
+// groups collects the Group headers, members is the shared backing array
+// their Members slices point into. The result is identical to the
+// historical map-based grouping — streams ascending, members ascending —
+// but needs no map and, with retained buffers, no steady-state
+// allocation. Requests are unique, so the sort order is total and any
+// sort implementation yields the same result.
+func splitGroups(scratch []Request, groups []Group, members []int) ([]Group, []int) {
+	sort.Slice(scratch, func(i, j int) bool {
+		if scratch[i].Stream != scratch[j].Stream {
+			return scratch[i].Stream.Less(scratch[j].Stream)
+		}
+		return scratch[i].Node < scratch[j].Node
+	})
+	for i := 0; i < len(scratch); {
+		j := i
+		start := len(members)
+		for ; j < len(scratch) && scratch[j].Stream == scratch[i].Stream; j++ {
+			members = append(members, scratch[j].Node)
+		}
+		groups = append(groups, Group{Stream: scratch[i].Stream, Members: members[start:len(members):len(members)]})
+		i = j
+	}
+	return groups, members
+}

@@ -381,7 +381,7 @@ func RunEvents(cfg Config, events []Event) (*EventResult, error) {
 				delete(pending, k)
 			}
 		}
-		for _, child := range t.Children(item.node) {
+		t.ForEachChild(item.node, func(child int) {
 			heap.push(evItem{
 				at:     item.at + p.Cost[item.node][child] + cfg.HopOverheadMs,
 				node:   child,
@@ -390,7 +390,7 @@ func RunEvents(cfg Config, events []Event) (*EventResult, error) {
 				ord:    ord,
 			})
 			ord++
-		}
+		})
 	}
 
 	// Accepted gains that never saw a frame.
@@ -430,8 +430,8 @@ func RunEvents(cfg Config, events []Event) (*EventResult, error) {
 		}
 		return a.Stream.Less(b.Stream)
 	})
-	res.FinalAccepted = len(f.Accepted())
-	res.FinalRejected = len(f.Rejected())
+	res.FinalAccepted = f.NumAccepted()
+	res.FinalRejected = f.NumRejected()
 	return res, nil
 }
 

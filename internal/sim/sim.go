@@ -121,8 +121,9 @@ func Run(cfg Config) (*Result, error) {
 			res.TotalFrames++
 			res.MaxLatencyMs = math.Max(res.MaxLatencyMs, lat)
 		}
-		// Forward to children.
-		for _, child := range t.Children(e.node) {
+		// Forward to children; the no-copy iterator keeps the per-event
+		// hot path allocation-free.
+		t.ForEachChild(e.node, func(child int) {
 			heap.push(evItem{
 				at:     e.at + p.Cost[e.node][child] + cfg.HopOverheadMs,
 				node:   child,
@@ -131,7 +132,7 @@ func Run(cfg Config) (*Result, error) {
 				ord:    ord,
 			})
 			ord++
-		}
+		})
 	}
 
 	for _, st := range acc {

@@ -318,6 +318,10 @@ func maxID(a, b NodeID) NodeID {
 type SiteSet struct {
 	Nodes []Node      // len N, in selection order
 	Cost  [][]float64 // Cost[i][j]: one-way ms between site i and site j
+
+	// perm is SelectSitesInto's permutation scratch, retained so repeated
+	// selections into the same SiteSet do not allocate.
+	perm []int
 }
 
 // N returns the number of sites in the set.
@@ -385,4 +389,66 @@ func SelectSites(g *Graph, n int, rng *rand.Rand) (*SiteSet, error) {
 		}
 	}
 	return &SiteSet{Nodes: nodes, Cost: cost}, nil
+}
+
+// SelectSitesInto is SelectSites against a precomputed all-pairs cost
+// matrix (CostMatrix), reusing dst's storage: no Dijkstra runs and, at
+// steady state, no allocation. It consumes exactly the same rng draws as
+// SelectSites, so a run using either variant sees identical selections.
+func (g *Graph) SelectSitesInto(dst *SiteSet, allCost [][]float64, n int, rng *rand.Rand) error {
+	total := g.NumNodes()
+	if n < 1 || n > total {
+		return fmt.Errorf("topology: cannot select %d sites from %d nodes", n, total)
+	}
+	if rng == nil {
+		return errors.New("topology: nil rng")
+	}
+	if len(allCost) != total {
+		return fmt.Errorf("topology: all-pairs matrix has %d rows, graph has %d nodes", len(allCost), total)
+	}
+	if cap(dst.perm) >= total {
+		dst.perm = dst.perm[:total]
+	} else {
+		dst.perm = make([]int, total)
+	}
+	permInto(rng, dst.perm)
+	sel := dst.perm[:n]
+	if cap(dst.Nodes) >= n {
+		dst.Nodes = dst.Nodes[:n]
+	} else {
+		dst.Nodes = make([]Node, n)
+	}
+	for i, p := range sel {
+		dst.Nodes[i] = g.nodes[p]
+	}
+	if cap(dst.Cost) >= n {
+		dst.Cost = dst.Cost[:n]
+	} else {
+		dst.Cost = make([][]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		if cap(dst.Cost[i]) >= n {
+			dst.Cost[i] = dst.Cost[i][:n]
+		} else {
+			dst.Cost[i] = make([]float64, n)
+		}
+		row := allCost[sel[i]]
+		for j := 0; j < n; j++ {
+			dst.Cost[i][j] = row[sel[j]]
+		}
+	}
+	return nil
+}
+
+// permInto fills buf with the same permutation rng.Perm(len(buf)) would
+// return, without allocating. The draw sequence matches math/rand's Perm
+// exactly (that algorithm is pinned by the Go 1 compatibility promise:
+// changing it would change the stream behind every seeded program), so
+// the rng advances identically.
+func permInto(rng *rand.Rand, buf []int) {
+	for i := range buf {
+		j := rng.Intn(i + 1)
+		buf[i] = buf[j]
+		buf[j] = i
+	}
 }

@@ -226,8 +226,8 @@ func (w *Workload) Validate() error {
 		}
 	}
 	for i, subs := range w.Subs {
-		seen := make(map[stream.ID]bool, len(subs))
-		for _, id := range subs {
+		sorted := true
+		for k, id := range subs {
 			if id.Site == i {
 				return fmt.Errorf("workload: site %d subscribes to its own stream %v", i, id)
 			}
@@ -237,6 +237,21 @@ func (w *Workload) Validate() error {
 			if id.Index < 0 || id.Index >= w.Sites[id.Site].NumStreams {
 				return fmt.Errorf("workload: site %d subscribes to nonexistent stream %v", i, id)
 			}
+			if k > 0 && !subs[k-1].Less(id) {
+				if subs[k-1] == id {
+					return fmt.Errorf("workload: site %d subscribes to %v twice", i, id)
+				}
+				sorted = false
+			}
+		}
+		if sorted {
+			continue
+		}
+		// Unsorted subscription sets (hand-built workloads) fall back to
+		// a map for the duplicate check; generated sets are sorted and
+		// are fully covered by the adjacent comparison above.
+		seen := make(map[stream.ID]bool, len(subs))
+		for _, id := range subs {
 			if seen[id] {
 				return fmt.Errorf("workload: site %d subscribes to %v twice", i, id)
 			}
@@ -309,10 +324,19 @@ func Generate(cfg Config, rng *rand.Rand) (*Workload, error) {
 	// of the sites, hottest first.
 	siteRank := rng.Perm(cfg.N)
 
-	chosen := make([]map[stream.ID]bool, cfg.N)
-	for i := range chosen {
-		chosen[i] = make(map[stream.ID]bool)
+	// chosen is a dense per-site bitmap over the flattened stream space
+	// (offsets[j] is where site j's streams start): the selection state
+	// of sample generation is pure bookkeeping — it consumes no random
+	// draws — so the flat representation replaces the historical per-site
+	// maps without moving a single rng call.
+	offsets := make([]int, cfg.N+1)
+	for j, s := range sites {
+		offsets[j+1] = offsets[j] + s.NumStreams
 	}
+	totalStreams := offsets[cfg.N]
+	chosenFlat := make([]bool, cfg.N*totalStreams)
+	chosen := func(i int) []bool { return chosenFlat[i*totalStreams : (i+1)*totalStreams] }
+	counts := make([]int, cfg.N)
 
 	if cfg.Mode == ModeCoverage {
 		// Coverage pass: every stream gets exactly one uniform-random
@@ -327,7 +351,10 @@ func Generate(cfg Config, rng *rand.Rand) (*Workload, error) {
 				if i >= j {
 					i++
 				}
-				chosen[i][stream.ID{Site: j, Index: q}] = true
+				if row := chosen(i); !row[offsets[j]+q] {
+					row[offsets[j]+q] = true
+					counts[i]++
+				}
 			}
 		}
 	}
@@ -335,12 +362,14 @@ func Generate(cfg Config, rng *rand.Rand) (*Workload, error) {
 	// Fill pass: weighted sampling without replacement via exponential
 	// keys (key = U^(1/w); the k largest keys are the sample) until each
 	// site holds SubscribeFraction of the remote streams.
+	type keyed struct {
+		id  stream.ID
+		key float64
+	}
+	remote := make([]keyed, 0, totalStreams)
 	for i := 0; i < cfg.N; i++ {
-		type keyed struct {
-			id  stream.ID
-			key float64
-		}
-		var remote []keyed
+		row := chosen(i)
+		remote = remote[:0]
 		var totalRemote int
 		for j, s := range sites {
 			if j == i {
@@ -348,8 +377,7 @@ func Generate(cfg Config, rng *rand.Rand) (*Workload, error) {
 			}
 			for q := 0; q < s.NumStreams; q++ {
 				totalRemote++
-				id := stream.ID{Site: j, Index: q}
-				if chosen[i][id] {
+				if row[offsets[j]+q] {
 					continue // already forced by coverage
 				}
 				wgt := 1.0
@@ -364,24 +392,31 @@ func Generate(cfg Config, rng *rand.Rand) (*Workload, error) {
 				for u == 0 {
 					u = rng.Float64()
 				}
-				remote = append(remote, keyed{id: id, key: math.Pow(u, 1/wgt)})
+				remote = append(remote, keyed{id: stream.ID{Site: j, Index: q}, key: math.Pow(u, 1/wgt)})
 			}
 		}
-		k := int(math.Round(cfg.SubscribeFraction*float64(totalRemote))) - len(chosen[i])
+		k := int(math.Round(cfg.SubscribeFraction*float64(totalRemote))) - counts[i]
 		if k > len(remote) {
 			k = len(remote)
 		}
 		if k > 0 {
 			sort.Slice(remote, func(a, b int) bool { return remote[a].key > remote[b].key })
 			for idx := 0; idx < k; idx++ {
-				chosen[i][remote[idx].id] = true
+				id := remote[idx].id
+				row[offsets[id.Site]+id.Index] = true
+				counts[i]++
 			}
 		}
-		subs := make([]stream.ID, 0, len(chosen[i]))
-		for id := range chosen[i] {
-			subs = append(subs, id)
+		// Collect in flat order, which is ascending (Site, Index) — the
+		// exact order the historical sort produced.
+		subs := make([]stream.ID, 0, counts[i])
+		for j := 0; j < cfg.N; j++ {
+			for q := offsets[j]; q < offsets[j+1]; q++ {
+				if row[q] {
+					subs = append(subs, stream.ID{Site: j, Index: q - offsets[j]})
+				}
+			}
 		}
-		sort.Slice(subs, func(a, b int) bool { return subs[a].Less(subs[b]) })
 		w.Subs[i] = subs
 	}
 	if err := w.Validate(); err != nil {
