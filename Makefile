@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet test race live-race bench bench-smoke bench-compare sweep-smoke fuzz-smoke cover profile ci
+.PHONY: build fmt-check vet test race live-race bench bench-smoke bench-compare sweep-smoke fuzz-smoke cluster-smoke lint-docs cover profile ci
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,29 @@ sweep-smoke:
 	@test "$$(wc -l < /tmp/tisweep-smoke.jsonl)" -eq 8 || { echo "bad JSONL record count"; exit 1; }
 	@echo "sweep-smoke OK"
 
+# cluster-smoke boots a 50-node virtual cluster under the race detector
+# and runs the flash-crowd scenario end to end — the full membership+RP
+# stack over the in-memory fabric, with records emitted to prove the
+# sink path. Small enough for CI, racy enough to matter.
+cluster-smoke:
+	$(GO) run -race ./cmd/ticluster -virtual -nodes 50 -scenario flash-crowd \
+		-cameras 2 -displays 1 -duration 1500ms -churnrate 4 -seed 7 \
+		-csv /tmp/ticluster-smoke.csv -jsonl /tmp/ticluster-smoke.jsonl
+	@test "$$(wc -l < /tmp/ticluster-smoke.csv)" -eq 2 || { echo "bad cluster CSV row count"; exit 1; }
+	@test "$$(wc -l < /tmp/ticluster-smoke.jsonl)" -eq 1 || { echo "bad cluster JSONL record count"; exit 1; }
+	@echo "cluster-smoke OK"
+
+# lint-docs enforces the documentation contracts with the in-repo
+# doccheck tool: every exported identifier in the networked-plane
+# packages carries a doc comment (the revive/golint `exported` rule),
+# and every relative markdown link in the top-level docs resolves.
+lint-docs:
+	$(GO) run ./cmd/doccheck -exported \
+		./internal/transport ./internal/membership ./internal/rp ./internal/session
+	$(GO) run ./cmd/doccheck -links \
+		README.md ARCHITECTURE.md examples/README.md
+	@echo "lint-docs OK"
+
 # fuzz-smoke runs each native fuzz target briefly — enough for the
 # coverage-guided mutator to probe beyond the seed corpus without turning
 # CI into a fuzzing campaign. `go test -fuzz` accepts one target at a
@@ -94,4 +117,4 @@ fuzz-smoke:
 cover:
 	$(GO) test -cover ./internal/...
 
-ci: build fmt-check vet race live-race bench-smoke sweep-smoke fuzz-smoke
+ci: build fmt-check vet race live-race lint-docs bench-smoke sweep-smoke cluster-smoke fuzz-smoke

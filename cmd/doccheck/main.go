@@ -1,0 +1,182 @@
+// Command doccheck enforces the repository's documentation contracts
+// without external tooling:
+//
+//	doccheck -exported ./internal/transport ./internal/rp ...
+//
+// reports every exported identifier (package, type, function, method,
+// const/var group) that lacks a doc comment — the `revive exported` /
+// golint rule, implemented on go/ast so CI needs nothing outside the
+// standard toolchain. Test files are ignored.
+//
+//	doccheck -links README.md ARCHITECTURE.md ...
+//
+// checks every relative markdown link target exists on disk (external
+// http(s) links are skipped; anchors are stripped), so renames and moves
+// cannot silently break the docs.
+//
+// Exit status is non-zero if any check fails; findings go to stdout one
+// per line as file:line: message.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	exported := flag.Bool("exported", false, "check exported identifiers have doc comments; args are package directories")
+	links := flag.Bool("links", false, "check relative markdown links resolve; args are markdown files")
+	flag.Parse()
+	if *exported == *links {
+		fmt.Fprintln(os.Stderr, "doccheck: exactly one of -exported or -links is required")
+		os.Exit(2)
+	}
+	var findings []string
+	var err error
+	if *exported {
+		findings, err = checkExported(flag.Args())
+	} else {
+		findings, err = checkLinks(flag.Args())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// checkExported walks each package directory and reports exported
+// identifiers without doc comments.
+func checkExported(dirs []string) ([]string, error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("-exported needs at least one package directory")
+	}
+	var findings []string
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", dir, err)
+		}
+		for name, pkg := range pkgs {
+			findings = append(findings, checkPackage(fset, name, pkg)...)
+		}
+	}
+	return findings, nil
+}
+
+// checkPackage applies the exported-doc rule to one parsed package.
+func checkPackage(fset *token.FileSet, name string, pkg *ast.Package) []string {
+	var findings []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+
+	hasPkgDoc := false
+	for _, file := range pkg.Files {
+		if file.Doc != nil {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc {
+		for _, file := range pkg.Files {
+			report(file.Package, "package %s has no package comment", name)
+			break
+		}
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					report(d.Pos(), "exported %s %s has no doc comment", kind, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				checkGenDecl(d, report)
+			}
+		}
+	}
+	return findings
+}
+
+// checkGenDecl applies the rule to a type/const/var declaration: each
+// exported name needs a doc comment on its spec or (for grouped
+// const/var declarations) on the group.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+				report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			documented := d.Doc != nil || s.Doc != nil || s.Comment != nil
+			if documented {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), "exported %s %s has no doc comment", strings.ToLower(d.Tok.String()), n.Name)
+				}
+			}
+		}
+	}
+}
+
+// mdLink matches inline markdown links; the first group is the target.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// checkLinks verifies every relative link target in the given markdown
+// files exists on disk.
+func checkLinks(files []string) ([]string, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("-links needs at least one markdown file")
+	}
+	var findings []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		base := filepath.Dir(file)
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue // external
+				}
+				if h := strings.IndexByte(target, '#'); h >= 0 {
+					target = target[:h]
+				}
+				if target == "" {
+					continue // in-document anchor
+				}
+				if _, err := os.Stat(filepath.Join(base, target)); err != nil {
+					findings = append(findings, fmt.Sprintf("%s:%d: broken link target %q", file, i+1, m[1]))
+				}
+			}
+		}
+	}
+	return findings, nil
+}

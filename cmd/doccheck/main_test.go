@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCheckExported runs the exported-doc rule against a fixture package
+// with one documented and several undocumented identifiers.
+func TestCheckExported(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+// Documented is fine.
+type Documented struct{}
+
+type Undocumented struct{}
+
+// DocumentedFunc is fine.
+func DocumentedFunc() {}
+
+func UndocumentedFunc() {}
+
+func unexported() {}
+
+// Grouped constants inherit the group comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const LoneUndocumented = 3
+
+func (Documented) UndocumentedMethod() {}
+
+// DocumentedMethod is fine.
+func (Documented) DocumentedMethod() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Test files must be ignored even when they violate the rule.
+	if err := os.WriteFile(filepath.Join(dir, "fixture_test.go"),
+		[]byte("package fixture\n\nfunc UndocumentedTestHelper() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := checkExported([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(findings, "\n")
+	for _, want := range []string{
+		"no package comment",
+		"exported type Undocumented",
+		"exported function UndocumentedFunc",
+		"exported const LoneUndocumented",
+		"exported method UndocumentedMethod",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("findings missing %q:\n%s", want, joined)
+		}
+	}
+	for _, tooMuch := range []string{"Documented ", "DocumentedFunc", "GroupedA", "unexported", "TestHelper", "DocumentedMethod"} {
+		if strings.Contains(joined, tooMuch) {
+			t.Errorf("false positive on %q:\n%s", tooMuch, joined)
+		}
+	}
+}
+
+// TestCheckExportedCleanPackages runs the rule over the repository's
+// networked-plane packages — the satellite contract this tool enforces
+// in CI.
+func TestCheckExportedCleanPackages(t *testing.T) {
+	root := "../.."
+	dirs := []string{
+		filepath.Join(root, "internal/transport"),
+		filepath.Join(root, "internal/membership"),
+		filepath.Join(root, "internal/rp"),
+		filepath.Join(root, "internal/session"),
+	}
+	findings, err := checkExported(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) > 0 {
+		t.Errorf("networked-plane packages have undocumented exports:\n%s", strings.Join(findings, "\n"))
+	}
+}
+
+// TestCheckLinks covers resolvable, broken, anchored and external links.
+func TestCheckLinks(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "target.md"), []byte("# target\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	md := `# doc
+[good](target.md) and [anchored](target.md#section) and [external](https://example.com/x)
+[broken](missing.md) and [anchor-only](#local)
+`
+	path := filepath.Join(dir, "doc.md")
+	if err := os.WriteFile(path, []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := checkLinks([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "missing.md") {
+		t.Errorf("findings = %v, want exactly the broken link", findings)
+	}
+	if !strings.Contains(findings[0], "doc.md:3") {
+		t.Errorf("finding %q should name line 3", findings[0])
+	}
+}

@@ -1,19 +1,33 @@
 // Command ticluster boots a complete emulated N-site tele-immersive
-// session in one process: a membership server plus N rendezvous points on
-// loopback TCP, with WAN latency emulated from real geographic distances.
+// session in one process: a membership server plus N rendezvous points,
+// with WAN latency emulated from real geographic distances.
 // Subscriptions are derived from per-display fields of view via the
 // session package, so the whole Figure 3 pipeline runs end to end.
 //
-// Example:
+// Two fabrics are available. The default runs every connection over real
+// loopback TCP. With -virtual the identical protocol stack runs over an
+// in-memory transport fabric instead — no kernel sockets — which scales
+// to thousands of nodes in one process and unlocks the scenario library
+// (-scenario): flash crowds, regional partitions, correlated churn and
+// slow-link degradation, each replayed over the wire with disruption
+// latency measured from real deliveries and cross-checked against the
+// event-driven simulator. Virtual runs emit the same CSV/JSONL records
+// as tisweep (-csv/-jsonl), so both tools feed one analysis pipeline.
+//
+// Examples:
 //
 //	ticluster -n 4 -duration 3s -algo CO-RJ
+//	ticluster -virtual -nodes 200 -scenario flash-crowd -duration 3s
+//	ticluster -virtual -nodes 1000 -scenario partition -csv part.csv
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -22,36 +36,160 @@ import (
 	"github.com/tele3d/tele3d/internal/membership"
 	"github.com/tele3d/tele3d/internal/metrics"
 	"github.com/tele3d/tele3d/internal/overlay"
+	reclib "github.com/tele3d/tele3d/internal/record"
 	"github.com/tele3d/tele3d/internal/rp"
 	"github.com/tele3d/tele3d/internal/session"
 	"github.com/tele3d/tele3d/internal/stream"
+	"github.com/tele3d/tele3d/internal/workload"
 )
 
+// options is the parsed command line.
+type options struct {
+	n        int
+	cameras  int
+	displays int
+	algo     string
+	seed     int64
+	duration time.Duration
+
+	virtual   bool
+	nodes     int
+	scenario  string
+	churnRate float64
+	churnMix  float64
+	csvPath   string
+	jsonlPath string
+}
+
 func main() {
-	var (
-		n        = flag.Int("n", 4, "number of sites")
-		cameras  = flag.Int("cameras", 8, "cameras per site")
-		displays = flag.Int("displays", 2, "displays per site")
-		algo     = flag.String("algo", "RJ", "overlay algorithm: RJ, CO-RJ, LTF, STF, MCTF")
-		seed     = flag.Int64("seed", 42, "session seed")
-		duration = flag.Duration("duration", 3*time.Second, "streaming duration")
-	)
+	var opt options
+	flag.IntVar(&opt.n, "n", 4, "number of sites (TCP mode; virtual mode uses -nodes)")
+	flag.IntVar(&opt.cameras, "cameras", 8, "cameras per site")
+	flag.IntVar(&opt.displays, "displays", 2, "displays per site")
+	flag.StringVar(&opt.algo, "algo", "RJ", "overlay algorithm: RJ, CO-RJ, LTF, STF, MCTF")
+	flag.Int64Var(&opt.seed, "seed", 42, "session seed")
+	flag.DurationVar(&opt.duration, "duration", 3*time.Second, "streaming duration")
+	flag.BoolVar(&opt.virtual, "virtual", false, "run on the in-memory virtual fabric instead of TCP")
+	flag.IntVar(&opt.nodes, "nodes", 0, "cluster size in virtual mode; 0 means -n")
+	flag.StringVar(&opt.scenario, "scenario", session.ScenarioSteadyChurn,
+		"virtual-mode scenario: "+scenarioNames())
+	flag.Float64Var(&opt.churnRate, "churnrate", 2, "base churn events/sec for the scenario")
+	flag.Float64Var(&opt.churnMix, "churnmix", 0.7, "view-change fraction of base churn")
+	flag.StringVar(&opt.csvPath, "csv", "", "virtual mode: CSV record path (tisweep schema); - for stdout")
+	flag.StringVar(&opt.jsonlPath, "jsonl", "", "virtual mode: JSONL record path; - for stdout")
 	flag.Parse()
 
-	alg, err := parseAlgo(*algo)
+	var err error
+	if opt.virtual {
+		// Mirror tisweep's stream split: the human summary goes to
+		// stderr, records (including "-" sinks) to real stdout, so
+		// `-csv - | ...` pipes clean CSV.
+		err = runVirtual(opt, os.Stderr, os.Stdout)
+	} else {
+		err = runTCP(opt)
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+}
+
+// scenarioNames joins the shipped scenario names for the flag usage line.
+func scenarioNames() string {
+	var names []string
+	for _, sc := range session.Scenarios() {
+		names = append(names, sc.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// runVirtual drives session.RunCluster on the virtual fabric and emits a
+// human summary (to out) plus one shared-schema record per run; "-"
+// record sinks resolve to stdout.
+func runVirtual(opt options, out, stdout io.Writer) error {
+	alg, err := parseAlgo(opt.algo)
+	if err != nil {
+		return err
+	}
+	nodes := opt.nodes
+	if nodes == 0 {
+		nodes = opt.n
+	}
+	// Set the latency-bound multiplier explicitly so the emitted record's
+	// bcost column reports the value the run actually used.
+	const bcostMultiplier = 3.0
+	cfg := session.ClusterConfig{
+		Spec: session.ClusterSpec{Spec: session.Spec{
+			N: nodes, CamerasPerSite: opt.cameras, DisplaysPerSite: opt.displays,
+			BcostMultiplier: bcostMultiplier,
+			Algorithm:       alg, Seed: opt.seed,
+		}},
+		DurationMs: float64(opt.duration.Milliseconds()),
+		Scenario:   opt.scenario,
+		Churn:      workload.ChurnProfile{RatePerSec: opt.churnRate, ViewChangeMix: opt.churnMix},
+	}
+	fmt.Fprintf(out, "ticluster: virtual cluster, %d sites, scenario %s, %v\n",
+		nodes, opt.scenario, opt.duration)
+	start := time.Now()
+	res, err := session.RunCluster(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(out, "  %d control events over the wire, final epoch %d\n",
+		res.Events, res.Live.FinalEpoch)
+	for _, imp := range res.Impairments {
+		fmt.Fprintf(out, "  impairment at %s\n", imp)
+	}
+	fmt.Fprintf(out, "  disruption latency: live mean %.1f ms max %.1f ms (%d/%d gains delivered)\n",
+		res.Live.MeanDisruptionMs, res.Live.MaxDisruptionMs,
+		res.Live.DeliveredGained, res.Live.DeliveredGained+res.Live.UndeliveredGained)
+	fmt.Fprintf(out, "  sim prediction:     mean %.1f ms max %.1f ms (%d delivered)\n",
+		res.Sim.MeanDisruptionMs, res.Sim.MaxDisruptionMs, res.Sim.DeliveredGained)
+	fmt.Fprintf(out, "  frames: %d delivered, %d stale, %d duplicate, %d dropped\n",
+		res.Live.TotalFrames, res.Live.TotalStale, res.Live.TotalDuplicates, res.Live.TotalDropped)
+
+	if opt.csvPath == "" && opt.jsonlPath == "" {
+		return nil
+	}
+	sink, err := reclib.NewSink(opt.csvPath, opt.jsonlPath, stdout)
+	if err != nil {
+		return err
+	}
+	defer sink.Close()
+	return sink.Write(reclib.Record{
+		N: nodes, Streams: opt.cameras,
+		Bcost:    bcostMultiplier,
+		Capacity: "fov", Popularity: "fov",
+		Algorithm: alg.Name(),
+		Samples:   1, Seed: opt.seed, Parallelism: 1,
+		ChurnRate: opt.churnRate, ChurnMix: opt.churnMix,
+		Scenario:          res.Scenario,
+		ChurnEvents:       float64(res.Events),
+		DisruptionMeanMs:  res.Live.MeanDisruptionMs,
+		DisruptionMaxMs:   res.Live.MaxDisruptionMs,
+		DeliveredFraction: res.DeliveredFraction(),
+		ElapsedMs:         float64(elapsed.Microseconds()) / 1e3,
+	})
+}
+
+// runTCP is the original loopback-TCP mode: plan the session, boot the
+// stack, stream for the duration, and print per-site delivery stats.
+func runTCP(opt options) error {
+	alg, err := parseAlgo(opt.algo)
+	if err != nil {
+		return err
 	}
 
 	// Plan the session: sites, FOV-derived subscriptions, expected forest.
 	plan, err := session.Build(session.Spec{
-		N: *n, CamerasPerSite: *cameras, DisplaysPerSite: *displays,
-		Algorithm: alg, Seed: *seed,
+		N: opt.n, CamerasPerSite: opt.cameras, DisplaysPerSite: opt.displays,
+		Algorithm: alg, Seed: opt.seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("ticluster: %d sites:", *n)
+	fmt.Printf("ticluster: %d sites:", opt.n)
 	for _, node := range plan.Sites.Nodes {
 		fmt.Printf(" %s;", node.City.Name)
 	}
@@ -59,10 +197,10 @@ func main() {
 		plan.Forest.NumTrees(), metrics.Rejection(plan.Forest), plan.Problem.Bcost)
 
 	srv, err := membership.New(membership.Config{
-		N: *n, Cost: plan.Sites.Cost, Bcost: plan.Problem.Bcost, Algorithm: alg, Seed: *seed,
+		N: opt.n, Cost: plan.Sites.Cost, Bcost: plan.Problem.Bcost, Algorithm: alg, Seed: opt.seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -73,17 +211,17 @@ func main() {
 	}()
 
 	profile := stream.Profile{Width: 160, Height: 120, FPS: 15, CompressionRatio: 26}
-	nodes := make([]*rp.Node, *n)
+	nodes := make([]*rp.Node, opt.n)
 	var wg sync.WaitGroup
-	for i := 0; i < *n; i++ {
+	for i := 0; i < opt.n; i++ {
 		node, err := rp.New(rp.Config{
 			Site: i, Membership: srv.Addr(),
 			In: 20, Out: 20,
-			Cameras: *cameras, Profile: profile, Seed: int64(i),
+			Cameras: opt.cameras, Profile: profile, Seed: int64(i),
 			Subscriptions: plan.Workload.Subs[i],
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		nodes[i] = node
 		wg.Add(1)
@@ -102,12 +240,12 @@ func main() {
 	}()
 
 	interval := time.Duration(profile.FrameIntervalMs() * float64(time.Millisecond))
-	deadline := time.Now().Add(*duration)
+	deadline := time.Now().Add(opt.duration)
 	ticks := 0
 	for time.Now().Before(deadline) {
 		for _, node := range nodes {
 			if err := node.PublishTick(); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 		ticks++
@@ -115,7 +253,7 @@ func main() {
 	}
 	time.Sleep(300 * time.Millisecond)
 
-	fmt.Printf("  streamed %d ticks (%d frames/site)\n", ticks, ticks**cameras)
+	fmt.Printf("  streamed %d ticks (%d frames/site)\n", ticks, ticks*opt.cameras)
 	for i, node := range nodes {
 		stats := node.Stats()
 		var frames int
@@ -136,6 +274,7 @@ func main() {
 		fmt.Printf("  site %d: %d streams subscribed, %5d frames delivered, mean latency %6.1f ms\n",
 			i, len(plan.Workload.Subs[i]), frames, mean)
 	}
+	return nil
 }
 
 func parseAlgo(s string) (overlay.Algorithm, error) {

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	reclib "github.com/tele3d/tele3d/internal/record"
+	"github.com/tele3d/tele3d/internal/session"
+)
+
+// TestRunVirtualEndToEnd drives a small virtual cluster through the CLI
+// path and checks the summary and the tisweep-schema records.
+func TestRunVirtualEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	opt := options{
+		n: 4, nodes: 8, cameras: 2, displays: 1,
+		algo: "RJ", seed: 21,
+		duration: 1200 * time.Millisecond,
+		virtual:  true, scenario: session.ScenarioFlashCrowd,
+		churnRate: 4, churnMix: 0.7,
+		csvPath:   filepath.Join(dir, "cluster.csv"),
+		jsonlPath: filepath.Join(dir, "cluster.jsonl"),
+	}
+	var out, stdout bytes.Buffer
+	if err := runVirtual(opt, &out, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"virtual cluster, 8 sites", "scenario flash-crowd", "disruption latency", "sim prediction"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("file sinks must not write to stdout, got %q", stdout.String())
+	}
+
+	// CSV: the shared tisweep schema, header + one record.
+	data, err := os.ReadFile(opt.csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(bytes.NewReader(data)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("csv has %d rows, want header + 1", len(rows))
+	}
+	if strings.Join(rows[0], ",") != strings.Join(reclib.CSVHeader, ",") {
+		t.Errorf("csv header = %v, want shared schema", rows[0])
+	}
+	if len(rows[1]) != len(reclib.CSVHeader) {
+		t.Fatalf("record has %d columns, want %d", len(rows[1]), len(reclib.CSVHeader))
+	}
+
+	// JSONL: one record with the scenario axes filled in.
+	f, err := os.Open(opt.jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	scanner := bufio.NewScanner(f)
+	if !scanner.Scan() {
+		t.Fatal("empty jsonl")
+	}
+	var rec reclib.Record
+	if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.N != 8 || rec.Scenario != session.ScenarioFlashCrowd || rec.Algorithm != "RJ" {
+		t.Errorf("record axes: %+v", rec)
+	}
+	if rec.Capacity != "fov" || rec.Popularity != "fov" {
+		t.Errorf("record should carry the fov sentinel: %+v", rec)
+	}
+	if rec.ChurnEvents <= 0 || rec.DisruptionMeanMs <= 0 || rec.DeliveredFraction <= 0 {
+		t.Errorf("record missing cluster metrics: %+v", rec)
+	}
+	if rec.ElapsedMs <= 0 {
+		t.Errorf("record missing elapsed time: %+v", rec)
+	}
+	if scanner.Scan() {
+		t.Error("more than one jsonl record")
+	}
+}
+
+// TestRunVirtualStdoutSink checks "-csv -" streams clean records to the
+// stdout writer while the human summary stays on the summary writer.
+func TestRunVirtualStdoutSink(t *testing.T) {
+	opt := options{
+		n: 4, cameras: 1, displays: 1,
+		algo: "RJ", seed: 3,
+		duration: 800 * time.Millisecond,
+		virtual:  true, scenario: session.ScenarioSteadyChurn,
+		churnRate: 4, churnMix: 0.7,
+		csvPath: "-",
+	}
+	var out, stdout bytes.Buffer
+	if err := runVirtual(opt, &out, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&stdout).ReadAll()
+	if err != nil {
+		t.Fatalf("stdout is not clean CSV: %v", err)
+	}
+	if len(rows) != 2 || strings.Join(rows[0], ",") != strings.Join(reclib.CSVHeader, ",") {
+		t.Errorf("stdout rows = %v", rows)
+	}
+	if strings.Contains(out.String(), rows[0][0]+",") {
+		t.Error("records leaked into the summary stream")
+	}
+}
+
+// TestRunVirtualRejectsBadFlags covers the CLI error paths.
+func TestRunVirtualRejectsBadFlags(t *testing.T) {
+	var out, stdout bytes.Buffer
+	if err := runVirtual(options{
+		n: 4, virtual: true, algo: "nope", scenario: session.ScenarioSteadyChurn,
+		cameras: 1, displays: 1, duration: time.Second, churnRate: 2, churnMix: 0.7,
+	}, &out, &stdout); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := runVirtual(options{
+		n: 4, virtual: true, algo: "RJ", scenario: "no-such-scenario",
+		cameras: 1, displays: 1, duration: time.Second, churnRate: 2, churnMix: 0.7,
+	}, &out, &stdout); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+// TestScenarioNamesMatchLibrary keeps the flag usage string in sync with
+// the scenario library.
+func TestScenarioNamesMatchLibrary(t *testing.T) {
+	names := scenarioNames()
+	for _, sc := range session.Scenarios() {
+		if !strings.Contains(names, sc.Name) {
+			t.Errorf("usage string %q misses scenario %q", names, sc.Name)
+		}
+	}
+}

@@ -26,6 +26,7 @@
 //	weighted_rejection mean normalized criticality-weighted ratio (Equation 3)
 //	util_mean, util_stddev, relay_fraction   out-degree utilization (Figure 10)
 //	churn_rate, churn_mix   churn events/sec and view-change fraction (0 = static cell)
+//	scenario           cluster scenario name (ticluster -virtual; empty for sweeps)
 //	churn_events       mean applied churn events per sample (churn cells)
 //	disruption_mean_ms, disruption_max_ms    disruption latency (churn cells)
 //	delivered_fraction mean fraction of gained streams served before session end
@@ -43,20 +44,22 @@
 package main
 
 import (
-	"encoding/csv"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
-	"strconv"
 	"time"
 
 	"github.com/tele3d/tele3d/internal/experiments"
 	"github.com/tele3d/tele3d/internal/overlay"
+	reclib "github.com/tele3d/tele3d/internal/record"
 	"github.com/tele3d/tele3d/internal/workload"
 )
+
+// record is the shared result-record schema (internal/record), emitted
+// identically by tisweep and ticluster so one toolchain loads both.
+type record = reclib.Record
 
 // sweepConfig is the fully parsed grid.
 type sweepConfig struct {
@@ -185,60 +188,6 @@ func evalCell(r *experiments.Runner, sp cellSpec) (record, error) {
 	return rec, nil
 }
 
-// record is one sweep result: a grid cell evaluated by one engine run.
-type record struct {
-	Cell              int     `json:"cell"`
-	Trial             int     `json:"trial"`
-	N                 int     `json:"n"`
-	Streams           int     `json:"streams"`
-	Bandwidth         int     `json:"bandwidth"`
-	Bcost             float64 `json:"bcost"`
-	Frac              float64 `json:"frac"`
-	Capacity          string  `json:"capacity"`
-	Popularity        string  `json:"popularity"`
-	Algorithm         string  `json:"algorithm"`
-	Samples           int     `json:"samples"`
-	Seed              int64   `json:"seed"`
-	Parallelism       int     `json:"parallelism"`
-	Rejection         float64 `json:"rejection"`
-	WeightedRejection float64 `json:"weighted_rejection"`
-	UtilMean          float64 `json:"util_mean"`
-	UtilStdDev        float64 `json:"util_stddev"`
-	RelayFraction     float64 `json:"relay_fraction"`
-	ChurnRate         float64 `json:"churn_rate"`
-	ChurnMix          float64 `json:"churn_mix"`
-	ChurnEvents       float64 `json:"churn_events"`
-	DisruptionMeanMs  float64 `json:"disruption_mean_ms"`
-	DisruptionMaxMs   float64 `json:"disruption_max_ms"`
-	DeliveredFraction float64 `json:"delivered_fraction"`
-	ElapsedMs         float64 `json:"elapsed_ms"`
-}
-
-var csvHeader = []string{
-	"cell", "trial", "n", "streams", "bandwidth", "bcost", "frac",
-	"capacity", "popularity", "algorithm", "samples", "seed", "parallelism",
-	"rejection", "weighted_rejection", "util_mean", "util_stddev",
-	"relay_fraction", "churn_rate", "churn_mix", "churn_events",
-	"disruption_mean_ms", "disruption_max_ms", "delivered_fraction",
-	"elapsed_ms",
-}
-
-func (r record) csvRow() []string {
-	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
-	return []string{
-		strconv.Itoa(r.Cell), strconv.Itoa(r.Trial), strconv.Itoa(r.N),
-		strconv.Itoa(r.Streams), strconv.Itoa(r.Bandwidth),
-		f(r.Bcost), f(r.Frac),
-		r.Capacity, r.Popularity, r.Algorithm,
-		strconv.Itoa(r.Samples), strconv.FormatInt(r.Seed, 10), strconv.Itoa(r.Parallelism),
-		f(r.Rejection), f(r.WeightedRejection),
-		f(r.UtilMean), f(r.UtilStdDev), f(r.RelayFraction),
-		f(r.ChurnRate), f(r.ChurnMix), f(r.ChurnEvents),
-		f(r.DisruptionMeanMs), f(r.DisruptionMaxMs), f(r.DeliveredFraction),
-		strconv.FormatFloat(r.ElapsedMs, 'f', 1, 64),
-	}
-}
-
 func main() {
 	var (
 		nSpec         = flag.String("n", "4,6,8,10", "site-count grid")
@@ -346,28 +295,11 @@ func runSweep(cfg sweepConfig, stdout, stderr io.Writer) error {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
-	csvW, csvClose, err := openSink(cfg.csvPath, stdout)
+	sink, err := reclib.NewSink(cfg.csvPath, cfg.jsonlPath, stdout)
 	if err != nil {
 		return err
 	}
-	defer csvClose()
-	jsonlW, jsonlClose, err := openSink(cfg.jsonlPath, stdout)
-	if err != nil {
-		return err
-	}
-	defer jsonlClose()
-
-	var csvEnc *csv.Writer
-	if csvW != nil {
-		csvEnc = csv.NewWriter(csvW)
-		if err := csvEnc.Write(csvHeader); err != nil {
-			return err
-		}
-	}
-	var jsonEnc *json.Encoder
-	if jsonlW != nil {
-		jsonEnc = json.NewEncoder(jsonlW)
-	}
+	defer sink.Close()
 
 	// One runner per trial: trials repeat the whole grid at distinct
 	// derived seeds, so repetition variance is across-seeds, not
@@ -403,19 +335,8 @@ func runSweep(cfg sweepConfig, stdout, stderr io.Writer) error {
 			rec.Cell, rec.Trial = cell, t
 			rec.Samples, rec.Seed, rec.Parallelism = cfg.samples, seeds[t], parallel
 			rec.ElapsedMs = float64(time.Since(cellStart).Microseconds()) / 1e3
-			if csvEnc != nil {
-				if err := csvEnc.Write(rec.csvRow()); err != nil {
-					return err
-				}
-				csvEnc.Flush()
-				if err := csvEnc.Error(); err != nil {
-					return err
-				}
-			}
-			if jsonEnc != nil {
-				if err := jsonEnc.Encode(rec); err != nil {
-					return err
-				}
+			if err := sink.Write(rec); err != nil {
+				return err
 			}
 			if !cfg.quiet {
 				fmt.Fprintf(stderr, "[%d/%d] n=%d streams=%d bw=%d bcost=%g frac=%g churn=%g/%g %s/%s %s trial=%d rejection=%.4f (%.0fms)\n",
@@ -429,21 +350,4 @@ func runSweep(cfg sweepConfig, stdout, stderr io.Writer) error {
 			total*cfg.trials, time.Since(start).Seconds())
 	}
 	return nil
-}
-
-// openSink resolves an output path: empty disables the sink, "-" targets
-// stdout, anything else creates the file.
-func openSink(path string, stdout io.Writer) (io.Writer, func() error, error) {
-	switch path {
-	case "":
-		return nil, func() error { return nil }, nil
-	case "-":
-		return stdout, func() error { return nil }, nil
-	default:
-		f, err := os.Create(path)
-		if err != nil {
-			return nil, nil, err
-		}
-		return f, f.Close, nil
-	}
 }

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	reclib "github.com/tele3d/tele3d/internal/record"
 )
 
 // testConfig builds an 8-cell grid (2 n × 2 bcost × 2 algorithms) with a
@@ -52,12 +54,12 @@ func TestRunSweepEndToEnd(t *testing.T) {
 	if want := 1 + 8*trials; len(rows) != want {
 		t.Fatalf("csv has %d rows, want %d", len(rows), want)
 	}
-	if strings.Join(rows[0], ",") != strings.Join(csvHeader, ",") {
+	if strings.Join(rows[0], ",") != strings.Join(reclib.CSVHeader, ",") {
 		t.Errorf("csv header = %v", rows[0])
 	}
 	for i, row := range rows[1:] {
-		if len(row) != len(csvHeader) {
-			t.Fatalf("row %d has %d columns, want %d", i, len(row), len(csvHeader))
+		if len(row) != len(reclib.CSVHeader) {
+			t.Fatalf("row %d has %d columns, want %d", i, len(row), len(reclib.CSVHeader))
 		}
 	}
 

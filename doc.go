@@ -39,6 +39,17 @@
 // server's exact forest so the two planes are directly comparable
 // (cmd/tisim -churn -live prints them side by side).
 //
+// The plane is fabric-agnostic: every listen and dial goes through
+// transport.Network, whose TCP implementation preserves the behaviour
+// above byte for byte while transport.VirtualNetwork runs the identical
+// protocol stack over in-memory links with emulated per-link latency,
+// jitter, loss and bandwidth. One process hosts thousand-node clusters
+// (session.RunCluster, cmd/ticluster -virtual), and a scenario library
+// (flash crowd, regional partition, correlated churn, slow links)
+// pairs churn traces with runtime fabric impairments. ARCHITECTURE.md
+// at the repository root maps the layers and follows a frame and a
+// resubscribe through them.
+//
 // Evaluation runs on a parallel experiment engine
 // (internal/experiments/engine.go): every Monte-Carlo sample is a pure
 // function of the seed and sample index, fanned across a worker pool and

@@ -45,8 +45,12 @@ type Config struct {
 	Algorithm overlay.Algorithm
 	// Seed drives the randomized construction. 0 means 1.
 	Seed int64
-	// ListenAddr is the TCP address to listen on, e.g. "127.0.0.1:0".
+	// ListenAddr is the address to listen on in the fabric's scheme,
+	// e.g. "127.0.0.1:0" for TCP (virtual fabrics assign their own).
 	ListenAddr string
+	// Network is the transport fabric to listen on; nil means real TCP
+	// (transport.TCPNetwork), preserving pre-fabric behaviour exactly.
+	Network transport.Network
 }
 
 // Server is the membership coordination point.
@@ -68,6 +72,13 @@ type Server struct {
 	// cur is the last full routing table dictated to each site; deltas
 	// are computed against it.
 	cur map[int]*transport.Routes
+	// meshPeers and meshDelays are the session's static mesh: peer dial
+	// addresses and per-site delay maps are fixed at registration, so
+	// every routing rebuild shares these maps instead of reallocating
+	// O(N^2) entries per churn event — the dominant control-plane cost
+	// at cluster scale.
+	meshPeers  map[int]string
+	meshDelays map[int]map[int]float64
 	// epoch is the session-wide routing-table version; bumped once per
 	// applied resubscription.
 	epoch uint64
@@ -113,7 +124,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ListenAddr == "" {
 		cfg.ListenAddr = "127.0.0.1:0"
 	}
-	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if cfg.Network == nil {
+		cfg.Network = transport.TCPNetwork{}
+	}
+	ln, err := cfg.Network.Listen(cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("membership: listen: %w", err)
 	}
@@ -391,23 +405,29 @@ func (s *Server) applyResubscribe(r *transport.Resubscribe) {
 // buildRoutes converts the forest into per-site routing directives at
 // the current epoch. Slices are sorted so tables compare structurally.
 func (s *Server) buildRoutes(f *overlay.Forest) map[int]*transport.Routes {
-	out := make(map[int]*transport.Routes, s.cfg.N)
-	peers := make(map[int]string, s.cfg.N)
-	for i, st := range s.sites {
-		peers[i] = st.hello.Addr
-	}
-	for i := 0; i < s.cfg.N; i++ {
-		delays := make(map[int]float64, s.cfg.N-1)
-		for j := 0; j < s.cfg.N; j++ {
-			if j != i {
-				delays[j] = s.cfg.Cost[i][j]
-			}
+	if s.meshPeers == nil {
+		s.meshPeers = make(map[int]string, s.cfg.N)
+		for i, st := range s.sites {
+			s.meshPeers[i] = st.hello.Addr
 		}
+		s.meshDelays = make(map[int]map[int]float64, s.cfg.N)
+		for i := 0; i < s.cfg.N; i++ {
+			delays := make(map[int]float64, s.cfg.N-1)
+			for j := 0; j < s.cfg.N; j++ {
+				if j != i {
+					delays[j] = s.cfg.Cost[i][j]
+				}
+			}
+			s.meshDelays[i] = delays
+		}
+	}
+	out := make(map[int]*transport.Routes, s.cfg.N)
+	for i := 0; i < s.cfg.N; i++ {
 		out[i] = &transport.Routes{
 			Site:    i,
 			Epoch:   s.epoch,
-			Peers:   peers,
-			DelayMs: delays,
+			Peers:   s.meshPeers,
+			DelayMs: s.meshDelays[i],
 			Forward: nil,
 		}
 	}
@@ -475,24 +495,9 @@ func diffRoutes(old, new *transport.Routes) *transport.RoutesUpdate {
 	u.AddRejected, u.DelRejected = diffIDs(old.Rejected, new.Rejected)
 	changed = changed || len(u.AddAccepted)+len(u.DelAccepted)+len(u.AddRejected)+len(u.DelRejected) > 0
 
-	for k, v := range new.Peers {
-		if old.Peers[k] != v {
-			if u.Peers == nil {
-				u.Peers = make(map[int]string)
-			}
-			u.Peers[k] = v
-			changed = true
-		}
-	}
-	for k, v := range new.DelayMs {
-		if old.DelayMs[k] != v {
-			if u.DelayMs == nil {
-				u.DelayMs = make(map[int]float64)
-			}
-			u.DelayMs[k] = v
-			changed = true
-		}
-	}
+	// Peers and DelayMs are registration-time state shared by every
+	// rebuilt table (buildRoutes), so resubscriptions can never change
+	// them — no need to compare O(N) mesh entries per site per event.
 	if !changed {
 		return nil
 	}

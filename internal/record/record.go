@@ -1,0 +1,162 @@
+// Package record defines the result-record schema shared by the
+// experiment CLIs: one Record per evaluated cell (tisweep grid sweeps)
+// or per cluster run (ticluster virtual clusters), streamed to a compact
+// CSV summary and full JSON-Lines. Sharing the schema keeps every
+// produced dataset loadable by the same notebooks and jq pipelines
+// regardless of which tool produced it.
+package record
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Record is one experiment result row. Axis columns that do not apply to
+// a record family are zero (or carry a documented sentinel such as the
+// churn cells' "fov" capacity); Scenario is empty for grid sweeps and
+// names the cluster scenario for ticluster records.
+type Record struct {
+	Cell              int     `json:"cell"`
+	Trial             int     `json:"trial"`
+	N                 int     `json:"n"`
+	Streams           int     `json:"streams"`
+	Bandwidth         int     `json:"bandwidth"`
+	Bcost             float64 `json:"bcost"`
+	Frac              float64 `json:"frac"`
+	Capacity          string  `json:"capacity"`
+	Popularity        string  `json:"popularity"`
+	Algorithm         string  `json:"algorithm"`
+	Samples           int     `json:"samples"`
+	Seed              int64   `json:"seed"`
+	Parallelism       int     `json:"parallelism"`
+	Rejection         float64 `json:"rejection"`
+	WeightedRejection float64 `json:"weighted_rejection"`
+	UtilMean          float64 `json:"util_mean"`
+	UtilStdDev        float64 `json:"util_stddev"`
+	RelayFraction     float64 `json:"relay_fraction"`
+	ChurnRate         float64 `json:"churn_rate"`
+	ChurnMix          float64 `json:"churn_mix"`
+	Scenario          string  `json:"scenario,omitempty"`
+	ChurnEvents       float64 `json:"churn_events"`
+	DisruptionMeanMs  float64 `json:"disruption_mean_ms"`
+	DisruptionMaxMs   float64 `json:"disruption_max_ms"`
+	DeliveredFraction float64 `json:"delivered_fraction"`
+	ElapsedMs         float64 `json:"elapsed_ms"`
+}
+
+// CSVHeader is the CSV column order; CSVRow emits values in the same
+// order.
+var CSVHeader = []string{
+	"cell", "trial", "n", "streams", "bandwidth", "bcost", "frac",
+	"capacity", "popularity", "algorithm", "samples", "seed", "parallelism",
+	"rejection", "weighted_rejection", "util_mean", "util_stddev",
+	"relay_fraction", "churn_rate", "churn_mix", "scenario", "churn_events",
+	"disruption_mean_ms", "disruption_max_ms", "delivered_fraction",
+	"elapsed_ms",
+}
+
+// CSVRow renders the record as one CSV row matching CSVHeader.
+func (r Record) CSVRow() []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	return []string{
+		strconv.Itoa(r.Cell), strconv.Itoa(r.Trial), strconv.Itoa(r.N),
+		strconv.Itoa(r.Streams), strconv.Itoa(r.Bandwidth),
+		f(r.Bcost), f(r.Frac),
+		r.Capacity, r.Popularity, r.Algorithm,
+		strconv.Itoa(r.Samples), strconv.FormatInt(r.Seed, 10), strconv.Itoa(r.Parallelism),
+		f(r.Rejection), f(r.WeightedRejection),
+		f(r.UtilMean), f(r.UtilStdDev), f(r.RelayFraction),
+		f(r.ChurnRate), f(r.ChurnMix), r.Scenario, f(r.ChurnEvents),
+		f(r.DisruptionMeanMs), f(r.DisruptionMaxMs), f(r.DeliveredFraction),
+		strconv.FormatFloat(r.ElapsedMs, 'f', 1, 64),
+	}
+}
+
+// Sink streams records to an optional CSV file and an optional JSONL
+// file. Each path may be empty (sink disabled) or "-" (the provided
+// stdout writer). Records are flushed as written, so long runs can be
+// tailed and survive interruption with usable partial output.
+type Sink struct {
+	csvW   *csv.Writer
+	jsonW  *json.Encoder
+	closes []func() error
+}
+
+// NewSink opens the requested outputs and writes the CSV header.
+func NewSink(csvPath, jsonlPath string, stdout io.Writer) (*Sink, error) {
+	s := &Sink{}
+	csvOut, err := s.open(csvPath, stdout)
+	if err != nil {
+		return nil, err
+	}
+	if csvOut != nil {
+		s.csvW = csv.NewWriter(csvOut)
+		if err := s.csvW.Write(CSVHeader); err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.csvW.Flush()
+	}
+	jsonOut, err := s.open(jsonlPath, stdout)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	if jsonOut != nil {
+		s.jsonW = json.NewEncoder(jsonOut)
+	}
+	return s, nil
+}
+
+// open resolves one output path: empty disables it, "-" targets stdout,
+// anything else creates the file.
+func (s *Sink) open(path string, stdout io.Writer) (io.Writer, error) {
+	switch path {
+	case "":
+		return nil, nil
+	case "-":
+		return stdout, nil
+	default:
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		s.closes = append(s.closes, f.Close)
+		return f, nil
+	}
+}
+
+// Write streams one record to every enabled output.
+func (s *Sink) Write(r Record) error {
+	if s.csvW != nil {
+		if err := s.csvW.Write(r.CSVRow()); err != nil {
+			return err
+		}
+		s.csvW.Flush()
+		if err := s.csvW.Error(); err != nil {
+			return err
+		}
+	}
+	if s.jsonW != nil {
+		if err := s.jsonW.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes the sink's files, reporting the first failure.
+func (s *Sink) Close() error {
+	var first error
+	for _, c := range s.closes {
+		if err := c(); err != nil && first == nil {
+			first = fmt.Errorf("record: close sink: %w", err)
+		}
+	}
+	s.closes = nil
+	return first
+}

@@ -19,6 +19,12 @@
 // geographic cost matrix) has elapsed, so end-to-end delivery latencies
 // observed on loopback reproduce the wide-area behaviour the overlay was
 // optimized for.
+//
+// All listening and dialing goes through a transport.Network: the
+// default TCP fabric preserves the loopback behaviour above, while a
+// WAN-emulating fabric (transport.VirtualNetwork) carries the edge
+// delay itself — the node detects this via Network.EmulatesWAN and
+// skips its own delay queue so latency is never applied twice.
 package rp
 
 import (
@@ -54,6 +60,14 @@ type Config struct {
 	// DeliveryBuffer bounds the local display queue; when full, the
 	// newest frame is dropped (video semantics). 0 means 256.
 	DeliveryBuffer int
+
+	// Network is the transport fabric the node listens and dials on; nil
+	// means real TCP (transport.TCPNetwork with the default dial
+	// timeout). When the fabric emulates WAN latency itself
+	// (Network.EmulatesWAN), the node does not add its own per-edge
+	// delay on outgoing frames — the delay would otherwise be applied
+	// twice.
+	Network transport.Network
 }
 
 // Delivery is one frame handed to the local displays.
@@ -191,6 +205,9 @@ func New(cfg Config) (*Node, error) {
 	if cfg.DeliveryBuffer == 0 {
 		cfg.DeliveryBuffer = 256
 	}
+	if cfg.Network == nil {
+		cfg.Network = transport.TCPNetwork{DialTimeout: transport.DefaultDialTimeout}
+	}
 	rig, err := stream.NewRig(cfg.Site, cfg.Cameras, cfg.Profile, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -216,7 +233,7 @@ func (n *Node) Addr() string { return n.ln.Addr().String() }
 // The control connection stays open afterwards: routing updates pushed
 // by the server are applied live until Close or ctx cancellation.
 func (n *Node) Start(ctx context.Context) error {
-	ln, err := net.Listen("tcp", n.cfg.ListenAddr)
+	ln, err := n.cfg.Network.Listen(n.cfg.ListenAddr)
 	if err != nil {
 		return fmt.Errorf("rp: site %d listen: %w", n.cfg.Site, err)
 	}
@@ -226,7 +243,9 @@ func (n *Node) Start(ctx context.Context) error {
 	n.wg.Add(1)
 	go n.acceptLoop()
 
-	conn, err := net.Dial("tcp", n.cfg.Membership)
+	// The fabric dialer honours ctx and its own timeout, so a dead
+	// membership server fails the handshake instead of hanging Start.
+	conn, err := n.cfg.Network.DialContext(ctx, n.cfg.Membership)
 	if err != nil {
 		n.Close()
 		return fmt.Errorf("rp: site %d dial membership: %w", n.cfg.Site, err)
@@ -362,23 +381,33 @@ func (n *Node) applyUpdate(u *transport.RoutesUpdate) *ResubscribeResult {
 		return res
 	}
 
+	// The peer mesh is registration-time state the server shares across
+	// rebuilds, so updates normally carry no Peers/DelayMs: share the
+	// current maps and copy only when a delta actually touches them —
+	// at cluster scale this is two O(N) map copies saved per update.
 	r := &transport.Routes{
 		Site:    cur.routes.Site,
 		Epoch:   u.Epoch,
-		Peers:   make(map[int]string, len(cur.routes.Peers)),
-		DelayMs: make(map[int]float64, len(cur.routes.DelayMs)),
+		Peers:   cur.routes.Peers,
+		DelayMs: cur.routes.DelayMs,
 	}
-	for k, v := range cur.routes.Peers {
-		r.Peers[k] = v
+	if len(u.Peers) > 0 {
+		r.Peers = make(map[int]string, len(cur.routes.Peers))
+		for k, v := range cur.routes.Peers {
+			r.Peers[k] = v
+		}
+		for k, v := range u.Peers {
+			r.Peers[k] = v
+		}
 	}
-	for k, v := range u.Peers {
-		r.Peers[k] = v
-	}
-	for k, v := range cur.routes.DelayMs {
-		r.DelayMs[k] = v
-	}
-	for k, v := range u.DelayMs {
-		r.DelayMs[k] = v
+	if len(u.DelayMs) > 0 {
+		r.DelayMs = make(map[int]float64, len(cur.routes.DelayMs))
+		for k, v := range cur.routes.DelayMs {
+			r.DelayMs[k] = v
+		}
+		for k, v := range u.DelayMs {
+			r.DelayMs[k] = v
+		}
 	}
 
 	// Merge into fresh lookup maps, then build the snapshot directly from
@@ -532,7 +561,7 @@ func (n *Node) peer(site int, tbl *routingTable) (*peerLink, error) {
 	if !ok {
 		return nil, fmt.Errorf("rp: site %d has no address for peer %d", n.cfg.Site, site)
 	}
-	conn, err := net.Dial("tcp", addr)
+	conn, err := n.cfg.Network.DialContext(n.ctx, addr)
 	if err != nil {
 		return nil, fmt.Errorf("rp: site %d dial peer %d: %w", n.cfg.Site, site, err)
 	}
@@ -542,9 +571,14 @@ func (n *Node) peer(site int, tbl *routingTable) (*peerLink, error) {
 		conn.Close()
 		return nil, err
 	}
+	// On a WAN-emulating fabric the link itself carries the edge delay.
+	delay := time.Duration(tbl.routes.DelayMs[site] * float64(time.Millisecond))
+	if n.cfg.Network.EmulatesWAN() {
+		delay = 0
+	}
 	link = &peerLink{
 		conn:  conn,
-		delay: time.Duration(tbl.routes.DelayMs[site] * float64(time.Millisecond)),
+		delay: delay,
 		queue: make(chan timedFrame, 1024),
 	}
 	n.mu.Lock()

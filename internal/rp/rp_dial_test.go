@@ -1,0 +1,73 @@
+package rp
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/tele3d/tele3d/internal/stream"
+	"github.com/tele3d/tele3d/internal/transport"
+)
+
+// blackholeNetwork simulates a dead membership server: dials hang until
+// the caller's context expires, the way a TCP SYN to a silently dropped
+// address would without a deadline.
+type blackholeNetwork struct {
+	transport.Network // listening delegates to the embedded TCP network
+}
+
+func (b blackholeNetwork) DialContext(ctx context.Context, _ string) (net.Conn, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestStartDeadMembershipDoesNotHang is the regression test for the bare
+// net.Dial the node used to issue: with a fabric dialer honouring the
+// context deadline, a dead membership server fails Start within the
+// deadline instead of hanging it indefinitely.
+func TestStartDeadMembershipDoesNotHang(t *testing.T) {
+	node, err := New(Config{
+		Site: 0, Membership: "10.255.255.1:9", Cameras: 1,
+		Profile: stream.Profile{Width: 16, Height: 16, FPS: 15, CompressionRatio: 4},
+		Network: blackholeNetwork{Network: transport.TCPNetwork{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = node.Start(ctx)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Start succeeded against a blackholed membership server")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Start error = %v, want context deadline", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("Start took %v against a dead server; the deadline did not bound the dial", elapsed)
+	}
+}
+
+// TestDefaultNetworkHasDialTimeout pins that a node constructed without
+// an explicit fabric gets the TCP network with the default dial timeout,
+// so even a background-context Start cannot hang on a dead peer forever.
+func TestDefaultNetworkHasDialTimeout(t *testing.T) {
+	node, err := New(Config{
+		Site: 0, Membership: "127.0.0.1:1", Cameras: 1,
+		Profile: stream.Profile{Width: 16, Height: 16, FPS: 15, CompressionRatio: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, ok := node.cfg.Network.(transport.TCPNetwork)
+	if !ok {
+		t.Fatalf("default network is %T, want transport.TCPNetwork", node.cfg.Network)
+	}
+	if tn.DialTimeout != transport.DefaultDialTimeout {
+		t.Fatalf("default dial timeout = %v, want %v", tn.DialTimeout, transport.DefaultDialTimeout)
+	}
+}

@@ -1,0 +1,219 @@
+package session
+
+// cluster.go scales the live plane past the backbone's PoP count: a
+// cluster session maps N sites round-robin onto the 40 backbone PoPs
+// (co-located sites a metro link apart) and RunCluster boots the whole
+// membership+RP stack — the identical protocol code the TCP plane runs —
+// on an in-memory transport.VirtualNetwork whose links carry the
+// backbone's pairwise latency. One process hosts thousands of nodes:
+// no kernel sockets, no ports, no file descriptors.
+//
+// A scenario (scenario.go) supplies the session's dynamics: a churn
+// trace replayed over the wire exactly as RunLive does, plus a schedule
+// of fabric impairments (partitions, slow links) applied to the virtual
+// network mid-run.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/tele3d/tele3d/internal/geo"
+	"github.com/tele3d/tele3d/internal/sim"
+	"github.com/tele3d/tele3d/internal/stream"
+	"github.com/tele3d/tele3d/internal/topology"
+	"github.com/tele3d/tele3d/internal/transport"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+// ClusterSpec describes a cluster session to assemble: Spec's knobs,
+// with N allowed to exceed the backbone PoP count.
+type ClusterSpec struct {
+	// Spec carries the shared session knobs (N, cameras, displays, caps,
+	// latency bound, algorithm, seed).
+	Spec
+	// LocalCostMs is the one-way latency between sites co-located on a
+	// PoP; 0 means topology.DefaultLocalCostMs.
+	LocalCostMs float64
+}
+
+// BuildCluster assembles an N-site session with sites expanded over the
+// backbone (round-robin over a seeded PoP permutation) instead of
+// selected from it, so N may exceed the PoP count. The rest of the
+// pipeline — rigs, FOVs, aggregated subscriptions, forest construction —
+// is exactly Build's.
+func BuildCluster(cs ClusterSpec) (*Session, error) {
+	spec, err := cs.Spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	backbone, err := topology.Backbone(geo.DefaultLatencyModel())
+	if err != nil {
+		return nil, err
+	}
+	sites, err := topology.ExpandSites(backbone, spec.N, cs.LocalCostMs, rng)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(spec, sites, rng)
+}
+
+// ClusterConfig parameterizes one virtual-fabric cluster run.
+type ClusterConfig struct {
+	// Spec describes the cluster session; see ClusterSpec.
+	Spec ClusterSpec
+	// Profile is the per-camera encoding profile; the zero value means a
+	// small live profile (64x48 @ 15 fps, ratio 10) suitable for large
+	// clusters.
+	Profile stream.Profile
+	// DurationMs is the session length; 0 means 2000.
+	DurationMs float64
+	// DrainMs extends listening after the last published frame; 0 means
+	// 400.
+	DrainMs float64
+	// Scenario names the dynamics to run (see Scenarios); "" means
+	// ScenarioSteadyChurn.
+	Scenario string
+	// Churn is the base churn process scenarios draw from. It must be a
+	// valid profile (RatePerSec > 0): every scenario measures disruption
+	// under dynamics, so a rate of zero is an error rather than a
+	// silently substituted default — the emitted records must never
+	// claim a churn rate the run did not use.
+	Churn workload.ChurnProfile
+	// Link adds jitter, loss and bandwidth on top of the matrix latency
+	// of every site-to-site virtual link.
+	Link transport.LinkProfile
+}
+
+// withDefaults fills the zero values.
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Profile == (stream.Profile{}) {
+		c.Profile = stream.Profile{Width: 64, Height: 48, FPS: 15, CompressionRatio: 10}
+	}
+	if c.DurationMs == 0 {
+		c.DurationMs = 2000
+	}
+	if c.DrainMs == 0 {
+		c.DrainMs = 400
+	}
+	if c.Scenario == "" {
+		c.Scenario = ScenarioSteadyChurn
+	}
+	return c
+}
+
+// ClusterResult is a completed cluster run.
+type ClusterResult struct {
+	// Scenario is the dynamics that ran; Sites the cluster size.
+	Scenario string
+	Sites    int
+	// Events is the number of control events the scenario's trace
+	// applied over the wire; Impairments the fabric impairments applied.
+	Events      int
+	Impairments []string
+	// Live is the measured outcome; Sim the event-driven simulator's
+	// prediction for the same trace over the same forest. The simulator
+	// does not model fabric impairments, so under partition or slow-link
+	// scenarios Live-vs-Sim divergence is the measurement, not an error.
+	Live *LiveResult
+	Sim  *sim.EventResult
+}
+
+// DeliveredFraction is the fraction of gained streams whose first frame
+// arrived before session end.
+func (r *ClusterResult) DeliveredFraction() float64 {
+	total := r.Live.DeliveredGained + r.Live.UndeliveredGained
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Live.DeliveredGained) / float64(total)
+}
+
+// RunCluster assembles an N-site cluster session, boots the full
+// membership+RP stack on a virtual fabric whose links carry the
+// backbone's latency matrix, and drives the named scenario: its churn
+// trace is applied mid-session over the wire (the RunLive path,
+// unchanged) while its impairment schedule mutates the fabric. The
+// returned result pairs the live measurement with the simulator's
+// prediction for the same trace.
+func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Churn.Validate(); err != nil {
+		return nil, fmt.Errorf("session: cluster churn profile: %w", err)
+	}
+	s, err := BuildCluster(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := ScenarioByName(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	// The scenario rng is decoupled from the session seed stream so a
+	// scenario change never reshuffles site placement or FOVs.
+	seed := cfg.Spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	plan, err := sc.Plan(s, cfg, rand.New(rand.NewSource(seed*7919+int64(len(sc.Name)))))
+	if err != nil {
+		return nil, fmt.Errorf("session: scenario %s: %w", sc.Name, err)
+	}
+
+	fabric := transport.NewVirtualNetwork(transport.VirtualConfig{
+		Seed:  seed,
+		Links: transport.SiteLinks(s.Sites.Cost, cfg.Link),
+	})
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	liveCfg := LiveConfig{
+		Profile:    cfg.Profile,
+		DurationMs: cfg.DurationMs,
+		DrainMs:    cfg.DrainMs,
+		Algorithm:  cfg.Spec.Algorithm,
+		Seed:       cfg.Spec.Seed,
+		Fabric:     fabric,
+		// The impairment scheduler starts on the session clock: AtMs is
+		// relative to the first published frame, like the trace's times.
+		OnStart: func() {
+			if len(plan.Impairments) == 0 {
+				return
+			}
+			t0 := time.Now()
+			go func() {
+				for _, imp := range plan.Impairments {
+					due := t0.Add(time.Duration(imp.AtMs * float64(time.Millisecond)))
+					select {
+					case <-runCtx.Done():
+						return
+					case <-time.After(time.Until(due)):
+					}
+					imp.Apply(fabric)
+				}
+			}()
+		},
+	}
+
+	live, err := s.RunLive(runCtx, liveCfg, plan.Trace)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := s.SimPrediction(liveCfg, plan.Trace)
+	if err != nil {
+		return nil, err
+	}
+	res := &ClusterResult{
+		Scenario: sc.Name,
+		Sites:    s.Workload.N(),
+		Events:   len(plan.Trace),
+		Live:     live,
+		Sim:      pred,
+	}
+	for _, imp := range plan.Impairments {
+		res.Impairments = append(res.Impairments, fmt.Sprintf("%.0fms: %s", imp.AtMs, imp.Note))
+	}
+	return res, nil
+}

@@ -25,6 +25,7 @@ import (
 	"github.com/tele3d/tele3d/internal/rp"
 	"github.com/tele3d/tele3d/internal/sim"
 	"github.com/tele3d/tele3d/internal/stream"
+	"github.com/tele3d/tele3d/internal/transport"
 )
 
 // LiveSimToleranceMs is the documented tolerance between the mean
@@ -51,6 +52,20 @@ type LiveConfig struct {
 	// DrainMs is how long after the last published frame the run keeps
 	// listening for in-flight deliveries; 0 means 400.
 	DrainMs float64
+	// Fabric supplies the transport substrate: nil means real TCP
+	// loopback (the pre-fabric behaviour). Pass a
+	// transport.VirtualNetwork to run the identical protocol stack over
+	// in-memory links with emulated WAN latency — the path that scales
+	// to thousand-node clusters in one process (see RunCluster).
+	Fabric transport.Fabric
+	// DeliveryBuffer overrides each RP's local display queue bound;
+	// 0 means 8192.
+	DeliveryBuffer int
+	// OnStart, when non-nil, is called once the whole cluster is
+	// assembled (every RP holds its routing table), immediately before
+	// frame publishing begins. Scenario impairment schedulers hook here
+	// so their timers align with the session clock.
+	OnStart func()
 }
 
 // LiveEventOutcome reports what one control event did over the wire and
@@ -93,6 +108,13 @@ type LiveResult struct {
 	MaxDisruptionMs  float64
 	// TotalFrames counts frames delivered to displays across all sites.
 	TotalFrames int
+	// TotalStale counts frames that arrived for streams their site no
+	// longer accepted; TotalDuplicates second copies discarded across
+	// parent swaps; TotalDropped frames lost at full delivery queues.
+	// Impairment scenarios (partitions, slow links) move these numbers.
+	TotalStale      int
+	TotalDuplicates int
+	TotalDropped    int
 	// FinalEpoch is the routing-table version at session end.
 	FinalEpoch uint64
 }
@@ -106,6 +128,12 @@ func (c LiveConfig) withDefaults() LiveConfig {
 	}
 	if c.DrainMs == 0 {
 		c.DrainMs = 400
+	}
+	if c.Fabric == nil {
+		c.Fabric = transport.TCPFabric{DialTimeout: transport.DefaultDialTimeout}
+	}
+	if c.DeliveryBuffer == 0 {
+		c.DeliveryBuffer = 8192
 	}
 	return c
 }
@@ -164,6 +192,7 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 	srv, err := membership.New(membership.Config{
 		N: n, Cost: s.Sites.Cost, Bcost: s.Problem.Bcost,
 		Algorithm: cfg.Algorithm, Seed: cfg.Seed,
+		Network: cfg.Fabric.Host(transport.ServerHost),
 	})
 	if err != nil {
 		return nil, err
@@ -189,7 +218,8 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 			Cameras: s.Workload.Sites[i].NumStreams,
 			Profile: cfg.Profile, Seed: cfg.Seed*1000 + int64(i),
 			Subscriptions:  s.Workload.Subs[i],
-			DeliveryBuffer: 8192,
+			DeliveryBuffer: cfg.DeliveryBuffer,
+			Network:        cfg.Fabric.Host(transport.SiteHost(i)),
 		})
 		if err != nil {
 			return nil, err
@@ -216,6 +246,9 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 
 	// Publish on the profile's cadence from every site, mirroring the
 	// simulator's frame schedule (sources capture regardless of demand).
+	if cfg.OnStart != nil {
+		cfg.OnStart()
+	}
 	interval := time.Duration(cfg.Profile.FrameIntervalMs() * float64(time.Millisecond))
 	t0 := time.Now()
 	pubDone := make(chan error, 1)
@@ -346,6 +379,9 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 	for _, node := range nodes {
 		for _, st := range node.Stats() {
 			res.TotalFrames += st.Frames
+			res.TotalStale += st.Stale
+			res.TotalDuplicates += st.Duplicates
+			res.TotalDropped += st.Dropped
 		}
 		if e := node.Epoch(); e > res.FinalEpoch {
 			res.FinalEpoch = e

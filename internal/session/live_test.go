@@ -10,6 +10,7 @@ import (
 	"github.com/tele3d/tele3d/internal/overlay"
 	"github.com/tele3d/tele3d/internal/sim"
 	"github.com/tele3d/tele3d/internal/stream"
+	"github.com/tele3d/tele3d/internal/transport"
 	"github.com/tele3d/tele3d/internal/workload"
 )
 
@@ -87,6 +88,63 @@ func TestLiveChurnMatchesSimPrediction(t *testing.T) {
 	t.Logf("disruption latency: live mean %.1fms max %.1fms (%d delivered), sim mean %.1fms max %.1fms (%d delivered)",
 		liveRes.MeanDisruptionMs, liveRes.MaxDisruptionMs, liveRes.DeliveredGained,
 		simRes.MeanDisruptionMs, simRes.MaxDisruptionMs, simRes.DeliveredGained)
+}
+
+// TestLiveChurnVirtualFabric is the virtual-fabric variant of the
+// live-vs-sim cross-check: the same session, trace and assertions as the
+// TCP test, but every connection runs through a transport.VirtualNetwork
+// whose links carry the session's cost matrix — the configuration that
+// scales to thousand-node clusters (see cluster_test.go for 500 nodes).
+func TestLiveChurnVirtualFabric(t *testing.T) {
+	spec := Spec{N: 4, CamerasPerSite: 3, DisplaysPerSite: 1, Algorithm: overlay.RJ{}, Seed: 21}
+	s, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LiveConfig{
+		Profile:    liveProfile(),
+		DurationMs: 1500,
+		Algorithm:  overlay.RJ{},
+		Seed:       spec.Seed,
+		Fabric: transport.NewVirtualNetwork(transport.VirtualConfig{
+			Seed:  spec.Seed,
+			Links: transport.SiteLinks(s.Sites.Cost, transport.LinkProfile{}),
+		}),
+	}
+	trace, err := s.ChurnTrace(workload.ChurnProfile{RatePerSec: 3, ViewChangeMix: 0.7}, cfg.DurationMs, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := s.SimPrediction(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	liveRes, err := s.RunLive(ctx, cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveRes.TotalFrames == 0 {
+		t.Fatal("virtual fabric delivered no frames")
+	}
+	for i := range liveRes.Events {
+		le, se := liveRes.Events[i], simRes.Events[i]
+		if le.GainedAccepted != se.GainedAccepted || le.GainedRejected != se.GainedRejected {
+			t.Errorf("event %d admission: live %d/%d, sim %d/%d",
+				i, le.GainedAccepted, le.GainedRejected, se.GainedAccepted, se.GainedRejected)
+		}
+	}
+	if liveRes.DeliveredGained == 0 {
+		t.Fatal("no gains delivered on the virtual fabric")
+	}
+	diff := math.Abs(liveRes.MeanDisruptionMs - simRes.MeanDisruptionMs)
+	if diff > LiveSimToleranceMs {
+		t.Errorf("virtual live mean disruption %.1fms vs sim %.1fms: |diff| %.1fms exceeds %dms",
+			liveRes.MeanDisruptionMs, simRes.MeanDisruptionMs, diff, LiveSimToleranceMs)
+	}
+	t.Logf("virtual fabric: live mean %.1fms (%d delivered), sim mean %.1fms",
+		liveRes.MeanDisruptionMs, liveRes.DeliveredGained, simRes.MeanDisruptionMs)
 }
 
 // TestRunLiveValidation covers the live driver's argument checks.

@@ -1,0 +1,285 @@
+package session
+
+// scenario.go is the cluster scenario library: each scenario turns the
+// session's churn-trace machinery (ChurnTrace, the same generator the
+// event-driven simulator replays) plus the virtual fabric's impairment
+// hooks into a named, reproducible disruption pattern. Scenarios are
+// pure planners — they produce a trace and an impairment schedule; the
+// cluster driver (RunCluster) executes both.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/tele3d/tele3d/internal/sim"
+	"github.com/tele3d/tele3d/internal/transport"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+// Shipped scenario names.
+const (
+	// ScenarioSteadyChurn is the baseline: the configured Poisson churn
+	// process over a healthy fabric — the live image of tisim -churn.
+	ScenarioSteadyChurn = "steady-churn"
+	// ScenarioFlashCrowd compresses a burst of subscription churn into a
+	// short window early in the session: many sites change what they
+	// watch almost at once, hammering the membership control loop.
+	ScenarioFlashCrowd = "flash-crowd"
+	// ScenarioPartition severs every fabric link between two geographic
+	// halves of the cluster mid-session, then heals it: frames queue
+	// across the cut (TCP riding out a routing transient) while churn
+	// keeps arriving.
+	ScenarioPartition = "partition"
+	// ScenarioCorrelatedChurn snaps view-change churn onto a few shared
+	// burst instants: co-timed view changes across many sites, the way a
+	// scene cut moves every viewer's focus at once.
+	ScenarioCorrelatedChurn = "correlated-churn"
+	// ScenarioSlowLinks degrades a tenth of the sites' links (5x
+	// latency, added loss) for the middle half of the session.
+	ScenarioSlowLinks = "slow-links"
+)
+
+// Impairment is one scheduled mutation of the virtual fabric.
+type Impairment struct {
+	// AtMs is the application time on the session clock (milliseconds
+	// after the first published frame, like sim.Event.AtMs).
+	AtMs float64
+	// Note describes the mutation for logs and result records.
+	Note string
+	// Apply performs the mutation.
+	Apply func(*transport.VirtualNetwork)
+}
+
+// ScenarioPlan is a scenario resolved against one concrete session: the
+// control-event trace to replay over the wire and the fabric impairment
+// schedule to run beside it.
+type ScenarioPlan struct {
+	Trace       []sim.Event
+	Impairments []Impairment
+}
+
+// Scenario is a named, reproducible cluster disruption pattern.
+type Scenario struct {
+	// Name is the identifier used by ScenarioByName and ticluster
+	// -scenario; Summary a one-line description.
+	Name    string
+	Summary string
+
+	plan func(s *Session, cfg ClusterConfig, rng *rand.Rand) (ScenarioPlan, error)
+}
+
+// Plan resolves the scenario against a session. The rng drives trace
+// generation and impairment target selection; the session is left
+// unmodified.
+func (sc Scenario) Plan(s *Session, cfg ClusterConfig, rng *rand.Rand) (ScenarioPlan, error) {
+	return sc.plan(s, cfg, rng)
+}
+
+// Scenarios lists the shipped scenario library in a stable order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:    ScenarioSteadyChurn,
+			Summary: "Poisson churn at the configured rate over a healthy fabric",
+			plan:    planSteadyChurn,
+		},
+		{
+			Name:    ScenarioFlashCrowd,
+			Summary: "a burst of subscription churn compressed into a short early window",
+			plan:    planFlashCrowd,
+		},
+		{
+			Name:    ScenarioPartition,
+			Summary: "the fabric is severed between two geographic halves mid-session, then healed",
+			plan:    planPartition,
+		},
+		{
+			Name:    ScenarioCorrelatedChurn,
+			Summary: "view changes across many sites snap onto shared burst instants",
+			plan:    planCorrelatedChurn,
+		},
+		{
+			Name:    ScenarioSlowLinks,
+			Summary: "a tenth of the sites' links degrade to 5x latency with loss for the middle of the session",
+			plan:    planSlowLinks,
+		},
+	}
+}
+
+// ScenarioByName resolves a scenario by its name.
+func ScenarioByName(name string) (Scenario, error) {
+	var known []string
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+		known = append(known, sc.Name)
+	}
+	return Scenario{}, fmt.Errorf("session: unknown scenario %q (have %s)", name, strings.Join(known, ", "))
+}
+
+// planSteadyChurn is the baseline plan: the configured churn process,
+// no impairments.
+func planSteadyChurn(s *Session, cfg ClusterConfig, rng *rand.Rand) (ScenarioPlan, error) {
+	trace, err := s.ChurnTrace(cfg.Churn, cfg.DurationMs, rng)
+	if err != nil {
+		return ScenarioPlan{}, err
+	}
+	return ScenarioPlan{Trace: trace}, nil
+}
+
+// planFlashCrowd generates churn at five times the configured rate with
+// a join-heavy mix, then compresses the whole trace into the window
+// [0.2, 0.4) of the session. The compression is order-preserving, so the
+// trace stays applicable (every event still finds the subscription state
+// it was generated against).
+func planFlashCrowd(s *Session, cfg ClusterConfig, rng *rand.Rand) (ScenarioPlan, error) {
+	profile := workload.ChurnProfile{
+		RatePerSec:    cfg.Churn.RatePerSec * 5,
+		ViewChangeMix: 0.2,
+	}
+	trace, err := s.ChurnTrace(profile, cfg.DurationMs, rng)
+	if err != nil {
+		return ScenarioPlan{}, err
+	}
+	w0, w1 := 0.2*cfg.DurationMs, 0.4*cfg.DurationMs
+	for i := range trace {
+		trace[i].AtMs = w0 + trace[i].AtMs/cfg.DurationMs*(w1-w0)
+	}
+	return ScenarioPlan{Trace: trace}, nil
+}
+
+// planPartition keeps the configured churn running and severs every
+// fabric link between the cluster's western and eastern halves (split at
+// the median site longitude) for the window [0.3, 0.65) of the session.
+// The membership control plane is out-of-band (server links are never
+// severed), so routing updates keep flowing while frames stall across
+// the cut — exactly the asymmetry wide-area incidents show.
+func planPartition(s *Session, cfg ClusterConfig, rng *rand.Rand) (ScenarioPlan, error) {
+	trace, err := s.ChurnTrace(cfg.Churn, cfg.DurationMs, rng)
+	if err != nil {
+		return ScenarioPlan{}, err
+	}
+	west, east := splitByLongitude(s)
+	plan := ScenarioPlan{Trace: trace}
+	if len(west) == 0 || len(east) == 0 {
+		return plan, nil // degenerate geography: nothing to sever
+	}
+	cut, heal := 0.3*cfg.DurationMs, 0.65*cfg.DurationMs
+	plan.Impairments = []Impairment{
+		{
+			AtMs: cut,
+			Note: fmt.Sprintf("partition %d western from %d eastern sites", len(west), len(east)),
+			Apply: func(v *transport.VirtualNetwork) {
+				v.Partition(west, east)
+			},
+		},
+		{
+			AtMs: heal,
+			Note: "heal partition",
+			Apply: func(v *transport.VirtualNetwork) {
+				v.Heal(west, east)
+			},
+		},
+	}
+	return plan, nil
+}
+
+// splitByLongitude partitions the site host names at the median PoP
+// longitude. Sites exactly at the median go east, so both groups are
+// non-empty whenever the cluster spans at least two longitudes.
+func splitByLongitude(s *Session) (west, east []string) {
+	lons := make([]float64, len(s.Sites.Nodes))
+	for i, nd := range s.Sites.Nodes {
+		lons[i] = nd.City.Coordinate.Lon
+	}
+	sorted := append([]float64(nil), lons...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	for i, lon := range lons {
+		if lon < median {
+			west = append(west, transport.SiteHost(i))
+		} else {
+			east = append(east, transport.SiteHost(i))
+		}
+	}
+	return west, east
+}
+
+// planCorrelatedChurn generates pure view-change churn and snaps each
+// event's time forward onto the next of four shared burst instants, so
+// many sites change view at the same moment. The snap is monotone on an
+// already time-sorted trace, so per-site event order — and with it trace
+// applicability — is preserved.
+func planCorrelatedChurn(s *Session, cfg ClusterConfig, rng *rand.Rand) (ScenarioPlan, error) {
+	profile := workload.ChurnProfile{RatePerSec: cfg.Churn.RatePerSec, ViewChangeMix: 1}
+	trace, err := s.ChurnTrace(profile, cfg.DurationMs, rng)
+	if err != nil {
+		return ScenarioPlan{}, err
+	}
+	bursts := []float64{0.25, 0.45, 0.65, 0.85}
+	for i := range trace {
+		snapped := bursts[len(bursts)-1] * cfg.DurationMs
+		for _, b := range bursts {
+			if at := b * cfg.DurationMs; at >= trace[i].AtMs {
+				snapped = at
+				break
+			}
+		}
+		trace[i].AtMs = snapped
+	}
+	return ScenarioPlan{Trace: trace}, nil
+}
+
+// planSlowLinks runs the configured churn while a random tenth of the
+// sites (at least one) see all their links degraded — five times the
+// latency and 2% added loss — for the window [0.25, 0.75) of the
+// session, then restored.
+func planSlowLinks(s *Session, cfg ClusterConfig, rng *rand.Rand) (ScenarioPlan, error) {
+	trace, err := s.ChurnTrace(cfg.Churn, cfg.DurationMs, rng)
+	if err != nil {
+		return ScenarioPlan{}, err
+	}
+	n := s.Workload.N()
+	victims := rng.Perm(n)[:(n+9)/10]
+	sort.Ints(victims)
+	cost := s.Sites.Cost
+	base := cfg.Link
+	degrade, restore := 0.25*cfg.DurationMs, 0.75*cfg.DurationMs
+	plan := ScenarioPlan{Trace: trace}
+	plan.Impairments = []Impairment{
+		{
+			AtMs: degrade,
+			Note: fmt.Sprintf("degrade all links of %d sites to 5x latency + 2%% loss", len(victims)),
+			Apply: func(v *transport.VirtualNetwork) {
+				for _, i := range victims {
+					for j := 0; j < n; j++ {
+						if j == i {
+							continue
+						}
+						p := base
+						p.LatencyMs = 5 * cost[i][j]
+						p.Loss = base.Loss + 0.02
+						v.SetLinkProfile(transport.SiteHost(i), transport.SiteHost(j), p)
+					}
+				}
+			},
+		},
+		{
+			AtMs: restore,
+			Note: "restore degraded links",
+			Apply: func(v *transport.VirtualNetwork) {
+				for _, i := range victims {
+					for j := 0; j < n; j++ {
+						if j != i {
+							v.ClearLinkProfile(transport.SiteHost(i), transport.SiteHost(j))
+						}
+					}
+				}
+			},
+		},
+	}
+	return plan, nil
+}

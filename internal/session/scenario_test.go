@@ -1,0 +1,160 @@
+package session
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+// scenarioSession builds a small cluster session scenarios can plan
+// against.
+func scenarioSession(t *testing.T) (*Session, ClusterConfig) {
+	t.Helper()
+	cfg := ClusterConfig{
+		Spec: ClusterSpec{Spec: Spec{
+			N: 12, CamerasPerSite: 2, DisplaysPerSite: 1,
+			Algorithm: overlay.RJ{}, Seed: 17,
+		}},
+		Churn: workload.ChurnProfile{RatePerSec: 2, ViewChangeMix: 0.7},
+	}.withDefaults()
+	s, err := BuildCluster(cfg.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, cfg
+}
+
+// TestScenariosPlanAndReplay checks every shipped scenario produces a
+// trace the event-driven simulator accepts (the applicability contract:
+// each event finds the subscription state it was generated against) with
+// every event inside the session window, and an impairment schedule
+// inside the window too.
+func TestScenariosPlanAndReplay(t *testing.T) {
+	s, cfg := scenarioSession(t)
+	seen := map[string]bool{}
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if seen[sc.Name] {
+				t.Fatalf("duplicate scenario name %q", sc.Name)
+			}
+			seen[sc.Name] = true
+			if sc.Summary == "" {
+				t.Error("scenario has no summary")
+			}
+			plan, err := sc.Plan(s, cfg, rand.New(rand.NewSource(5)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(plan.Trace) == 0 {
+				t.Fatal("scenario produced an empty trace — pick parameters that churn")
+			}
+			for i, e := range plan.Trace {
+				if e.AtMs < 0 || e.AtMs >= cfg.DurationMs {
+					t.Fatalf("event %d at %vms outside [0, %v)", i, e.AtMs, cfg.DurationMs)
+				}
+			}
+			if !sort.SliceIsSorted(plan.Trace, func(i, j int) bool {
+				return plan.Trace[i].AtMs < plan.Trace[j].AtMs
+			}) {
+				t.Error("trace times not sorted")
+			}
+			for _, imp := range plan.Impairments {
+				if imp.AtMs < 0 || imp.AtMs >= cfg.DurationMs {
+					t.Errorf("impairment %q at %vms outside the session", imp.Note, imp.AtMs)
+				}
+				if imp.Apply == nil || imp.Note == "" {
+					t.Errorf("impairment %+v missing Apply or Note", imp)
+				}
+			}
+			// The simulator replays the trace against the same forest the
+			// membership server will build: applicability check.
+			pred, err := s.SimPrediction(LiveConfig{
+				Profile: cfg.Profile, DurationMs: cfg.DurationMs,
+				Algorithm: cfg.Spec.Algorithm, Seed: cfg.Spec.Seed,
+			}, plan.Trace)
+			if err != nil {
+				t.Fatalf("trace not replayable: %v", err)
+			}
+			if len(pred.Events) != len(plan.Trace) {
+				t.Fatalf("sim replayed %d of %d events", len(pred.Events), len(plan.Trace))
+			}
+		})
+	}
+}
+
+// TestScenarioShapes pins each scenario's characteristic shape.
+func TestScenarioShapes(t *testing.T) {
+	s, cfg := scenarioSession(t)
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(5)) }
+
+	flash, err := mustScenario(t, ScenarioFlashCrowd).Plan(s, cfg, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range flash.Trace {
+		if e.AtMs < 0.2*cfg.DurationMs || e.AtMs >= 0.4*cfg.DurationMs {
+			t.Fatalf("flash-crowd event %d at %vms outside the burst window", i, e.AtMs)
+		}
+	}
+
+	corr, err := mustScenario(t, ScenarioCorrelatedChurn).Plan(s, cfg, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	instants := map[float64]int{}
+	for _, e := range corr.Trace {
+		instants[e.AtMs]++
+	}
+	if len(instants) > 4 {
+		t.Fatalf("correlated churn spread over %d instants, want <= 4 bursts", len(instants))
+	}
+
+	part, err := mustScenario(t, ScenarioPartition).Plan(s, cfg, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Impairments) != 2 {
+		t.Fatalf("partition has %d impairments, want sever+heal", len(part.Impairments))
+	}
+	if part.Impairments[0].AtMs >= part.Impairments[1].AtMs {
+		t.Fatal("partition heals before it cuts")
+	}
+
+	slow, err := mustScenario(t, ScenarioSlowLinks).Plan(s, cfg, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow.Impairments) != 2 {
+		t.Fatalf("slow-links has %d impairments, want degrade+restore", len(slow.Impairments))
+	}
+
+	if _, err := ScenarioByName("no-such-scenario"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func mustScenario(t *testing.T, name string) Scenario {
+	t.Helper()
+	sc, err := ScenarioByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestSplitByLongitude checks the partition split covers every site and
+// both halves are non-empty on a spread-out cluster.
+func TestSplitByLongitude(t *testing.T) {
+	s, _ := scenarioSession(t)
+	west, east := splitByLongitude(s)
+	if len(west)+len(east) != s.Workload.N() {
+		t.Fatalf("split lost sites: %d + %d != %d", len(west), len(east), s.Workload.N())
+	}
+	if len(west) == 0 || len(east) == 0 {
+		t.Fatalf("degenerate split: %d west, %d east", len(west), len(east))
+	}
+}

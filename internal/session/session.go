@@ -57,12 +57,10 @@ type Session struct {
 	Forest  *overlay.Forest
 }
 
-// Build assembles the session: random backbone sites, rigs, per-display
-// FOVs pointed at other participants, aggregated subscriptions, and the
-// constructed forest.
-func Build(spec Spec) (*Session, error) {
+// withDefaults fills the spec's zero values with the paper's settings.
+func (spec Spec) withDefaults() (Spec, error) {
 	if spec.N < 2 {
-		return nil, fmt.Errorf("session: N=%d < 2", spec.N)
+		return spec, fmt.Errorf("session: N=%d < 2", spec.N)
 	}
 	if spec.CamerasPerSite == 0 {
 		spec.CamerasPerSite = 8
@@ -82,6 +80,17 @@ func Build(spec Spec) (*Session, error) {
 	if spec.Algorithm == nil {
 		spec.Algorithm = overlay.RJ{}
 	}
+	return spec, nil
+}
+
+// Build assembles the session: random backbone sites, rigs, per-display
+// FOVs pointed at other participants, aggregated subscriptions, and the
+// constructed forest.
+func Build(spec Spec) (*Session, error) {
+	spec, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(spec.Seed))
 
 	backbone, err := topology.Backbone(geo.DefaultLatencyModel())
@@ -92,7 +101,14 @@ func Build(spec Spec) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	return assemble(spec, sites, rng)
+}
 
+// assemble is the site-selection-independent tail of session building:
+// rigs, cyber-space, per-display FOVs, aggregated subscriptions and the
+// constructed forest over the given site set. It consumes the rng exactly
+// as the historical Build body did, so seeds keep their meaning.
+func assemble(spec Spec, sites *topology.SiteSet, rng *rand.Rand) (*Session, error) {
 	cams := make([]int, spec.N)
 	for i := range cams {
 		cams[i] = spec.CamerasPerSite

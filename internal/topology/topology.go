@@ -391,6 +391,75 @@ func SelectSites(g *Graph, n int, rng *rand.Rand) (*SiteSet, error) {
 	return &SiteSet{Nodes: nodes, Cost: cost}, nil
 }
 
+// DefaultLocalCostMs is the one-way latency assumed between two sites
+// hosted on the same backbone PoP (a metro-area link): co-located sites
+// in an expanded cluster are near, not free, keeping every off-diagonal
+// cost positive as the overlay problem requires.
+const DefaultLocalCostMs = 1.0
+
+// ExpandSites maps n sites onto the backbone's PoPs so clusters far
+// larger than the PoP count can be built: PoPs are visited round-robin
+// in a seeded random order, site i landing on the (i mod NumNodes)-th
+// PoP of the permutation. The pairwise cost matrix restricts the
+// backbone's shortest-path costs to the chosen PoPs, with co-located
+// sites separated by localMs (0 means DefaultLocalCostMs). For
+// n <= NumNodes and the same rng state the first n draws match
+// SelectSites' permutation, so small expansions select the same PoPs.
+func ExpandSites(g *Graph, n int, localMs float64, rng *rand.Rand) (*SiteSet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: cannot expand to %d sites", n)
+	}
+	if rng == nil {
+		return nil, errors.New("topology: nil rng")
+	}
+	if localMs == 0 {
+		localMs = DefaultLocalCostMs
+	}
+	if localMs < 0 || math.IsNaN(localMs) {
+		return nil, fmt.Errorf("topology: local cost %v must be positive", localMs)
+	}
+	perm := rng.Perm(g.NumNodes())
+	nodes := make([]Node, n)
+	pops := make([]int, n) // site -> permutation slot of its PoP
+	for i := 0; i < n; i++ {
+		p := perm[i%len(perm)]
+		nd, err := g.Node(NodeID(p))
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = nd
+		pops[i] = perm[i%len(perm)]
+	}
+	// One Dijkstra per distinct PoP, shared by every site it hosts.
+	popDist := make(map[int][]float64, g.NumNodes())
+	for _, p := range pops {
+		if _, ok := popDist[p]; ok {
+			continue
+		}
+		d, err := g.ShortestPaths(NodeID(p))
+		if err != nil {
+			return nil, err
+		}
+		popDist[p] = d
+	}
+	cost := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		cost[i] = make([]float64, n)
+		di := popDist[pops[i]]
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				cost[i][j] = 0
+			case pops[i] == pops[j]:
+				cost[i][j] = localMs
+			default:
+				cost[i][j] = di[pops[j]]
+			}
+		}
+	}
+	return &SiteSet{Nodes: nodes, Cost: cost}, nil
+}
+
 // SelectSitesInto is SelectSites against a precomputed all-pairs cost
 // matrix (CostMatrix), reusing dst's storage: no Dijkstra runs and, at
 // steady state, no allocation. It consumes exactly the same rng draws as

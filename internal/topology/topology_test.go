@@ -249,3 +249,86 @@ func mustAdd(t *testing.T, g *Graph, a, b NodeID, cost float64) {
 		t.Fatalf("AddEdge(%d,%d,%v): %v", a, b, cost, err)
 	}
 }
+
+// TestExpandSites covers the cluster expansion: sites beyond the PoP
+// count co-locate, every off-diagonal cost is positive and symmetric,
+// and the expansion is deterministic in the seed.
+func TestExpandSites(t *testing.T) {
+	g, err := Backbone(geo.DefaultLatencyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100 // > 40 PoPs: forces co-location
+	sites, err := ExpandSites(g, n, 0, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sites.N() != n || len(sites.Cost) != n {
+		t.Fatalf("expanded to %d sites, cost %d rows", sites.N(), len(sites.Cost))
+	}
+	coLocated := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c := sites.Cost[i][j]
+			if i == j {
+				if c != 0 {
+					t.Fatalf("Cost[%d][%d] = %v, want 0", i, j, c)
+				}
+				continue
+			}
+			if c <= 0 || math.IsInf(c, 0) || math.IsNaN(c) {
+				t.Fatalf("Cost[%d][%d] = %v, want positive finite", i, j, c)
+			}
+			// Dijkstra summation order differs per source row, so
+			// symmetry holds only to rounding (as in SelectSites).
+			if math.Abs(c-sites.Cost[j][i]) > 1e-9*c {
+				t.Fatalf("asymmetric cost at (%d,%d): %v vs %v", i, j, c, sites.Cost[j][i])
+			}
+			if sites.Nodes[i].ID == sites.Nodes[j].ID {
+				coLocated++
+				if c != DefaultLocalCostMs {
+					t.Fatalf("co-located pair (%d,%d) cost %v, want %v", i, j, c, DefaultLocalCostMs)
+				}
+			}
+		}
+	}
+	if coLocated == 0 {
+		t.Fatal("100 sites on 40 PoPs produced no co-located pair")
+	}
+
+	again, err := ExpandSites(g, n, 0, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sites.Nodes {
+		if sites.Nodes[i].ID != again.Nodes[i].ID {
+			t.Fatalf("expansion not deterministic at site %d", i)
+		}
+	}
+
+	// Same seed, n <= PoP count: ExpandSites picks the PoPs SelectSites
+	// would, so small clusters are comparable across the two paths.
+	small, err := ExpandSites(g, 10, 0, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := SelectSites(g, 10, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range small.Nodes {
+		if small.Nodes[i].ID != sel.Nodes[i].ID {
+			t.Fatalf("site %d: ExpandSites PoP %d, SelectSites PoP %d", i, small.Nodes[i].ID, sel.Nodes[i].ID)
+		}
+	}
+
+	if _, err := ExpandSites(g, 0, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ExpandSites(g, 4, -1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative local cost accepted")
+	}
+	if _, err := ExpandSites(g, 4, 0, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"testing"
+)
+
+// TestTCPNetworkRoundTrip checks the TCP fabric is a faithful passthrough:
+// a wire message survives a listen/dial/write/read cycle.
+func TestTCPNetworkRoundTrip(t *testing.T) {
+	fab := TCPFabric{DialTimeout: DefaultDialTimeout}
+	nw := fab.Host("anything")
+	if nw.EmulatesWAN() {
+		t.Fatal("TCP fabric claims to emulate WAN latency")
+	}
+	ln, err := nw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan *Message, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer conn.Close()
+		m, err := ReadMessage(conn)
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- m
+	}()
+
+	conn, err := nw.DialContext(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	want := &Message{Type: MsgPeerHello, PeerHello: &PeerHello{Site: 7}}
+	if err := WriteMessage(conn, want); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if got == nil || got.Type != MsgPeerHello || got.PeerHello.Site != 7 {
+		t.Fatalf("round trip got %+v", got)
+	}
+}
+
+// TestTCPNetworkDialContextCancelled checks a cancelled context aborts the
+// dial instead of connecting. (Timeout behaviour against a dead peer is
+// covered by the rp package's regression test with a stub Network — real
+// unroutable addresses are environment-dependent.)
+func TestTCPNetworkDialContextCancelled(t *testing.T) {
+	ln, err := (TCPNetwork{}).Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (TCPNetwork{}).DialContext(ctx, ln.Addr().String()); err == nil {
+		t.Fatal("dial with cancelled context succeeded")
+	}
+}
+
+// TestSiteHost pins the host naming convention the fabric and the session
+// layer agree on.
+func TestSiteHost(t *testing.T) {
+	cases := map[int]string{0: "site-0", 7: "site-7", 42: "site-42", 1234: "site-1234"}
+	for i, want := range cases {
+		if got := SiteHost(i); got != want {
+			t.Errorf("SiteHost(%d) = %q, want %q", i, got, want)
+		}
+		idx, ok := siteIndex(want)
+		if !ok || idx != i {
+			t.Errorf("siteIndex(%q) = %d, %v", want, idx, ok)
+		}
+	}
+	if _, ok := siteIndex(ServerHost); ok {
+		t.Error("siteIndex accepted the server host name")
+	}
+}
+
+// TestNetworkInterfaces pins that both fabrics satisfy the interfaces.
+func TestNetworkInterfaces(t *testing.T) {
+	var _ Network = TCPNetwork{}
+	var _ Fabric = TCPFabric{}
+	var _ Fabric = (*VirtualNetwork)(nil)
+	var _ Network = (*VirtualHost)(nil)
+	var _ net.Conn = (*virtualConn)(nil)
+	var _ net.Listener = (*virtualListener)(nil)
+}

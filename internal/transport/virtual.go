@@ -1,0 +1,614 @@
+package transport
+
+// virtual.go implements the in-memory transport fabric: pipe-backed
+// connections between named hosts with an emulated link model (one-way
+// latency, jitter, loss-as-retransmission and serialization bandwidth),
+// plus runtime impairment hooks (link severing for partitions, profile
+// overrides for degradation scenarios). A single process can host
+// thousands of membership+RP nodes on one VirtualNetwork: no kernel
+// sockets, no ports, no file descriptors — just goroutines and buffers.
+//
+// The link model preserves the reliable, ordered byte-stream semantics
+// the wire protocol assumes (a dropped chunk of a length-prefixed stream
+// would desynchronize framing), so impairments translate into *when*
+// bytes arrive, never whether:
+//
+//   - Latency/jitter delay each written chunk by LatencyMs plus a
+//     uniform ±JitterMs draw.
+//   - Loss models TCP retransmission: with probability Loss a chunk
+//     incurs an extra retransmit penalty (lossPenaltyMs + 2x latency)
+//     instead of disappearing.
+//   - Bandwidth serializes chunks at BandwidthKbps before the
+//     propagation delay is added.
+//   - A severed link (SetLink(a, b, false)) stalls delivery — data
+//     queues and flows again when the link heals, like a TCP connection
+//     riding out a routing transient. Dials on a severed link stall the
+//     same way (the SYN queues); dials to an address nobody listens on
+//     fail immediately.
+//
+// Delivery order per direction is always FIFO: due times are clamped
+// monotonic, so jitter can delay but never reorder the stream.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// lossPenaltyMs is the fixed component of the retransmission penalty a
+// "lost" chunk incurs (plus twice the link's one-way latency, a crude
+// RTO). TCP semantics are preserved: the chunk arrives late, not never.
+const lossPenaltyMs = 200.0
+
+// LinkProfile describes the emulated characteristics of one directed
+// virtual link.
+type LinkProfile struct {
+	// LatencyMs is the one-way propagation delay applied to every chunk.
+	LatencyMs float64
+	// JitterMs adds a uniform draw from [-JitterMs, +JitterMs] to each
+	// chunk's delay (clamped so delivery order is preserved).
+	JitterMs float64
+	// Loss is the per-chunk probability of incurring a retransmission
+	// penalty (lossPenaltyMs + 2x LatencyMs of extra delay).
+	Loss float64
+	// BandwidthKbps, when positive, serializes chunks at this rate before
+	// the propagation delay; 0 means unlimited.
+	BandwidthKbps float64
+}
+
+// VirtualConfig parameterizes a VirtualNetwork.
+type VirtualConfig struct {
+	// Seed drives the jitter and loss draws. 0 means 1. Reproducibility
+	// is statistical rather than bitwise: each connection direction gets
+	// its own rng derived from the seed and a creation counter, and
+	// creation order depends on goroutine scheduling.
+	Seed int64
+	// Links returns the profile of the directed link from one named host
+	// to another. nil means every link is perfect (zero latency and
+	// loss). SiteLinks builds the conventional matrix-driven function.
+	Links func(from, to string) LinkProfile
+}
+
+// SiteLinks returns a link-profile function driven by a pairwise cost
+// matrix: the link between SiteHost(i) and SiteHost(j) carries
+// cost[i][j] milliseconds of one-way latency plus the base profile's
+// jitter, loss and bandwidth; links to or from any other host (the
+// membership server in particular) are perfect, modelling an out-of-band
+// control plane the way the simulator does.
+func SiteLinks(cost [][]float64, base LinkProfile) func(from, to string) LinkProfile {
+	return func(from, to string) LinkProfile {
+		i, okFrom := siteIndex(from)
+		j, okTo := siteIndex(to)
+		if !okFrom || !okTo || i >= len(cost) || j >= len(cost) || i == j {
+			return LinkProfile{}
+		}
+		p := base
+		p.LatencyMs = cost[i][j]
+		return p
+	}
+}
+
+// siteIndex parses a SiteHost name back to its index.
+func siteIndex(name string) (int, bool) {
+	const prefix = "site-"
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	i, err := strconv.Atoi(name[len(prefix):])
+	if err != nil || i < 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// VirtualNetwork is an in-memory transport fabric. It implements Fabric;
+// Host returns the endpoint view a node listens and dials through. The
+// zero value is not usable — construct with NewVirtualNetwork.
+type VirtualNetwork struct {
+	links func(from, to string) LinkProfile
+
+	mu        sync.Mutex
+	seed      int64
+	pipeSeq   int64
+	listeners map[string]*virtualListener
+	addrSeq   int
+	// overrides replaces the static profile of an undirected host pair;
+	// consulted at write time, so a change takes effect immediately.
+	overrides map[linkKey]LinkProfile
+	// severed marks undirected host pairs whose delivery is stalled.
+	severed map[linkKey]bool
+	// pipes tracks live connection directions per undirected pair so
+	// SetLink can wake readers blocked on a stalled link.
+	pipes map[linkKey]map[*halfPipe]struct{}
+}
+
+// linkKey is an unordered host pair.
+type linkKey struct{ a, b string }
+
+func keyFor(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a: a, b: b}
+}
+
+// NewVirtualNetwork creates an empty virtual fabric.
+func NewVirtualNetwork(cfg VirtualConfig) *VirtualNetwork {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	links := cfg.Links
+	if links == nil {
+		links = func(_, _ string) LinkProfile { return LinkProfile{} }
+	}
+	return &VirtualNetwork{
+		links:     links,
+		seed:      cfg.Seed,
+		listeners: make(map[string]*virtualListener),
+		overrides: make(map[linkKey]LinkProfile),
+		severed:   make(map[linkKey]bool),
+		pipes:     make(map[linkKey]map[*halfPipe]struct{}),
+	}
+}
+
+// Host returns the named endpoint's Network view of the fabric.
+func (v *VirtualNetwork) Host(name string) Network { return &VirtualHost{net: v, name: name} }
+
+// SetLink marks the undirected link between hosts a and b up or down. A
+// down link stalls delivery in both directions (data queues and resumes
+// on heal — TCP riding out a routing transient) and stalls new dials the
+// same way. Live connections are woken immediately on heal.
+func (v *VirtualNetwork) SetLink(a, b string, up bool) {
+	key := keyFor(a, b)
+	v.mu.Lock()
+	if up {
+		delete(v.severed, key)
+	} else {
+		v.severed[key] = true
+	}
+	// Snapshot the live pipes under the lock: concurrent dials and
+	// closes mutate the set itself.
+	pipes := make([]*halfPipe, 0, len(v.pipes[key]))
+	for p := range v.pipes[key] {
+		pipes = append(pipes, p)
+	}
+	v.mu.Unlock()
+	// Wake readers parked on the link so they re-check its state.
+	for _, p := range pipes {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// Partition severs every link between the two host groups; Heal restores
+// them by calling SetLink up for the same groups.
+func (v *VirtualNetwork) Partition(groupA, groupB []string) {
+	for _, a := range groupA {
+		for _, b := range groupB {
+			v.SetLink(a, b, false)
+		}
+	}
+}
+
+// Heal restores every link between the two host groups.
+func (v *VirtualNetwork) Heal(groupA, groupB []string) {
+	for _, a := range groupA {
+		for _, b := range groupB {
+			v.SetLink(a, b, true)
+		}
+	}
+}
+
+// SetLinkProfile overrides the profile of the undirected link between a
+// and b (both directions) from now on; chunks already written keep their
+// original due times. Use ClearLinkProfile to return to the static model.
+func (v *VirtualNetwork) SetLinkProfile(a, b string, p LinkProfile) {
+	v.mu.Lock()
+	v.overrides[keyFor(a, b)] = p
+	v.mu.Unlock()
+}
+
+// ClearLinkProfile removes a SetLinkProfile override.
+func (v *VirtualNetwork) ClearLinkProfile(a, b string) {
+	v.mu.Lock()
+	delete(v.overrides, keyFor(a, b))
+	v.mu.Unlock()
+}
+
+// profileFor resolves the directed profile from -> to under overrides.
+func (v *VirtualNetwork) profileFor(from, to string) LinkProfile {
+	v.mu.Lock()
+	p, ok := v.overrides[keyFor(from, to)]
+	v.mu.Unlock()
+	if ok {
+		return p
+	}
+	return v.links(from, to)
+}
+
+// linkDown reports whether the undirected link is currently severed.
+func (v *VirtualNetwork) linkDown(from, to string) bool {
+	v.mu.Lock()
+	down := v.severed[keyFor(from, to)]
+	v.mu.Unlock()
+	return down
+}
+
+// register tracks a live pipe on its link so SetLink can wake it; done
+// under v.mu.
+func (v *VirtualNetwork) register(key linkKey, p *halfPipe) {
+	v.mu.Lock()
+	set := v.pipes[key]
+	if set == nil {
+		set = make(map[*halfPipe]struct{})
+		v.pipes[key] = set
+	}
+	set[p] = struct{}{}
+	v.mu.Unlock()
+}
+
+// unregister forgets a closed pipe.
+func (v *VirtualNetwork) unregister(key linkKey, p *halfPipe) {
+	v.mu.Lock()
+	if set := v.pipes[key]; set != nil {
+		delete(set, p)
+		if len(set) == 0 {
+			delete(v.pipes, key)
+		}
+	}
+	v.mu.Unlock()
+}
+
+// VirtualHost is one named endpoint's Network view of a VirtualNetwork.
+type VirtualHost struct {
+	net  *VirtualNetwork
+	name string
+}
+
+// Name returns the host's fabric name.
+func (h *VirtualHost) Name() string { return h.name }
+
+// EmulatesWAN reports true: the fabric applies per-link latency itself,
+// so the RP layer must not stack its own emulated edge delay on top.
+func (h *VirtualHost) EmulatesWAN() bool { return true }
+
+// Listen opens a listener on a fabric-assigned unique address
+// ("vnet://<host>/<n>"); the requested addr is ignored, mirroring how
+// ":0" asks the kernel for an ephemeral port.
+func (h *VirtualHost) Listen(string) (net.Listener, error) {
+	v := h.net
+	v.mu.Lock()
+	v.addrSeq++
+	addr := fmt.Sprintf("vnet://%s/%d", h.name, v.addrSeq)
+	ln := &virtualListener{net: v, host: h.name, addr: addr}
+	ln.cond = sync.NewCond(&ln.mu)
+	v.listeners[addr] = ln
+	v.mu.Unlock()
+	return ln, nil
+}
+
+// DialContext connects to a virtual listener. Dialing an address nobody
+// listens on fails immediately (connection refused); dialing across a
+// severed link succeeds but delivery stalls until the link heals.
+func (h *VirtualHost) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	v := h.net
+	v.mu.Lock()
+	ln, ok := v.listeners[addr]
+	v.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("vnet: dial %s from %s: connection refused", addr, h.name)
+	}
+	local, remote := v.newConnPair(h.name, ln.host)
+	if err := ln.deliver(remote); err != nil {
+		local.Close()
+		remote.Close()
+		return nil, fmt.Errorf("vnet: dial %s from %s: %w", addr, h.name, err)
+	}
+	return local, nil
+}
+
+// newConnPair builds the two endpoints of one virtual connection between
+// hosts a and b.
+func (v *VirtualNetwork) newConnPair(a, b string) (*virtualConn, *virtualConn) {
+	v.mu.Lock()
+	v.pipeSeq += 2
+	seq := v.pipeSeq
+	v.mu.Unlock()
+	ab := newHalfPipe(v, a, b, v.seed+seq)   // data flowing a -> b
+	ba := newHalfPipe(v, b, a, v.seed+seq+1) // data flowing b -> a
+	connA := &virtualConn{local: vAddr(a), remote: vAddr(b), rd: ba, wr: ab}
+	connB := &virtualConn{local: vAddr(b), remote: vAddr(a), rd: ab, wr: ba}
+	return connA, connB
+}
+
+// vAddr is a virtual net.Addr.
+type vAddr string
+
+// Network names the virtual address family.
+func (vAddr) Network() string { return "vnet" }
+
+// String returns the host name (or listener address) the Addr denotes.
+func (a vAddr) String() string { return string(a) }
+
+// virtualListener queues incoming connections for Accept.
+type virtualListener struct {
+	net  *VirtualNetwork
+	host string
+	addr string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	backlog []*virtualConn
+	closed  bool
+}
+
+// deliver hands the accept-side conn to the listener (unbounded backlog:
+// a registration burst from a thousand nodes must not deadlock dials).
+func (l *virtualListener) deliver(c *virtualConn) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return net.ErrClosed
+	}
+	l.backlog = append(l.backlog, c)
+	l.cond.Signal()
+	return nil
+}
+
+// Accept returns the next queued connection, blocking until one arrives
+// or the listener closes.
+func (l *virtualListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.backlog) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if len(l.backlog) == 0 {
+		return nil, net.ErrClosed
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return c, nil
+}
+
+// Close unregisters the listener and wakes pending Accepts. Queued,
+// never-accepted connections are closed so their dialers see EOF.
+func (l *virtualListener) Close() error {
+	l.net.mu.Lock()
+	delete(l.net.listeners, l.addr)
+	l.net.mu.Unlock()
+	l.mu.Lock()
+	pending := l.backlog
+	l.backlog = nil
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	for _, c := range pending {
+		c.Close()
+	}
+	return nil
+}
+
+// Addr returns the listener's fabric address.
+func (l *virtualListener) Addr() net.Addr { return vAddr(l.addr) }
+
+// segment is one delayed chunk of a pipe direction.
+type segment struct {
+	due  time.Time
+	data []byte
+}
+
+// halfPipe is one direction of a virtual connection: an unbounded FIFO of
+// timed chunks. Writes never block (the fabric is the flow control, as
+// with a kernel socket buffer sized for the experiment); reads block
+// until the head chunk's due time has passed and the link is up.
+type halfPipe struct {
+	net      *VirtualNetwork
+	from, to string
+	key      linkKey
+	rng      prng // jitter/loss draws; guarded by mu
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	segs       []segment
+	rdPos      int // read offset into segs[0].data
+	lastDepart time.Time
+	lastDue    time.Time
+	closed     bool
+	deadline   time.Time // read deadline; zero means none
+}
+
+func newHalfPipe(v *VirtualNetwork, from, to string, seed int64) *halfPipe {
+	p := &halfPipe{
+		net: v, from: from, to: to,
+		key: keyFor(from, to),
+		rng: prng(seed)*2 + 1, // any odd state is a valid xorshift seed
+	}
+	p.cond = sync.NewCond(&p.mu)
+	v.register(p.key, p)
+	return p
+}
+
+// prng is a tiny xorshift64* generator. Cluster runs create halfPipes by
+// the thousand, and seeding math/rand's 607-word feedback register per
+// pipe is measurable CPU at that scale; jitter and loss draws only need
+// cheap uniform floats.
+type prng uint64
+
+// float64 returns a uniform draw from [0, 1).
+func (p *prng) float64() float64 {
+	x := uint64(*p)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*p = prng(x)
+	return float64(x*0x2545F4914F6CDD1D>>11) / (1 << 53)
+}
+
+// write queues a chunk with its emulated arrival time.
+func (p *halfPipe) write(b []byte) (int, error) {
+	prof := p.net.profileFor(p.from, p.to)
+	now := time.Now()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, net.ErrClosed
+	}
+	// Serialization at the sender, then propagation (+jitter, +loss
+	// penalty), then a monotonicity clamp so the stream never reorders.
+	depart := now
+	if depart.Before(p.lastDepart) {
+		depart = p.lastDepart
+	}
+	if prof.BandwidthKbps > 0 {
+		depart = depart.Add(time.Duration(float64(len(b)*8) / prof.BandwidthKbps * float64(time.Millisecond)))
+	}
+	p.lastDepart = depart
+	delayMs := prof.LatencyMs
+	if prof.JitterMs > 0 {
+		delayMs += (p.rng.float64()*2 - 1) * prof.JitterMs
+	}
+	if prof.Loss > 0 && p.rng.float64() < prof.Loss {
+		delayMs += lossPenaltyMs + 2*prof.LatencyMs
+	}
+	if delayMs < 0 {
+		delayMs = 0
+	}
+	due := depart.Add(time.Duration(delayMs * float64(time.Millisecond)))
+	if due.Before(p.lastDue) {
+		due = p.lastDue
+	}
+	p.lastDue = due
+
+	data := make([]byte, len(b))
+	copy(data, b)
+	p.segs = append(p.segs, segment{due: due, data: data})
+	p.cond.Signal()
+	return len(b), nil
+}
+
+// read delivers queued bytes once due, honouring the read deadline and
+// the link's severed state.
+func (p *halfPipe) read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if dl := p.deadline; !dl.IsZero() && !time.Now().Before(dl) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		if len(p.segs) > 0 && !p.net.linkDown(p.from, p.to) {
+			seg := &p.segs[0]
+			if wait := time.Until(seg.due); wait > 0 {
+				p.timedWait(wait)
+				continue
+			}
+			n := copy(b, seg.data[p.rdPos:])
+			p.rdPos += n
+			if p.rdPos == len(seg.data) {
+				p.segs = p.segs[1:]
+				p.rdPos = 0
+			}
+			return n, nil
+		}
+		if p.closed {
+			if len(p.segs) > 0 {
+				// Data stalled on a severed link when the conn closed is
+				// undeliverable: surface a reset, not a clean EOF.
+				return 0, net.ErrClosed
+			}
+			return 0, io.EOF
+		}
+		if dl := p.deadline; !dl.IsZero() {
+			p.timedWait(time.Until(dl))
+			continue
+		}
+		p.cond.Wait()
+	}
+}
+
+// timedWait blocks on the cond for at most d (mu held). A helper timer
+// broadcasts so Close and SetLink wakeups still interleave correctly.
+func (p *halfPipe) timedWait(d time.Duration) {
+	if d <= 0 {
+		d = time.Microsecond
+	}
+	t := time.AfterFunc(d, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	p.cond.Wait()
+	t.Stop()
+}
+
+// close marks the direction closed and wakes readers.
+func (p *halfPipe) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.net.unregister(p.key, p)
+}
+
+// setReadDeadline installs (or clears) the read deadline.
+func (p *halfPipe) setReadDeadline(t time.Time) {
+	p.mu.Lock()
+	p.deadline = t
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// virtualConn is one endpoint of a virtual connection.
+type virtualConn struct {
+	local, remote vAddr
+	rd, wr        *halfPipe
+	closeOnce     sync.Once
+}
+
+// Read implements net.Conn.
+func (c *virtualConn) Read(b []byte) (int, error) { return c.rd.read(b) }
+
+// Write implements net.Conn.
+func (c *virtualConn) Write(b []byte) (int, error) { return c.wr.write(b) }
+
+// Close closes both directions; the peer's pending reads drain then EOF.
+func (c *virtualConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.rd.close()
+		c.wr.close()
+	})
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *virtualConn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *virtualConn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn (read side only; writes never block).
+func (c *virtualConn) SetDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *virtualConn) SetReadDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn; virtual writes never block, so
+// the deadline is accepted and ignored.
+func (c *virtualConn) SetWriteDeadline(time.Time) error { return nil }

@@ -1,0 +1,408 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pair dials host b's listener from host a and returns both conn ends.
+func pair(t *testing.T, v *VirtualNetwork, a, b string) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := v.Host(b).Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			accepted <- nil
+			return
+		}
+		accepted <- c
+	}()
+	dialer, err := v.Host(a).DialContext(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptor := <-accepted
+	if acceptor == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { dialer.Close(); acceptor.Close() })
+	return dialer, acceptor
+}
+
+// TestVirtualRoundTrip checks the wire protocol runs unchanged over the
+// virtual fabric in both directions.
+func TestVirtualRoundTrip(t *testing.T) {
+	v := NewVirtualNetwork(VirtualConfig{Seed: 1})
+	dialer, acceptor := pair(t, v, "site-0", "site-1")
+
+	if err := WriteMessage(dialer, &Message{Type: MsgPeerHello, PeerHello: &PeerHello{Site: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMessage(acceptor)
+	if err != nil || m.Type != MsgPeerHello || m.PeerHello.Site != 3 {
+		t.Fatalf("forward direction: %+v, %v", m, err)
+	}
+	if err := WriteMessage(acceptor, &Message{Type: MsgError, Error: &ProtocolError{Msg: "ok"}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err = ReadMessage(dialer)
+	if err != nil || m.Type != MsgError || m.Error.Msg != "ok" {
+		t.Fatalf("reverse direction: %+v, %v", m, err)
+	}
+}
+
+// TestVirtualLatency checks a profiled link delays delivery by at least
+// its one-way latency, while an unprofiled link delivers promptly.
+func TestVirtualLatency(t *testing.T) {
+	const latMs = 60.0
+	v := NewVirtualNetwork(VirtualConfig{
+		Seed: 2,
+		Links: func(from, to string) LinkProfile {
+			if from == "slow" || to == "slow" {
+				return LinkProfile{LatencyMs: latMs}
+			}
+			return LinkProfile{}
+		},
+	})
+	dialer, acceptor := pair(t, v, "slow", "site-0")
+	start := time.Now()
+	if _, err := dialer.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(acceptor, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Duration(latMs*0.9)*time.Millisecond {
+		t.Fatalf("delivery took %v, want >= ~%vms", elapsed, latMs)
+	}
+
+	fast1, fast2 := pair(t, v, "site-0", "site-1")
+	start = time.Now()
+	fast1.Write([]byte("y"))
+	if _, err := io.ReadFull(fast2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("perfect link took %v", elapsed)
+	}
+}
+
+// TestVirtualOrderPreservedUnderJitter checks jitter never reorders the
+// byte stream: chunks written in order arrive in order.
+func TestVirtualOrderPreservedUnderJitter(t *testing.T) {
+	v := NewVirtualNetwork(VirtualConfig{
+		Seed:  3,
+		Links: func(_, _ string) LinkProfile { return LinkProfile{LatencyMs: 5, JitterMs: 5, Loss: 0.3} },
+	})
+	dialer, acceptor := pair(t, v, "a", "b")
+	const n = 50
+	go func() {
+		for i := 0; i < n; i++ {
+			dialer.Write([]byte{byte(i)})
+		}
+	}()
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(acceptor, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if buf[i] != byte(i) {
+			t.Fatalf("byte %d = %d: stream reordered", i, buf[i])
+		}
+	}
+}
+
+// TestVirtualLossPenalty checks Loss=1 delays every chunk by the
+// retransmission penalty instead of dropping it.
+func TestVirtualLossPenalty(t *testing.T) {
+	v := NewVirtualNetwork(VirtualConfig{
+		Seed:  4,
+		Links: func(_, _ string) LinkProfile { return LinkProfile{Loss: 1} },
+	})
+	dialer, acceptor := pair(t, v, "a", "b")
+	start := time.Now()
+	dialer.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(acceptor, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Duration(lossPenaltyMs*0.9)*time.Millisecond {
+		t.Fatalf("lost chunk arrived after %v, want >= ~%vms penalty", elapsed, lossPenaltyMs)
+	}
+}
+
+// TestVirtualBandwidth checks serialization delay: a burst of chunks over
+// a narrow link takes at least bytes*8/kbps to drain.
+func TestVirtualBandwidth(t *testing.T) {
+	// 80 kbit/s: a 1000-byte burst serializes in ~100ms.
+	v := NewVirtualNetwork(VirtualConfig{
+		Seed:  5,
+		Links: func(_, _ string) LinkProfile { return LinkProfile{BandwidthKbps: 80} },
+	})
+	dialer, acceptor := pair(t, v, "a", "b")
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		dialer.Write(make([]byte, 100))
+	}
+	buf := make([]byte, 1000)
+	if _, err := io.ReadFull(acceptor, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("1000B over 80kbps drained in %v, want >= ~100ms", elapsed)
+	}
+}
+
+// TestVirtualPartitionStalls checks a severed link stalls delivery (data
+// queues, the reader blocks) and a heal releases the queued data.
+func TestVirtualPartitionStalls(t *testing.T) {
+	v := NewVirtualNetwork(VirtualConfig{Seed: 6})
+	dialer, acceptor := pair(t, v, "a", "b")
+
+	v.Partition([]string{"a"}, []string{"b"})
+	if _, err := dialer.Write([]byte("x")); err != nil {
+		t.Fatalf("write on severed link must queue, got %v", err)
+	}
+	got := make(chan error, 1)
+	buf := make([]byte, 1)
+	go func() {
+		_, err := io.ReadFull(acceptor, buf)
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("read completed across a partition (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	v.Heal([]string{"a"}, []string{"b"})
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("healed link never delivered")
+	}
+	if buf[0] != 'x' {
+		t.Fatalf("delivered %q", buf)
+	}
+}
+
+// TestVirtualProfileOverride checks SetLinkProfile takes effect for
+// subsequent writes and ClearLinkProfile restores the static model.
+func TestVirtualProfileOverride(t *testing.T) {
+	v := NewVirtualNetwork(VirtualConfig{Seed: 7})
+	dialer, acceptor := pair(t, v, "a", "b")
+	v.SetLinkProfile("a", "b", LinkProfile{LatencyMs: 80})
+	start := time.Now()
+	dialer.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(acceptor, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 70*time.Millisecond {
+		t.Fatalf("override not applied: %v", elapsed)
+	}
+	v.ClearLinkProfile("a", "b")
+	start = time.Now()
+	dialer.Write([]byte("y"))
+	if _, err := io.ReadFull(acceptor, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("override not cleared: %v", elapsed)
+	}
+}
+
+// TestVirtualDialRefused checks dialing a nonexistent address fails
+// immediately and a closed listener rejects dials and pending accepts.
+func TestVirtualDialRefused(t *testing.T) {
+	v := NewVirtualNetwork(VirtualConfig{Seed: 8})
+	if _, err := v.Host("a").DialContext(context.Background(), "vnet://nobody/1"); err == nil {
+		t.Fatal("dial to unknown address succeeded")
+	}
+	ln, err := v.Host("b").Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptErr := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		acceptErr <- err
+	}()
+	ln.Close()
+	if err := <-acceptErr; !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("accept on closed listener: %v", err)
+	}
+	if _, err := v.Host("a").DialContext(context.Background(), ln.Addr().String()); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := v.Host("a").DialContext(ctx, "anything"); err == nil {
+		t.Fatal("dial with cancelled context succeeded")
+	}
+}
+
+// TestVirtualCloseSemantics checks a closed writer drains into EOF on the
+// reader, like a TCP FIN.
+func TestVirtualCloseSemantics(t *testing.T) {
+	v := NewVirtualNetwork(VirtualConfig{Seed: 9})
+	dialer, acceptor := pair(t, v, "a", "b")
+	dialer.Write([]byte("bye"))
+	dialer.Close()
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(acceptor, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "bye" {
+		t.Fatalf("drained %q", buf)
+	}
+	if _, err := acceptor.Read(buf); err != io.EOF {
+		t.Fatalf("read after close: %v, want EOF", err)
+	}
+	if _, err := acceptor.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("write to closed peer: %v", err)
+	}
+}
+
+// TestVirtualReadDeadline checks SetReadDeadline unblocks a parked read.
+func TestVirtualReadDeadline(t *testing.T) {
+	v := NewVirtualNetwork(VirtualConfig{Seed: 10})
+	_, acceptor := pair(t, v, "a", "b")
+	acceptor.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 1)
+	start := time.Now()
+	_, err := acceptor.Read(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read past deadline: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("deadline honoured after %v", elapsed)
+	}
+}
+
+// TestSiteLinks checks the matrix-driven profile function: site pairs get
+// the matrix latency, server links are perfect.
+func TestSiteLinks(t *testing.T) {
+	cost := [][]float64{{0, 40}, {40, 0}}
+	links := SiteLinks(cost, LinkProfile{JitterMs: 2, Loss: 0.01})
+	p := links(SiteHost(0), SiteHost(1))
+	if p.LatencyMs != 40 || p.JitterMs != 2 || p.Loss != 0.01 {
+		t.Fatalf("site link profile %+v", p)
+	}
+	if p := links(ServerHost, SiteHost(1)); p != (LinkProfile{}) {
+		t.Fatalf("server link profile %+v, want perfect", p)
+	}
+	if p := links(SiteHost(0), SiteHost(0)); p != (LinkProfile{}) {
+		t.Fatalf("self link profile %+v, want perfect", p)
+	}
+	if p := links(SiteHost(5), SiteHost(1)); p != (LinkProfile{}) {
+		t.Fatalf("out-of-range site profile %+v, want perfect", p)
+	}
+}
+
+// TestVirtualSetLinkConcurrentDials is the regression test for the
+// SetLink pipe-set snapshot: impairments toggling a link while peers on
+// that link dial and close concurrently must not race on the registry
+// (run under -race).
+func TestVirtualSetLinkConcurrentDials(t *testing.T) {
+	v := NewVirtualNetwork(VirtualConfig{Seed: 12})
+	ln, err := v.Host("b").Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			c, err := v.Host("a").DialContext(context.Background(), ln.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c.Close()
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		v.SetLink("a", "b", i%2 == 0)
+	}
+	<-done
+	v.SetLink("a", "b", true)
+}
+
+// TestVirtualManyHosts floods a 40-host fabric with concurrent traffic as
+// a miniature of the thousand-node cluster use case.
+func TestVirtualManyHosts(t *testing.T) {
+	v := NewVirtualNetwork(VirtualConfig{Seed: 11})
+	const hosts = 40
+	ln, err := v.Host("hub").Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var served sync.WaitGroup
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			served.Add(1)
+			go func() {
+				defer served.Done()
+				defer c.Close()
+				io.Copy(c, c) // echo
+			}()
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < hosts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := v.Host(SiteHost(i)).DialContext(context.Background(), ln.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			msg := []byte(SiteHost(i))
+			if _, err := c.Write(msg); err != nil {
+				t.Error(err)
+				return
+			}
+			buf := make([]byte, len(msg))
+			if _, err := io.ReadFull(c, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if string(buf) != string(msg) {
+				t.Errorf("echo mismatch for host %d: %q", i, buf)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
