@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet test race live-race bench bench-smoke bench-compare sweep-smoke fuzz-smoke cluster-smoke lint-docs cover profile ci
+.PHONY: build fmt-check vet test race live-race bench bench-smoke bench-compare sweep-smoke fuzz-smoke cluster-smoke failover-smoke lint-docs cover profile ci
 
 build:
 	$(GO) build ./...
@@ -32,23 +32,26 @@ live-race:
 # unlike a single-iteration smoke) and records the machine-readable
 # trajectory point BENCH_<date>.json (benchmark name -> ns/op, allocs/op,
 # headline metrics) alongside the human-readable output. The go test
-# output is captured to a file (not piped) so a failing or panicking
-# benchmark fails the target instead of being masked by the pipeline.
+# output is captured to a mktemp file (not piped, so a failing benchmark
+# fails the target; not a fixed name, so concurrent invocations cannot
+# clobber each other's capture).
 BENCH_DATE ?= $(shell date +%F)
 BENCH_JSON ?= BENCH_$(BENCH_DATE).json
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' . > /tmp/tele3d-bench.txt || { cat /tmp/tele3d-bench.txt; exit 1; }
-	@cat /tmp/tele3d-bench.txt
-	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) -date $(BENCH_DATE) < /tmp/tele3d-bench.txt
-	@echo "wrote $(BENCH_JSON)"
+	@out="$$(mktemp /tmp/tele3d-bench.XXXXXX)"; trap 'rm -f "$$out"' EXIT; \
+	$(GO) test -bench=. -benchmem -run '^$$' . > "$$out" || { cat "$$out"; exit 1; }; \
+	cat "$$out"; \
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) -date $(BENCH_DATE) < "$$out" && \
+	echo "wrote $(BENCH_JSON)"
 
 # bench-smoke runs the Fig8a serial/parallel pair once — enough to catch a
 # broken benchmark without paying for a full measurement — and emits the
 # JSON artifact CI uploads.
 bench-smoke:
-	$(GO) test -bench=Fig8a -benchtime=1x -run '^$$' . > /tmp/tele3d-bench-smoke.txt || { cat /tmp/tele3d-bench-smoke.txt; exit 1; }
-	@cat /tmp/tele3d-bench-smoke.txt
-	$(GO) run ./cmd/benchjson -o bench-smoke.json < /tmp/tele3d-bench-smoke.txt
+	@out="$$(mktemp /tmp/tele3d-bench-smoke.XXXXXX)"; trap 'rm -f "$$out"' EXIT; \
+	$(GO) test -bench=Fig8a -benchtime=1x -run '^$$' . > "$$out" || { cat "$$out"; exit 1; }; \
+	cat "$$out"; \
+	$(GO) run ./cmd/benchjson -o bench-smoke.json < "$$out"
 
 # bench-compare re-runs the overlay-core micro-benchmarks at the default
 # benchtime and fails if any regresses its ns/op by more than
@@ -61,9 +64,10 @@ BENCH_BASELINE ?= $(shell ls BENCH_*.json 2>/dev/null | sort | tail -1)
 BENCH_THRESHOLD ?= 0.20
 bench-compare:
 	@test -n "$(BENCH_BASELINE)" || { echo "no BENCH_*.json baseline committed"; exit 1; }
-	$(GO) test -bench='Construct|Fig8aSerial|Churn$$' -run '^$$' . > /tmp/tele3d-bench-cmp.txt || { cat /tmp/tele3d-bench-cmp.txt; exit 1; }
-	@cat /tmp/tele3d-bench-cmp.txt
-	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) -threshold $(BENCH_THRESHOLD) < /tmp/tele3d-bench-cmp.txt
+	@out="$$(mktemp /tmp/tele3d-bench-cmp.XXXXXX)"; trap 'rm -f "$$out"' EXIT; \
+	$(GO) test -bench='Construct|Fig8aSerial|Churn$$' -run '^$$' . > "$$out" || { cat "$$out"; exit 1; }; \
+	cat "$$out"; \
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) -threshold $(BENCH_THRESHOLD) < "$$out"
 
 # profile captures CPU and heap profiles of the serial Fig. 8a sweep — the
 # calibrated hot path every overlay perf change should start from.
@@ -93,14 +97,32 @@ cluster-smoke:
 	@test "$$(wc -l < /tmp/ticluster-smoke.jsonl)" -eq 1 || { echo "bad cluster JSONL record count"; exit 1; }
 	@echo "cluster-smoke OK"
 
+# failover-smoke is the control-plane chaos drill: a 100-node virtual
+# cluster with a 2-shard membership plane runs the failover scenario
+# under the race detector — one shard's primary is killed mid-flash-crowd
+# and every RP must recover through the standby. The run fails if the
+# worst per-event disruption is unbounded (-maxdisruption), and the
+# emitted records must carry the failover event.
+failover-smoke:
+	@jsonl="$$(mktemp /tmp/tele3d-failover.XXXXXX)"; trap 'rm -f "$$jsonl"' EXIT; \
+	$(GO) run -race ./cmd/ticluster -virtual -nodes 100 -shards 2 -scenario failover \
+		-cameras 2 -displays 1 -duration 1500ms -churnrate 4 -seed 7 \
+		-maxdisruption 2500 -jsonl "$$jsonl" || exit 1; \
+	grep -q '"failovers":1' "$$jsonl" || { echo "record missing failover event:"; cat "$$jsonl"; exit 1; }; \
+	grep -q '"shards":2' "$$jsonl" || { echo "record missing shard count:"; cat "$$jsonl"; exit 1; }; \
+	echo "failover-smoke OK"
+
 # lint-docs enforces the documentation contracts with the in-repo
 # doccheck tool: every exported identifier in the networked-plane
 # packages carries a doc comment (the revive/golint `exported` rule),
-# and every relative markdown link in the top-level docs resolves.
+# every relative markdown link in the top-level docs resolves, and every
+# `make <target>` the docs mention exists in this Makefile.
 lint-docs:
 	$(GO) run ./cmd/doccheck -exported \
 		./internal/transport ./internal/membership ./internal/rp ./internal/session
 	$(GO) run ./cmd/doccheck -links \
+		README.md ARCHITECTURE.md examples/README.md
+	$(GO) run ./cmd/doccheck -make -makefile Makefile \
 		README.md ARCHITECTURE.md examples/README.md
 	@echo "lint-docs OK"
 
@@ -117,4 +139,4 @@ fuzz-smoke:
 cover:
 	$(GO) test -cover ./internal/...
 
-ci: build fmt-check vet race live-race lint-docs bench-smoke sweep-smoke cluster-smoke fuzz-smoke
+ci: build fmt-check vet race live-race lint-docs bench-smoke sweep-smoke cluster-smoke failover-smoke fuzz-smoke

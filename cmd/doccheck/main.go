@@ -14,6 +14,13 @@
 // http(s) links are skipped; anchors are stripped), so renames and moves
 // cannot silently break the docs.
 //
+//	doccheck -make -makefile Makefile README.md ARCHITECTURE.md ...
+//
+// checks every `make <target>` invocation shown in the markdown files
+// (inside inline code spans or fenced code blocks) names a target the
+// Makefile actually declares, so renamed or removed targets cannot leave
+// stale instructions in the docs.
+//
 // Exit status is non-zero if any check fails; findings go to stdout one
 // per line as file:line: message.
 package main
@@ -33,17 +40,28 @@ import (
 func main() {
 	exported := flag.Bool("exported", false, "check exported identifiers have doc comments; args are package directories")
 	links := flag.Bool("links", false, "check relative markdown links resolve; args are markdown files")
+	makeRefs := flag.Bool("make", false, "check `make <target>` references in markdown name real Makefile targets; args are markdown files")
+	makefile := flag.String("makefile", "Makefile", "Makefile to resolve -make targets against")
 	flag.Parse()
-	if *exported == *links {
-		fmt.Fprintln(os.Stderr, "doccheck: exactly one of -exported or -links is required")
+	modes := 0
+	for _, m := range []bool{*exported, *links, *makeRefs} {
+		if m {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "doccheck: exactly one of -exported, -links or -make is required")
 		os.Exit(2)
 	}
 	var findings []string
 	var err error
-	if *exported {
+	switch {
+	case *exported:
 		findings, err = checkExported(flag.Args())
-	} else {
+	case *links:
 		findings, err = checkLinks(flag.Args())
+	default:
+		findings, err = checkMakeRefs(*makefile, flag.Args())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "doccheck:", err)
@@ -142,6 +160,91 @@ func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
 			}
 		}
 	}
+}
+
+// makeTarget matches a Makefile rule line; the first group is the
+// space-separated target list before the colon.
+var makeTarget = regexp.MustCompile(`^([A-Za-z0-9_.\- %$()]+?)::?(?:[^=]|$)`)
+
+// makeRef matches a `make <target>` invocation inside documentation code;
+// the first group is the target word.
+var makeRef = regexp.MustCompile(`(?:^|[\s;&|(` + "`" + `])make\s+([A-Za-z0-9_.\-]+)`)
+
+// inlineCode matches inline markdown code spans.
+var inlineCode = regexp.MustCompile("`[^`]+`")
+
+// makefileTargets parses the declared rule targets out of a Makefile.
+// Pattern rules and targets computed from variables are skipped — they
+// cannot be matched against a documented literal name anyway.
+func makefileTargets(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	targets := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "\t") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := makeTarget.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, t := range strings.Fields(m[1]) {
+			if strings.ContainsAny(t, "%$") || strings.HasPrefix(t, ".") {
+				continue
+			}
+			targets[t] = true
+		}
+	}
+	return targets, nil
+}
+
+// checkMakeRefs verifies that every `make <target>` reference shown in
+// the markdown files — inside inline code spans or fenced code blocks —
+// names a target declared in the Makefile.
+func checkMakeRefs(makefile string, files []string) ([]string, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("-make needs at least one markdown file")
+	}
+	targets, err := makefileTargets(makefile)
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no targets found in %s", makefile)
+	}
+	var findings []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		fenced := false
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				fenced = !fenced
+				continue
+			}
+			// Only code is checked: prose uses of the word "make" are
+			// not invocations.
+			var code []string
+			if fenced {
+				code = []string{line}
+			} else {
+				code = inlineCode.FindAllString(line, -1)
+			}
+			for _, c := range code {
+				for _, m := range makeRef.FindAllStringSubmatch(c, -1) {
+					if target := m[1]; !targets[target] {
+						findings = append(findings, fmt.Sprintf(
+							"%s:%d: make target %q not declared in %s", file, i+1, target, makefile))
+					}
+				}
+			}
+		}
+	}
+	return findings, nil
 }
 
 // mdLink matches inline markdown links; the first group is the target.

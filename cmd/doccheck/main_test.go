@@ -89,6 +89,73 @@ func TestCheckExportedCleanPackages(t *testing.T) {
 	}
 }
 
+// TestCheckMakeRefs covers target parsing and reference matching: only
+// `make <target>` invocations inside code (inline spans or fenced
+// blocks) are checked, prose uses of the word "make" are ignored, and
+// unknown targets are reported with their line.
+func TestCheckMakeRefs(t *testing.T) {
+	dir := t.TempDir()
+	makefile := filepath.Join(dir, "Makefile")
+	mk := `# comment lines are skipped
+GO ?= go
+.PHONY: build test ci
+build:
+	$(GO) build ./...
+test: build
+	$(GO) test ./...
+bench-%: ; @echo pattern targets are skipped
+$(VARTARGET): ; @echo computed targets are skipped
+ci: build test
+`
+	if err := os.WriteFile(makefile, []byte(mk), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	md := "# doc\n" +
+		"Run `make build` then `make test`; make sure prose is ignored.\n" +
+		"```sh\n" +
+		"make ci && make gone\n" +
+		"```\n" +
+		"Inline `make vanished -j4` is checked too.\n"
+	path := filepath.Join(dir, "doc.md")
+	if err := os.WriteFile(path, []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := checkMakeRefs(makefile, []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(findings, "\n")
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want exactly the two unknown targets", findings)
+	}
+	for _, want := range []string{`"gone"`, "doc.md:4", `"vanished"`, "doc.md:6"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("findings missing %s:\n%s", want, joined)
+		}
+	}
+	for _, tooMuch := range []string{`"sure"`, `"build"`, `"test"`, `"ci"`} {
+		if strings.Contains(joined, tooMuch) {
+			t.Errorf("false positive on %s:\n%s", tooMuch, joined)
+		}
+	}
+}
+
+// TestRepoMakeRefs runs the make-target check over the repository's own
+// docs against its Makefile — the contract `make lint-docs` enforces.
+func TestRepoMakeRefs(t *testing.T) {
+	root := "../.."
+	findings, err := checkMakeRefs(filepath.Join(root, "Makefile"), []string{
+		filepath.Join(root, "README.md"),
+		filepath.Join(root, "ARCHITECTURE.md"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) > 0 {
+		t.Errorf("docs reference unknown make targets:\n%s", strings.Join(findings, "\n"))
+	}
+}
+
 // TestCheckLinks covers resolvable, broken, anchored and external links.
 func TestCheckLinks(t *testing.T) {
 	dir := t.TempDir()

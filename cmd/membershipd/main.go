@@ -30,6 +30,9 @@ func main() {
 		algo   = flag.String("algo", "RJ", "overlay algorithm: RJ, CO-RJ, LTF, STF, MCTF")
 		bmult  = flag.Float64("bmult", 3.0, "latency bound as a multiple of the median pairwise cost")
 		seed   = flag.Int64("seed", 1, "construction seed")
+		shards = flag.Int("shards", 1, "membership control-plane shard count")
+		shard  = flag.Int("shard", 0, "this server's shard index in [0, shards)")
+		flush  = flag.Float64("flush", 0, "delta batching interval in ms; 0 pushes per event")
 	)
 	flag.Parse()
 
@@ -82,12 +85,13 @@ func main() {
 
 	srv, err := membership.New(membership.Config{
 		N: n, Cost: cost, Bcost: median * *bmult, Algorithm: alg, Seed: *seed, ListenAddr: *listen,
+		Shards: *shards, Shard: *shard, FlushIntervalMs: *flush,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("membershipd: listening on %s for %d sites (%s), algorithm %s\n",
-		srv.Addr(), n, *cities, alg.Name())
+	fmt.Printf("membershipd: listening on %s for %d sites (%s), algorithm %s, shard %d/%d\n",
+		srv.Addr(), n, *cities, alg.Name(), *shard, *shards)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

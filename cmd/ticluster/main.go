@@ -52,13 +52,16 @@ type options struct {
 	seed     int64
 	duration time.Duration
 
-	virtual   bool
-	nodes     int
-	scenario  string
-	churnRate float64
-	churnMix  float64
-	csvPath   string
-	jsonlPath string
+	virtual       bool
+	nodes         int
+	scenario      string
+	churnRate     float64
+	churnMix      float64
+	shards        int
+	flushMs       float64
+	maxDisruption float64
+	csvPath       string
+	jsonlPath     string
 }
 
 func main() {
@@ -75,6 +78,10 @@ func main() {
 		"virtual-mode scenario: "+scenarioNames())
 	flag.Float64Var(&opt.churnRate, "churnrate", 2, "base churn events/sec for the scenario")
 	flag.Float64Var(&opt.churnMix, "churnmix", 0.7, "view-change fraction of base churn")
+	flag.IntVar(&opt.shards, "shards", 1, "virtual mode: membership control-plane shard count")
+	flag.Float64Var(&opt.flushMs, "flush", 0, "virtual mode: membership delta batching interval in ms; 0 pushes per event")
+	flag.Float64Var(&opt.maxDisruption, "maxdisruption", 0,
+		"virtual mode: fail the run if live max disruption exceeds this many ms; 0 disables")
 	flag.StringVar(&opt.csvPath, "csv", "", "virtual mode: CSV record path (tisweep schema); - for stdout")
 	flag.StringVar(&opt.jsonlPath, "jsonl", "", "virtual mode: JSONL record path; - for stdout")
 	flag.Parse()
@@ -123,12 +130,14 @@ func runVirtual(opt options, out, stdout io.Writer) error {
 			BcostMultiplier: bcostMultiplier,
 			Algorithm:       alg, Seed: opt.seed,
 		}},
-		DurationMs: float64(opt.duration.Milliseconds()),
-		Scenario:   opt.scenario,
-		Churn:      workload.ChurnProfile{RatePerSec: opt.churnRate, ViewChangeMix: opt.churnMix},
+		DurationMs:      float64(opt.duration.Milliseconds()),
+		Scenario:        opt.scenario,
+		Churn:           workload.ChurnProfile{RatePerSec: opt.churnRate, ViewChangeMix: opt.churnMix},
+		Shards:          opt.shards,
+		FlushIntervalMs: opt.flushMs,
 	}
-	fmt.Fprintf(out, "ticluster: virtual cluster, %d sites, scenario %s, %v\n",
-		nodes, opt.scenario, opt.duration)
+	fmt.Fprintf(out, "ticluster: virtual cluster, %d sites, %d membership shard(s), scenario %s, %v\n",
+		nodes, opt.shards, opt.scenario, opt.duration)
 	start := time.Now()
 	res, err := session.RunCluster(context.Background(), cfg)
 	if err != nil {
@@ -148,29 +157,44 @@ func runVirtual(opt options, out, stdout io.Writer) error {
 		res.Sim.MeanDisruptionMs, res.Sim.MaxDisruptionMs, res.Sim.DeliveredGained)
 	fmt.Fprintf(out, "  frames: %d delivered, %d stale, %d duplicate, %d dropped\n",
 		res.Live.TotalFrames, res.Live.TotalStale, res.Live.TotalDuplicates, res.Live.TotalDropped)
+	if res.Live.Failovers > 0 {
+		fmt.Fprintf(out, "  failover: %d membership shard(s) recovered, slowest in %.1f ms\n",
+			res.Live.Failovers, res.Live.FailoverRecoveryMs)
+	}
 
-	if opt.csvPath == "" && opt.jsonlPath == "" {
-		return nil
+	if opt.csvPath != "" || opt.jsonlPath != "" {
+		sink, err := reclib.NewSink(opt.csvPath, opt.jsonlPath, stdout)
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
+		if err := sink.Write(reclib.Record{
+			N: nodes, Streams: opt.cameras,
+			Bcost:    bcostMultiplier,
+			Capacity: "fov", Popularity: "fov",
+			Algorithm: alg.Name(),
+			Samples:   1, Seed: opt.seed, Parallelism: 1,
+			ChurnRate: opt.churnRate, ChurnMix: opt.churnMix,
+			Scenario:           res.Scenario,
+			ChurnEvents:        float64(res.Events),
+			DisruptionMeanMs:   res.Live.MeanDisruptionMs,
+			DisruptionMaxMs:    res.Live.MaxDisruptionMs,
+			DeliveredFraction:  res.DeliveredFraction(),
+			Shards:             opt.shards,
+			Failovers:          res.Live.Failovers,
+			FailoverRecoveryMs: res.Live.FailoverRecoveryMs,
+			ElapsedMs:          float64(elapsed.Microseconds()) / 1e3,
+		}); err != nil {
+			return err
+		}
 	}
-	sink, err := reclib.NewSink(opt.csvPath, opt.jsonlPath, stdout)
-	if err != nil {
-		return err
+	// The bound is checked after the records are written so a failing run
+	// still leaves its measurements on disk for diagnosis.
+	if opt.maxDisruption > 0 && res.Live.MaxDisruptionMs > opt.maxDisruption {
+		return fmt.Errorf("ticluster: live max disruption %.1f ms exceeds bound %.1f ms",
+			res.Live.MaxDisruptionMs, opt.maxDisruption)
 	}
-	defer sink.Close()
-	return sink.Write(reclib.Record{
-		N: nodes, Streams: opt.cameras,
-		Bcost:    bcostMultiplier,
-		Capacity: "fov", Popularity: "fov",
-		Algorithm: alg.Name(),
-		Samples:   1, Seed: opt.seed, Parallelism: 1,
-		ChurnRate: opt.churnRate, ChurnMix: opt.churnMix,
-		Scenario:          res.Scenario,
-		ChurnEvents:       float64(res.Events),
-		DisruptionMeanMs:  res.Live.MeanDisruptionMs,
-		DisruptionMaxMs:   res.Live.MaxDisruptionMs,
-		DeliveredFraction: res.DeliveredFraction(),
-		ElapsedMs:         float64(elapsed.Microseconds()) / 1e3,
-	})
+	return nil
 }
 
 // runTCP is the original loopback-TCP mode: plan the session, boot the

@@ -1,20 +1,35 @@
-// Package membership implements the centralized membership server of
-// §3.2: it aggregates the per-site subscription sets from all RPs,
-// constructs the dissemination forest with a chosen overlay algorithm,
-// and dictates per-RP routing tables back to the sites.
+// Package membership implements the membership control plane of §3.2:
+// servers aggregate the per-site subscription sets from all RPs,
+// construct the dissemination forest with a chosen overlay algorithm,
+// and dictate per-RP routing tables back to the sites.
 //
 // The paper takes the centralized approach deliberately: 3DTI sessions
 // are small to medium sized, so a single coordination point is simpler
-// than a distributed control plane.
+// than a distributed control plane. At cluster scale the plane shards:
+// several Server instances run side by side, each owning the disjoint
+// slice of the stream space given by transport.StreamShard. Every shard
+// receives the full registration workload and constructs the identical
+// forest (same seed, same algorithm), but applies mid-session diffs and
+// pushes route deltas only for the trees it owns, so the union of the
+// per-shard directives an RP holds is exactly the single-server table.
 //
-// The server is a long-lived control loop: registration connections stay
-// open for the whole session, and each RP may send MsgResubscribe diffs
-// (view changes, joins, leaves) mid-session. Diffs are applied to the
-// live forest through the overlay's dynamic Subscribe/Unsubscribe
-// operations, the session epoch is bumped, and per-site routing deltas
-// (MsgRoutesUpdate) are pushed to the affected RPs only — unaffected
-// sites never see control traffic for changes that do not touch their
-// routing duties.
+// Each server is a long-lived control loop: registration connections
+// stay open for the whole session, and each RP may send MsgResubscribe
+// diffs (view changes, joins, leaves) mid-session. Diffs are applied to
+// the live forest through the overlay's dynamic Subscribe/Unsubscribe
+// operations, the shard epoch is bumped, and per-site routing deltas
+// (MsgRoutesUpdate) are pushed to the affected RPs only. With a positive
+// FlushIntervalMs a burst of churn is coalesced into one delta per site
+// per flush instead of one rebuild per event.
+//
+// Failover needs no replication protocol: a standby is simply a fresh
+// Server for the same shard. RPs that lose the shard's control
+// connection re-register with the successor carrying their current
+// desired subscription set, their last-seen epoch (so the successor
+// resumes the epoch sequence above it) and their resubscribe-ID
+// high-water mark (so retried diffs are suppressed instead of
+// double-applied) — the paper's recovery primitive: state lives at the
+// edge and the coordinator is reconstructible.
 package membership
 
 import (
@@ -25,6 +40,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/tele3d/tele3d/internal/overlay"
 	"github.com/tele3d/tele3d/internal/stream"
@@ -51,9 +67,21 @@ type Config struct {
 	// Network is the transport fabric to listen on; nil means real TCP
 	// (transport.TCPNetwork), preserving pre-fabric behaviour exactly.
 	Network transport.Network
+	// Shards is the number of membership shards in the session's control
+	// plane; 0 or 1 means the legacy single-server plane.
+	Shards int
+	// Shard is this server's shard index in [0, Shards). The server
+	// applies diffs and pushes deltas only for streams s with
+	// transport.StreamShard(s, Shards) == Shard.
+	Shard int
+	// FlushIntervalMs batches route distribution: applied diffs are
+	// coalesced and flushed as one epoch bump per interval. 0 flushes
+	// inline after every event (legacy behaviour, one epoch per diff).
+	FlushIntervalMs float64
 }
 
-// Server is the membership coordination point.
+// Server is one membership coordination point (the whole control plane
+// when Shards <= 1, otherwise one shard of it).
 type Server struct {
 	cfg Config
 	ln  net.Listener
@@ -79,9 +107,26 @@ type Server struct {
 	// at cluster scale.
 	meshPeers  map[int]string
 	meshDelays map[int]map[int]float64
-	// epoch is the session-wide routing-table version; bumped once per
-	// applied resubscription.
+	// epoch is the shard's routing-table version; bumped once per flush.
 	epoch uint64
+	// epochFloor is the highest epoch any registering site reported
+	// having seen (Hello.Epoch). A successor taking over a crashed shard
+	// starts its sequence above it so its updates are never stale.
+	epochFloor uint64
+	// lastResub records, per site, the highest resubscribe request ID
+	// applied (seeded from Hello.LastResub on re-registration). A diff
+	// whose ID is not above it is a retry racing a failover: it is
+	// re-acknowledged, never re-applied.
+	lastResub map[int]uint64
+	// pendingAcks and dirty are the batching state: acknowledgements for
+	// applied-but-unflushed diffs, and whether the forest changed since
+	// the last flush.
+	pendingAcks map[int][]transport.Ack
+	dirty       bool
+	applied     uint64
+	// directory is the replicated session directory distributed to RPs
+	// inside every full Routes table (see transport.Routes.Directory).
+	directory [][]string
 
 	// Ready is closed once routing tables have been sent to every RP.
 	ready     chan struct{}
@@ -127,18 +172,26 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Network == nil {
 		cfg.Network = transport.TCPNetwork{}
 	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+		return nil, fmt.Errorf("membership: shard %d out of range [0, %d)", cfg.Shard, cfg.Shards)
+	}
 	ln, err := cfg.Network.Listen(cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("membership: listen: %w", err)
 	}
 	return &Server{
-		cfg:   cfg,
-		ln:    ln,
-		sites: make(map[int]*siteState),
-		conns: make(map[net.Conn]struct{}),
-		cur:   make(map[int]*transport.Routes),
-		ready: make(chan struct{}),
-		errCh: make(chan error, cfg.N+1),
+		cfg:         cfg,
+		ln:          ln,
+		sites:       make(map[int]*siteState),
+		conns:       make(map[net.Conn]struct{}),
+		cur:         make(map[int]*transport.Routes),
+		lastResub:   make(map[int]uint64),
+		pendingAcks: make(map[int][]transport.Ack),
+		ready:       make(chan struct{}),
+		errCh:       make(chan error, cfg.N+1),
 	}, nil
 }
 
@@ -148,6 +201,17 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Ready is closed once every RP has received its routing table.
 func (s *Server) Ready() <-chan struct{} { return s.ready }
 
+// SetDirectory installs the replicated session directory the server
+// hands to every RP inside its full routing tables: dir[k] lists shard
+// k's server addresses, primary first, standbys after. Call before
+// Serve; nil leaves tables without a directory (legacy single-server
+// sessions need none).
+func (s *Server) SetDirectory(dir [][]string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.directory = dir
+}
+
 // Forest returns the live overlay forest (nil before Ready). It is
 // mutated by mid-session resubscriptions.
 func (s *Server) Forest() *overlay.Forest {
@@ -156,12 +220,37 @@ func (s *Server) Forest() *overlay.Forest {
 	return s.forest
 }
 
-// Epoch returns the current routing-table version (1 after the initial
-// distribution, +1 per applied resubscription).
+// Epoch returns the current routing-table version of this shard (1
+// after the initial distribution, +1 per flush).
 func (s *Server) Epoch() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.epoch
+}
+
+// AppliedResubs returns how many resubscribe diffs the server has
+// applied to its forest (retries suppressed by the duplicate guard are
+// not counted).
+func (s *Server) AppliedResubs() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// Flush forces an immediate distribution of any batched routing state,
+// as if the flush interval had just elapsed. It is a no-op when nothing
+// is pending.
+func (s *Server) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.computed {
+		s.flushLocked(-1)
+	}
+}
+
+// owns reports whether this server's shard owns the stream's tree.
+func (s *Server) owns(id stream.ID) bool {
+	return transport.StreamShard(id, s.cfg.Shards) == s.cfg.Shard
 }
 
 // Serve accepts RP registrations and blocks until all N sites hold their
@@ -184,6 +273,22 @@ func (s *Server) Serve(ctx context.Context) error {
 		}
 		s.connMu.Unlock()
 	}()
+	if s.cfg.FlushIntervalMs > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(time.Duration(s.cfg.FlushIntervalMs * float64(time.Millisecond)))
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					s.Flush()
+				}
+			}
+		}()
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -238,7 +343,11 @@ func rejectConn(conn net.Conn, msg string) {
 // handle reads one RP's Hello and Subscribe, then serves the connection
 // for the session lifetime: once all sites are registered the routing
 // table goes out on it, after which resubscription diffs are read and
-// applied until the connection closes.
+// applied until the connection closes. A registration for a site that
+// is already registered is rejected while the session is assembling
+// (duplicate RP) but accepted once routes are out: it is the site
+// re-registering after a control-plane failure, so the stale connection
+// is replaced and the forest resynchronized to the reported state.
 func (s *Server) handle(conn net.Conn) {
 	m, err := transport.ReadMessage(conn)
 	if err != nil {
@@ -266,13 +375,26 @@ func (s *Server) handle(conn net.Conn) {
 
 	st := &siteState{hello: hello, subs: m.Subscribe.Streams, conn: conn}
 	s.mu.Lock()
-	if _, dup := s.sites[hello.Site]; dup {
+	if hello.Epoch > s.epochFloor {
+		s.epochFloor = hello.Epoch
+	}
+	if hello.LastResub > s.lastResub[hello.Site] {
+		s.lastResub[hello.Site] = hello.LastResub
+	}
+	old, dup := s.sites[hello.Site]
+	if dup && !s.computed {
 		s.mu.Unlock()
 		rejectConn(conn, fmt.Sprintf("duplicate registration for site %d", hello.Site))
 		return
 	}
 	s.sites[hello.Site] = st
-	complete := len(s.sites) == s.cfg.N
+	complete := !s.computed && len(s.sites) == s.cfg.N
+	if dup {
+		// Re-registration on a live shard (the RP lost and re-dialed the
+		// control link): drop the stale connection and resynchronize.
+		old.conn.Close()
+		s.resyncLocked(st)
+	}
 	s.mu.Unlock()
 
 	if complete {
@@ -303,7 +425,9 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // computeAndDistribute builds the forest from the global subscription
-// workload and sends each RP its initial (epoch 1) routing table.
+// workload and sends each RP its initial routing table. The first epoch
+// is one above the highest epoch any registering site reported, so a
+// successor's tables supersede a crashed predecessor's.
 func (s *Server) computeAndDistribute() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -338,11 +462,19 @@ func (s *Server) computeAndDistribute() error {
 		return fmt.Errorf("membership: constructed forest invalid: %w", err)
 	}
 	s.forest = f
-	s.epoch = 1
+	s.epoch = s.epochFloor + 1
 
 	routes := s.buildRoutes(f)
 	for i, st := range s.sites {
-		if err := st.write(&transport.Message{Type: transport.MsgRoutes, Routes: routes[i]}); err != nil {
+		out := routes[i]
+		if st.hello.Epoch > 0 {
+			// A re-registering site (standby takeover) already holds the
+			// static mesh; omitting it keeps the sync O(forest), not O(N)
+			// per site — the difference between a sub-second and a
+			// multi-second recovery at cluster scale.
+			out = stripMesh(out)
+		}
+		if err := st.write(&transport.Message{Type: transport.MsgRoutes, Routes: out}); err != nil {
 			return fmt.Errorf("membership: send routes to site %d: %w", i, err)
 		}
 		s.cur[i] = routes[i]
@@ -350,48 +482,178 @@ func (s *Server) computeAndDistribute() error {
 	return nil
 }
 
+// stripMesh returns a copy of the table without the static mesh
+// (Peers/DelayMs). RPs never replace their mesh from a resync — it is
+// registration-time state — so full tables sent to re-registering sites
+// omit it.
+func stripMesh(r *transport.Routes) *transport.Routes {
+	c := *r
+	c.Peers, c.DelayMs = nil, nil
+	return &c
+}
+
 // applyResubscribe applies one RP's subscription diff to the live forest
-// through the overlay's dynamic operations, bumps the session epoch, and
-// pushes routing deltas to every site whose table changed. The requester
-// always receives an update (its acknowledgement), even when its own
-// table is otherwise unchanged.
+// through the overlay's dynamic operations, restricted to the streams
+// this shard owns, and records the per-request acknowledgement. With no
+// flush interval the change is distributed inline (one epoch per diff,
+// the legacy behaviour); otherwise it waits for the next flush, which
+// coalesces the burst into one delta per site. A request ID at or below
+// the site's high-water mark is a retry racing a failover: it is
+// re-acknowledged at the current epoch without touching the forest.
 func (s *Server) applyResubscribe(r *transport.Resubscribe) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.forest == nil {
-		s.mu.Unlock()
 		return
 	}
+	if r.ID != 0 && r.ID <= s.lastResub[r.Site] {
+		s.reackLocked(r.Site, r.ID)
+		return
+	}
+	if r.ID > s.lastResub[r.Site] {
+		s.lastResub[r.Site] = r.ID
+	}
+	ack := transport.Ack{ID: r.ID}
 	for _, id := range r.Lost {
+		if !s.owns(id) {
+			continue
+		}
 		// Unknown requests (trace drift) are skipped; the forest is
 		// authoritative.
 		_ = s.forest.Unsubscribe(overlay.Request{Node: r.Site, Stream: id})
 	}
 	for _, id := range r.Gained {
-		_, _ = s.forest.Subscribe(overlay.Request{Node: r.Site, Stream: id})
+		if !s.owns(id) {
+			continue
+		}
+		res, err := s.forest.Subscribe(overlay.Request{Node: r.Site, Stream: id})
+		if err != nil {
+			// The request already exists (a replay after failover):
+			// acknowledge from the forest's current admission state.
+			if t := s.forest.Tree(id); t != nil && t.Contains(r.Site) {
+				ack.Accepted = append(ack.Accepted, id)
+			} else {
+				ack.Rejected = append(ack.Rejected, id)
+			}
+			continue
+		}
+		switch res {
+		case overlay.Joined, overlay.AlreadyMember:
+			ack.Accepted = append(ack.Accepted, id)
+		default:
+			ack.Rejected = append(ack.Rejected, id)
+		}
 	}
+	s.pendingAcks[r.Site] = append(s.pendingAcks[r.Site], ack)
+	s.dirty = true
+	s.applied++
+	if s.cfg.FlushIntervalMs <= 0 {
+		s.flushLocked(-1)
+	}
+}
 
+// reackLocked re-acknowledges a suppressed duplicate resubscribe at the
+// current epoch without a table change. Callers hold s.mu.
+func (s *Server) reackLocked(site int, id uint64) {
+	if st := s.sites[site]; st != nil {
+		_ = st.write(&transport.Message{Type: transport.MsgRoutesUpdate, Update: &transport.RoutesUpdate{
+			Site:    site,
+			Epoch:   s.epoch,
+			Shard:   s.cfg.Shard,
+			Acks:    []transport.Ack{{ID: id}},
+			ReplyTo: id,
+		}})
+	}
+}
+
+// resyncLocked reconciles the forest with a re-registered site's
+// reported subscription set (its desired state survived the control-
+// plane failure at the edge), then redistributes: the re-registered
+// site receives a full table — its view of this shard may be
+// arbitrarily stale — and every other affected site a delta. Callers
+// hold s.mu with s.computed true.
+func (s *Server) resyncLocked(st *siteState) {
+	site := st.hello.Site
+	have := make(map[stream.ID]bool)
+	for _, r := range s.forest.Accepted() {
+		if r.Node == site && s.owns(r.Stream) {
+			have[r.Stream] = true
+		}
+	}
+	for _, r := range s.forest.Rejected() {
+		if r.Node == site && s.owns(r.Stream) {
+			have[r.Stream] = true
+		}
+	}
+	want := make(map[stream.ID]bool, len(st.subs))
+	for _, id := range st.subs {
+		if s.owns(id) {
+			want[id] = true
+		}
+	}
+	for id := range have {
+		if !want[id] {
+			_ = s.forest.Unsubscribe(overlay.Request{Node: site, Stream: id})
+			s.dirty = true
+		}
+	}
+	for id := range want {
+		if !have[id] {
+			_, _ = s.forest.Subscribe(overlay.Request{Node: site, Stream: id})
+			s.dirty = true
+		}
+	}
+	if st.hello.Epoch > s.epoch {
+		s.epoch = st.hello.Epoch
+	}
+	s.flushLocked(site)
+}
+
+// flushLocked distributes the batched routing state: one epoch bump,
+// one rebuilt table, and one coalesced delta per affected site carrying
+// the acknowledgements folded into it. fullFor >= 0 forces a full
+// MsgRoutes table (not a delta) to that site — the shard-sync a
+// re-registered site needs — and flushes even when nothing is dirty.
+// Callers hold s.mu.
+func (s *Server) flushLocked(fullFor int) {
+	if !s.dirty && fullFor < 0 {
+		return
+	}
 	s.epoch++
 	next := s.buildRoutes(s.forest)
 	// Deltas are cumulative per site, so they must hit each connection in
-	// epoch order: pushing under the lock serializes concurrent
-	// resubscriptions end to end. Control messages are small and the RPs'
-	// control loops always read promptly, so the writes cannot stall the
-	// session (the centralized-coordinator simplicity the paper argues
-	// for).
+	// epoch order: pushing under the lock serializes concurrent flushes
+	// end to end. Control messages are small and the RPs' control loops
+	// always read promptly, so the writes cannot stall the session (the
+	// centralized-coordinator simplicity the paper argues for).
 	for i := 0; i < s.cfg.N; i++ {
+		if i == fullFor {
+			s.cur[i] = next[i]
+			delete(s.pendingAcks, i)
+			if st := s.sites[i]; st != nil {
+				// The resynced site re-registered, so it holds the mesh
+				// already (see stripMesh).
+				_ = st.write(&transport.Message{Type: transport.MsgRoutes, Routes: stripMesh(next[i])})
+			}
+			continue
+		}
 		u := diffRoutes(s.cur[i], next[i])
-		if u == nil && i != r.Site {
+		acks := s.pendingAcks[i]
+		if u == nil && len(acks) == 0 {
 			continue
 		}
 		if u == nil {
-			// The requester always gets an acknowledgement, even when its
+			// A requester always gets an acknowledgement, even when its
 			// own table is unchanged (e.g. every gain was rejected).
 			u = &transport.RoutesUpdate{Site: i}
 		}
 		u.Epoch = s.epoch
-		if i == r.Site {
-			u.ReplyTo = r.ID
+		u.Shard = s.cfg.Shard
+		u.Acks = acks
+		if len(acks) == 1 {
+			u.ReplyTo = acks[0].ID
 		}
+		delete(s.pendingAcks, i)
 		s.cur[i] = next[i]
 		if st := s.sites[i]; st != nil {
 			// A site whose connection died mid-session just misses
@@ -399,11 +661,12 @@ func (s *Server) applyResubscribe(r *transport.Resubscribe) {
 			_ = st.write(&transport.Message{Type: transport.MsgRoutesUpdate, Update: u})
 		}
 	}
-	s.mu.Unlock()
+	s.dirty = false
 }
 
 // buildRoutes converts the forest into per-site routing directives at
-// the current epoch. Slices are sorted so tables compare structurally.
+// the current epoch, restricted to the trees this shard owns. Slices
+// are sorted so tables compare structurally.
 func (s *Server) buildRoutes(f *overlay.Forest) map[int]*transport.Routes {
 	if s.meshPeers == nil {
 		s.meshPeers = make(map[int]string, s.cfg.N)
@@ -424,14 +687,20 @@ func (s *Server) buildRoutes(f *overlay.Forest) map[int]*transport.Routes {
 	out := make(map[int]*transport.Routes, s.cfg.N)
 	for i := 0; i < s.cfg.N; i++ {
 		out[i] = &transport.Routes{
-			Site:    i,
-			Epoch:   s.epoch,
-			Peers:   s.meshPeers,
-			DelayMs: s.meshDelays[i],
-			Forward: nil,
+			Site:      i,
+			Epoch:     s.epoch,
+			Shard:     s.cfg.Shard,
+			Shards:    s.cfg.Shards,
+			Directory: s.directory,
+			Peers:     s.meshPeers,
+			DelayMs:   s.meshDelays[i],
+			Forward:   nil,
 		}
 	}
 	f.ForEachTree(func(t *overlay.Tree) {
+		if !s.owns(t.Stream) {
+			return
+		}
 		// Walk the tree's flat membership directly: each member with
 		// children contributes one forwarding directive, children sorted
 		// for structural comparability.
@@ -445,10 +714,14 @@ func (s *Server) buildRoutes(f *overlay.Forest) map[int]*transport.Routes {
 		})
 	})
 	for _, r := range f.Accepted() {
-		out[r.Node].Accepted = append(out[r.Node].Accepted, r.Stream)
+		if s.owns(r.Stream) {
+			out[r.Node].Accepted = append(out[r.Node].Accepted, r.Stream)
+		}
 	}
 	for _, r := range f.Rejected() {
-		out[r.Node].Rejected = append(out[r.Node].Rejected, r.Stream)
+		if s.owns(r.Stream) {
+			out[r.Node].Rejected = append(out[r.Node].Rejected, r.Stream)
+		}
 	}
 	for _, r := range out {
 		sort.Slice(r.Forward, func(a, b int) bool { return r.Forward[a].Stream.Less(r.Forward[b].Stream) })
@@ -463,8 +736,8 @@ func sortIDs(ids []stream.ID) {
 }
 
 // diffRoutes computes the delta turning table old into table new for one
-// site, or nil when nothing changed. Epoch and ReplyTo are left for the
-// caller to fill.
+// site, or nil when nothing changed. Epoch and acknowledgements are left
+// for the caller to fill.
 func diffRoutes(old, new *transport.Routes) *transport.RoutesUpdate {
 	u := &transport.RoutesUpdate{Site: new.Site}
 	changed := false

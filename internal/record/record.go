@@ -45,7 +45,15 @@ type Record struct {
 	DisruptionMeanMs  float64 `json:"disruption_mean_ms"`
 	DisruptionMaxMs   float64 `json:"disruption_max_ms"`
 	DeliveredFraction float64 `json:"delivered_fraction"`
-	ElapsedMs         float64 `json:"elapsed_ms"`
+	// Shards is the membership control-plane shard count of a cluster run
+	// (0 for records from tools without a control plane); Failovers counts
+	// membership shards that crashed and were recovered through standby
+	// re-registration, and FailoverRecoveryMs is the slowest such recovery
+	// observed by any RP.
+	Shards             int     `json:"shards"`
+	Failovers          int     `json:"failovers"`
+	FailoverRecoveryMs float64 `json:"failover_recovery_ms"`
+	ElapsedMs          float64 `json:"elapsed_ms"`
 }
 
 // CSVHeader is the CSV column order; CSVRow emits values in the same
@@ -56,7 +64,7 @@ var CSVHeader = []string{
 	"rejection", "weighted_rejection", "util_mean", "util_stddev",
 	"relay_fraction", "churn_rate", "churn_mix", "scenario", "churn_events",
 	"disruption_mean_ms", "disruption_max_ms", "delivered_fraction",
-	"elapsed_ms",
+	"shards", "failovers", "failover_recovery_ms", "elapsed_ms",
 }
 
 // CSVRow renders the record as one CSV row matching CSVHeader.
@@ -72,6 +80,7 @@ func (r Record) CSVRow() []string {
 		f(r.UtilMean), f(r.UtilStdDev), f(r.RelayFraction),
 		f(r.ChurnRate), f(r.ChurnMix), r.Scenario, f(r.ChurnEvents),
 		f(r.DisruptionMeanMs), f(r.DisruptionMaxMs), f(r.DeliveredFraction),
+		strconv.Itoa(r.Shards), strconv.Itoa(r.Failovers), f(r.FailoverRecoveryMs),
 		strconv.FormatFloat(r.ElapsedMs, 'f', 1, 64),
 	}
 }

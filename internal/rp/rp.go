@@ -1,18 +1,28 @@
 // Package rp implements the rendezvous point (§3.1): the per-site proxy
 // server that publishes the local camera array's streams into the overlay,
-// forwards streams according to the membership server's routing table, and
-// delivers subscribed streams to the local displays.
+// forwards streams according to the membership control plane's routing
+// tables, and delivers subscribed streams to the local displays.
 //
-// The routing table is live: the control connection to the membership
-// server stays open for the whole session, and epoch-versioned
+// The routing table is live: a control connection to each membership
+// shard stays open for the whole session, and epoch-versioned
 // RoutesUpdate deltas are applied by atomically hot-swapping an immutable
-// table snapshot while frames keep flowing. Every frame is routed under
-// exactly one epoch (the snapshot loaded when it arrives): a frame in
-// flight for a stream the site no longer accepts is discarded and counted
-// as stale, a frame already delivered under an earlier path is discarded
-// as a duplicate (per-stream sequence watermark), and the first delivered
+// table snapshot while frames keep flowing. Epochs are per shard — the
+// node's snapshot is the disjoint union of every shard's directive, each
+// slice versioned independently. Every frame is routed under exactly one
+// snapshot (the one loaded when it arrives): a frame in flight for a
+// stream the site no longer accepts is discarded and counted as stale, a
+// frame already delivered under an earlier path is discarded as a
+// duplicate (per-stream sequence watermark), and the first delivered
 // frame of each newly gained stream is timestamped so the live plane
 // reports the same disruption-latency metric as sim.RunEvents.
+//
+// When a shard's control connection dies and the session directory lists
+// a successor, the node fails over: it re-registers with the next listed
+// server carrying its current desired subscription set, its last-seen
+// epoch for the shard, and its resubscribe-ID high-water mark — the
+// paper's recovery primitive (coordinator state is reconstructible from
+// the edge). The successor's full shard table (MsgRoutes) resynchronizes
+// the node and settles any resubscriptions left in flight by the crash.
 //
 // WAN latency is emulated per overlay edge: frames queued toward a peer
 // are released only after the edge's one-way delay (derived from the
@@ -33,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,7 +56,14 @@ import (
 type Config struct {
 	Site       int
 	ListenAddr string // peer-facing listen address, e.g. "127.0.0.1:0"
-	Membership string // membership server dial address
+	Membership string // membership server dial address (single-shard plane)
+
+	// Directory lists the control plane's membership servers per shard:
+	// Directory[k] holds shard k's dial addresses, primary first,
+	// standbys after. nil means the single-shard plane [[Membership]].
+	// A shard with more than one address is failover-capable: the node
+	// re-registers with the next address when the control link dies.
+	Directory [][]string
 
 	In, Out int // bandwidth limits in stream units (reported upstream)
 
@@ -93,7 +111,8 @@ type StreamStats struct {
 // locally, and the first frame actually delivered afterwards.
 type Disruption struct {
 	Stream stream.ID
-	// Epoch is the routing-table version that gained the stream.
+	// Epoch is the routing-table version (of the stream's owning shard)
+	// that gained the stream.
 	Epoch uint64
 	// Applied is when the update took effect; FirstFrame when the first
 	// frame of the stream reached the local displays.
@@ -103,29 +122,58 @@ type Disruption struct {
 	LatencyMs float64
 }
 
-// ResubscribeResult reports the membership server's decision on a
-// mid-session subscription diff.
+// FailoverEvent records one completed control-plane failover: the node
+// lost a shard's control connection, re-registered with a successor from
+// the session directory, and resynchronized its shard slice.
+type FailoverEvent struct {
+	// Shard is the membership shard that failed over.
+	Shard int
+	// Detected is when the control connection loss was noticed; Restored
+	// when the successor's shard table was applied locally.
+	Detected time.Time
+	Restored time.Time
+}
+
+// RecoveryMs returns the detected→restored span in milliseconds.
+func (f FailoverEvent) RecoveryMs() float64 {
+	return float64(f.Restored.Sub(f.Detected)) / float64(time.Millisecond)
+}
+
+// ResubscribeResult reports the membership control plane's decision on a
+// mid-session subscription diff (combined across every shard the diff
+// touched).
 type ResubscribeResult struct {
-	// Epoch is the routing-table version that incorporates the change.
+	// Epoch is the highest routing-table version that incorporates the
+	// change across the acknowledging shards.
 	Epoch uint64
 	// Accepted and Rejected partition the gained streams by admission.
 	Accepted []stream.ID
 	Rejected []stream.ID
+	// Epochs maps each accepted stream to the epoch of the owning
+	// shard's table that granted it — shard epoch sequences are
+	// independent, so per-stream attribution needs the per-shard value.
+	Epochs map[stream.ID]uint64
 }
 
 // routingTable is an immutable snapshot of the node's routing state; the
 // node swaps the whole snapshot atomically on every update, so a frame is
-// always routed under exactly one epoch.
+// always routed under exactly one epoch. The snapshot is the union of
+// every membership shard's directive; epochs holds the per-shard table
+// versions and epoch their maximum.
 type routingTable struct {
 	epoch    uint64
+	epochs   []uint64
 	routes   *transport.Routes
 	forward  map[stream.ID][]int
 	accepted map[stream.ID]bool
 }
 
 func newRoutingTable(r *transport.Routes) *routingTable {
+	epochs := make([]uint64, r.Shard+1)
+	epochs[r.Shard] = r.Epoch
 	t := &routingTable{
 		epoch:    r.Epoch,
+		epochs:   epochs,
 		routes:   r,
 		forward:  make(map[stream.ID][]int, len(r.Forward)),
 		accepted: make(map[stream.ID]bool, len(r.Accepted)),
@@ -141,10 +189,61 @@ func newRoutingTable(r *transport.Routes) *routingTable {
 	return t
 }
 
+// shardEpoch returns the table version held for one shard (0 if the
+// shard never delivered a table).
+func (t *routingTable) shardEpoch(k int) uint64 {
+	if k >= 0 && k < len(t.epochs) {
+		return t.epochs[k]
+	}
+	return 0
+}
+
 // gainMark tracks a newly accepted stream until its first delivery.
 type gainMark struct {
 	epoch uint64
 	at    time.Time
+}
+
+// inflightReq is one resubscribe sub-request awaiting a shard's
+// acknowledgement (or, across a failover, the successor's shard sync).
+type inflightReq struct {
+	shard  int
+	gained []stream.ID
+	ch     chan *ResubscribeResult
+}
+
+// ctrlLink is the long-lived control connection to one membership
+// shard; the connection is swapped in place on failover.
+type ctrlLink struct {
+	shard int
+	mu    sync.Mutex // serializes writes and guards conn swaps
+	conn  net.Conn
+}
+
+func (l *ctrlLink) get() net.Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conn
+}
+
+func (l *ctrlLink) set(c net.Conn) {
+	l.mu.Lock()
+	l.conn = c
+	l.mu.Unlock()
+}
+
+func (l *ctrlLink) write(m *transport.Message) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return transport.WriteMessage(l.conn, m)
+}
+
+func (l *ctrlLink) close() {
+	l.mu.Lock()
+	if l.conn != nil {
+		l.conn.Close()
+	}
+	l.mu.Unlock()
 }
 
 // Node is a running rendezvous point.
@@ -157,17 +256,20 @@ type Node struct {
 	ready     chan struct{}
 	readyOnce sync.Once
 
-	ctrlConn net.Conn
-	ctrlMu   sync.Mutex // serializes writes on the control connection
-	resubID  atomic.Uint64
+	ctrls   []*ctrlLink
+	shards  int
+	resubID atomic.Uint64
 
 	mu           sync.Mutex
+	dir          [][]string
+	desired      map[stream.ID]bool
 	peers        map[int]*peerLink
 	inbound      map[net.Conn]struct{}
 	stats        map[stream.ID]*StreamStats
 	pendingGain  map[stream.ID]gainMark
 	disruptions  []Disruption
-	waiters      map[uint64]chan *ResubscribeResult
+	inflight     map[uint64]*inflightReq
+	failovers    []FailoverEvent
 	published    int
 	staleUpdates int
 	firstErr     error
@@ -212,15 +314,20 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	desired := make(map[stream.ID]bool, len(cfg.Subscriptions))
+	for _, id := range cfg.Subscriptions {
+		desired[id] = true
+	}
 	return &Node{
 		cfg:         cfg,
 		rig:         rig,
 		ready:       make(chan struct{}),
+		desired:     desired,
 		peers:       make(map[int]*peerLink),
 		inbound:     make(map[net.Conn]struct{}),
 		stats:       make(map[stream.ID]*StreamStats),
 		pendingGain: make(map[stream.ID]gainMark),
-		waiters:     make(map[uint64]chan *ResubscribeResult),
+		inflight:    make(map[uint64]*inflightReq),
 		deliveries:  make(chan Delivery, cfg.DeliveryBuffer),
 	}, nil
 }
@@ -228,10 +335,12 @@ func New(cfg Config) (*Node, error) {
 // Addr returns the node's peer-facing address (valid after Start).
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
-// Start listens for peers, registers with the membership server, and
-// blocks until the initial routing table arrives or ctx is cancelled.
-// The control connection stays open afterwards: routing updates pushed
-// by the server are applied live until Close or ctx cancellation.
+// Start listens for peers, registers with every membership shard, and
+// blocks until the initial routing tables arrive or ctx is cancelled.
+// The control connections stay open afterwards: routing updates pushed
+// by the shards are applied live until Close or ctx cancellation, and a
+// failover-capable shard whose connection dies is re-registered with its
+// successor transparently.
 func (n *Node) Start(ctx context.Context) error {
 	ln, err := n.cfg.Network.Listen(n.cfg.ListenAddr)
 	if err != nil {
@@ -243,27 +352,68 @@ func (n *Node) Start(ctx context.Context) error {
 	n.wg.Add(1)
 	go n.acceptLoop()
 
+	dir := n.cfg.Directory
+	if len(dir) == 0 {
+		dir = [][]string{{n.cfg.Membership}}
+	}
+	n.mu.Lock()
+	n.dir = dir
+	n.mu.Unlock()
+	n.shards = len(dir)
+	n.ctrls = make([]*ctrlLink, n.shards)
+	routes := make([]*transport.Routes, n.shards)
+	for k := range dir {
+		conn, r, err := n.register(ctx, k, dir[k][0], false)
+		if err != nil {
+			n.Close()
+			return err
+		}
+		// Control links must be usable before the ready gate opens:
+		// Resubscribe treats ready as "the control plane is writable".
+		n.ctrls[k] = &ctrlLink{shard: k, conn: conn}
+		routes[k] = r
+	}
+	n.installShardRoutes(routes)
+	for _, l := range n.ctrls {
+		n.wg.Add(1)
+		go n.controlLoop(l)
+	}
+	return nil
+}
+
+// register dials one membership server, performs the Hello/Subscribe
+// handshake, and blocks until the shard's routing table arrives (or ctx
+// is cancelled). A re-registration after a control failure carries the
+// node's current desired subscription set, its last-seen epoch for the
+// shard, and its resubscribe-ID high-water mark, so the successor can
+// reconstruct shard state without double-applying retried diffs.
+func (n *Node) register(ctx context.Context, shard int, addr string, reregister bool) (net.Conn, *transport.Routes, error) {
 	// The fabric dialer honours ctx and its own timeout, so a dead
-	// membership server fails the handshake instead of hanging Start.
-	conn, err := n.cfg.Network.DialContext(ctx, n.cfg.Membership)
+	// membership server fails the handshake instead of hanging.
+	conn, err := n.cfg.Network.DialContext(ctx, addr)
 	if err != nil {
-		n.Close()
-		return fmt.Errorf("rp: site %d dial membership: %w", n.cfg.Site, err)
+		return nil, nil, fmt.Errorf("rp: site %d dial membership shard %d: %w", n.cfg.Site, shard, err)
 	}
 	hello := &transport.Hello{
 		Site: n.cfg.Site, Addr: n.Addr(),
 		In: n.cfg.In, Out: n.cfg.Out, NumStreams: n.cfg.Cameras,
 	}
+	subs := n.cfg.Subscriptions
+	if reregister {
+		if t := n.table(); t != nil {
+			hello.Epoch = t.shardEpoch(shard)
+		}
+		hello.LastResub = n.resubID.Load()
+		subs = n.desiredSnapshot()
+	}
 	if err := transport.WriteMessage(conn, &transport.Message{Type: transport.MsgHello, Hello: hello}); err != nil {
 		conn.Close()
-		n.Close()
-		return err
+		return nil, nil, err
 	}
-	sub := &transport.Subscribe{Site: n.cfg.Site, Streams: n.cfg.Subscriptions}
+	sub := &transport.Subscribe{Site: n.cfg.Site, Streams: subs}
 	if err := transport.WriteMessage(conn, &transport.Message{Type: transport.MsgSubscribe, Subscribe: sub}); err != nil {
 		conn.Close()
-		n.Close()
-		return err
+		return nil, nil, err
 	}
 
 	// Wait for the routing table on the same connection.
@@ -291,28 +441,34 @@ func (n *Node) Start(ctx context.Context) error {
 	case r := <-resCh:
 		if r.err != nil {
 			conn.Close()
-			n.Close()
-			return r.err
+			return nil, nil, r.err
 		}
-		// ctrlConn must be set before the ready gate opens: Resubscribe
-		// treats ready as "the control plane is usable".
-		n.ctrlConn = conn
-		n.installRoutes(r.routes)
-		n.wg.Add(1)
-		go n.controlLoop(conn)
-		return nil
+		return conn, r.routes, nil
 	case <-ctx.Done():
 		conn.Close()
-		n.Close()
-		return ctx.Err()
+		return nil, nil, ctx.Err()
 	}
+}
+
+// desiredSnapshot returns the node's current desired subscription set,
+// sorted for deterministic registration payloads.
+func (n *Node) desiredSnapshot() []stream.ID {
+	n.mu.Lock()
+	out := make([]stream.ID, 0, len(n.desired))
+	for id := range n.desired {
+		out = append(out, id)
+	}
+	n.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
+	return out
 }
 
 // table returns the current routing snapshot (nil before installation).
 func (n *Node) table() *routingTable { return n.tbl.Load() }
 
-// Routes returns the installed routing table (nil before Start returns).
-// The returned value is a snapshot: later updates never mutate it.
+// Routes returns the installed routing table (nil before Start returns):
+// the union of every shard's directive. The returned value is a
+// snapshot: later updates never mutate it.
 func (n *Node) Routes() *transport.Routes {
 	if t := n.table(); t != nil {
 		return t.routes
@@ -320,7 +476,7 @@ func (n *Node) Routes() *transport.Routes {
 	return nil
 }
 
-// Epoch returns the version of the routing table currently in effect
+// Epoch returns the highest shard table version currently in effect
 // (0 before installation).
 func (n *Node) Epoch() uint64 {
 	if t := n.table(); t != nil {
@@ -337,48 +493,186 @@ func (n *Node) installRoutes(r *transport.Routes) {
 	n.readyOnce.Do(func() { close(n.ready) })
 }
 
-// controlLoop applies routing updates pushed on the long-lived control
-// connection until the connection closes or the node shuts down.
-func (n *Node) controlLoop(conn net.Conn) {
+// installShardRoutes merges the initial per-shard tables into one
+// snapshot and opens the ready gate. The shard directives are disjoint
+// by stream ownership, so the merge is a plain union; the replicated
+// session directory carried in any table replaces the configured one.
+func (n *Node) installShardRoutes(routes []*transport.Routes) {
+	epochs := make([]uint64, len(routes))
+	merged := &transport.Routes{Site: n.cfg.Site}
+	for k, r := range routes {
+		if r.Epoch == 0 {
+			r.Epoch = 1
+		}
+		epochs[k] = r.Epoch
+		if r.Epoch > merged.Epoch {
+			merged.Epoch = r.Epoch
+		}
+		if merged.Peers == nil {
+			// The peer mesh is registration-time state identical across
+			// shards; share the first shard's maps.
+			merged.Peers = r.Peers
+			merged.DelayMs = r.DelayMs
+		}
+		merged.Forward = append(merged.Forward, r.Forward...)
+		merged.Accepted = append(merged.Accepted, r.Accepted...)
+		merged.Rejected = append(merged.Rejected, r.Rejected...)
+		if len(r.Directory) == len(routes) {
+			n.mu.Lock()
+			n.dir = r.Directory
+			n.mu.Unlock()
+		}
+	}
+	t := newRoutingTable(merged)
+	t.epochs = epochs
+	n.tbl.Store(t)
+	n.readyOnce.Do(func() { close(n.ready) })
+}
+
+// controlLoop serves one shard's control connection until the node
+// shuts down: it applies pushed updates, and when the connection dies on
+// a failover-capable shard it re-registers with the next server in the
+// session directory instead of giving up.
+func (n *Node) controlLoop(l *ctrlLink) {
 	defer n.wg.Done()
-	defer conn.Close()
 	for {
-		m, err := transport.ReadMessage(conn)
-		if err != nil {
-			if n.ctx.Err() == nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		conn := l.get()
+		err := n.readLoop(l.shard, conn)
+		conn.Close()
+		if n.ctx.Err() != nil {
+			return
+		}
+		if len(n.dirFor(l.shard)) < 2 {
+			// No successor to fail over to: legacy single-server
+			// semantics — surface unexpected breakage, swallow clean EOF.
+			if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				n.recordErr(fmt.Errorf("rp: site %d control read: %w", n.cfg.Site, err))
 			}
 			return
 		}
+		if !n.failover(l) {
+			return
+		}
+	}
+}
+
+// readLoop dispatches control messages from one shard connection until
+// it fails; the returned error is the read failure.
+func (n *Node) readLoop(shard int, conn net.Conn) error {
+	for {
+		m, err := transport.ReadMessage(conn)
+		if err != nil {
+			return err
+		}
 		switch m.Type {
 		case transport.MsgRoutesUpdate:
-			res := n.applyUpdate(m.Update)
-			if m.Update.ReplyTo != 0 {
-				n.mu.Lock()
-				ch := n.waiters[m.Update.ReplyTo]
-				n.mu.Unlock()
-				if ch != nil {
-					ch <- res
-				}
-			}
+			n.applyUpdate(m.Update)
+			n.resolveAcks(m.Update)
+		case transport.MsgRoutes:
+			// A mid-session full table is a shard sync (the server
+			// resynchronized this site after a re-registration).
+			n.applySync(m.Routes)
 		case transport.MsgError:
 			n.recordErr(fmt.Errorf("rp: site %d control: %s", n.cfg.Site, m.Error.Msg))
 		}
 	}
 }
 
+// dirFor snapshots the session directory entry of one shard.
+func (n *Node) dirFor(shard int) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if shard < 0 || shard >= len(n.dir) {
+		return nil
+	}
+	return n.dir[shard]
+}
+
+// failover re-registers the shard with successive addresses from the
+// session directory until one delivers a shard table, then swaps the
+// control link and resynchronizes. Returns false when the node is
+// shutting down or every candidate failed.
+func (n *Node) failover(l *ctrlLink) bool {
+	detected := time.Now()
+	const attempts = 100
+	for a := 0; a < attempts; a++ {
+		if n.ctx.Err() != nil {
+			return false
+		}
+		addrs := n.dirFor(l.shard)
+		if len(addrs) == 0 {
+			return false
+		}
+		// Start from the first standby; wrap through the whole list so a
+		// recovered primary is also a valid successor.
+		addr := addrs[(a+1)%len(addrs)]
+		conn, routes, err := n.register(n.ctx, l.shard, addr, true)
+		if err == nil {
+			l.set(conn)
+			n.applySync(routes)
+			n.recordFailover(FailoverEvent{Shard: l.shard, Detected: detected, Restored: time.Now()})
+			return true
+		}
+		select {
+		case <-n.ctx.Done():
+			return false
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	n.recordErr(fmt.Errorf("rp: site %d shard %d failover: no successor reachable", n.cfg.Site, l.shard))
+	return false
+}
+
+func (n *Node) recordFailover(ev FailoverEvent) {
+	n.mu.Lock()
+	n.failovers = append(n.failovers, ev)
+	n.mu.Unlock()
+}
+
+// resolveAcks settles resubscribe waiters from an update's folded-in
+// acknowledgements. Resolution is independent of the epoch gate: even
+// an update whose table content is stale still answers its requesters
+// (a re-acknowledged duplicate carries the current epoch unchanged).
+func (n *Node) resolveAcks(u *transport.RoutesUpdate) {
+	acks := u.Acks
+	if len(acks) == 0 && u.ReplyTo != 0 {
+		// Legacy single-ack update: the delta's own Add sets are the
+		// requester's admission outcome.
+		acks = []transport.Ack{{ID: u.ReplyTo, Accepted: u.AddAccepted, Rejected: u.AddRejected}}
+	}
+	for _, a := range acks {
+		n.mu.Lock()
+		req, ok := n.inflight[a.ID]
+		if ok {
+			delete(n.inflight, a.ID)
+		}
+		n.mu.Unlock()
+		if !ok {
+			continue
+		}
+		res := &ResubscribeResult{Epoch: u.Epoch, Accepted: a.Accepted, Rejected: a.Rejected}
+		if len(a.Accepted) > 0 {
+			res.Epochs = make(map[stream.ID]uint64, len(a.Accepted))
+			for _, id := range a.Accepted {
+				res.Epochs[id] = u.Epoch
+			}
+		}
+		req.ch <- res
+	}
+}
+
 // applyUpdate merges an epoch-versioned delta into a fresh routing
 // snapshot and swaps it in. Updates whose epoch is not newer than the
-// running table are dropped deterministically (a reordered or replayed
-// delta must not roll the table back).
-func (n *Node) applyUpdate(u *transport.RoutesUpdate) *ResubscribeResult {
-	res := &ResubscribeResult{Epoch: u.Epoch, Accepted: u.AddAccepted, Rejected: u.AddRejected}
+// running table's slice for the sending shard are dropped
+// deterministically (a reordered or replayed delta must not roll the
+// table back).
+func (n *Node) applyUpdate(u *transport.RoutesUpdate) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	cur := n.table()
-	if cur == nil || u.Epoch <= cur.epoch {
+	if cur == nil || u.Epoch <= cur.shardEpoch(u.Shard) {
 		n.staleUpdates++
-		return res
+		return
 	}
 
 	// The peer mesh is registration-time state the server shares across
@@ -455,7 +749,17 @@ func (n *Node) applyUpdate(u *transport.RoutesUpdate) *ResubscribeResult {
 		r.Rejected = append(r.Rejected, id)
 	}
 
-	n.tbl.Store(&routingTable{epoch: u.Epoch, routes: r, forward: forward, accepted: accepted})
+	epochs := make([]uint64, len(cur.epochs))
+	copy(epochs, cur.epochs)
+	for len(epochs) <= u.Shard {
+		epochs = append(epochs, 0)
+	}
+	epochs[u.Shard] = u.Epoch
+	maxEpoch := cur.epoch
+	if u.Epoch > maxEpoch {
+		maxEpoch = u.Epoch
+	}
+	n.tbl.Store(&routingTable{epoch: maxEpoch, epochs: epochs, routes: r, forward: forward, accepted: accepted})
 
 	// Track newly gained streams until their first delivered frame; a
 	// stream withdrawn before that settles as never-delivered.
@@ -468,47 +772,254 @@ func (n *Node) applyUpdate(u *transport.RoutesUpdate) *ResubscribeResult {
 	for _, id := range u.DelAccepted {
 		delete(n.pendingGain, id)
 	}
-	return res
+}
+
+// applySync replaces one shard's whole slice of the routing snapshot
+// with a freshly delivered full table — the resynchronization a
+// successor (or the same server, after this site re-registered) sends.
+// Resubscriptions left in flight toward the shard are settled from the
+// synced admission state: the crash may have eaten their individual
+// acknowledgements, but the re-registration carried their effect.
+func (n *Node) applySync(r *transport.Routes) {
+	if r.Epoch == 0 {
+		r.Epoch = 1
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cur := n.table()
+	if cur == nil {
+		return
+	}
+	k := r.Shard
+	if r.Epoch <= cur.shardEpoch(k) {
+		n.staleUpdates++
+		return
+	}
+	shards := n.shards
+	if shards <= k {
+		shards = k + 1
+	}
+	if len(r.Directory) > 0 {
+		n.dir = r.Directory
+	}
+
+	owned := func(id stream.ID) bool { return transport.StreamShard(id, shards) == k }
+
+	merged := &transport.Routes{
+		Site:    cur.routes.Site,
+		Epoch:   cur.epoch,
+		Peers:   cur.routes.Peers,
+		DelayMs: cur.routes.DelayMs,
+	}
+	forward := make(map[stream.ID][]int, len(cur.forward))
+	for id, ch := range cur.forward {
+		if !owned(id) {
+			forward[id] = ch
+		}
+	}
+	for _, route := range r.Forward {
+		if len(route.Children) > 0 {
+			forward[route.Stream] = route.Children
+		}
+	}
+	for id, ch := range forward {
+		merged.Forward = append(merged.Forward, transport.Route{Stream: id, Children: ch})
+	}
+
+	accepted := make(map[stream.ID]bool, len(cur.accepted))
+	for id := range cur.accepted {
+		if !owned(id) {
+			accepted[id] = true
+		}
+	}
+	accSet := make(map[stream.ID]bool, len(r.Accepted))
+	for _, id := range r.Accepted {
+		accSet[id] = true
+		accepted[id] = true
+	}
+	for id := range accepted {
+		merged.Accepted = append(merged.Accepted, id)
+	}
+
+	rejSet := make(map[stream.ID]bool, len(r.Rejected))
+	for _, id := range r.Rejected {
+		rejSet[id] = true
+	}
+	for _, id := range cur.routes.Rejected {
+		if !owned(id) {
+			merged.Rejected = append(merged.Rejected, id)
+		}
+	}
+	merged.Rejected = append(merged.Rejected, r.Rejected...)
+
+	epochs := make([]uint64, len(cur.epochs))
+	copy(epochs, cur.epochs)
+	for len(epochs) <= k {
+		epochs = append(epochs, 0)
+	}
+	epochs[k] = r.Epoch
+	if r.Epoch > merged.Epoch {
+		merged.Epoch = r.Epoch
+	}
+	n.tbl.Store(&routingTable{epoch: merged.Epoch, epochs: epochs, routes: merged, forward: forward, accepted: accepted})
+
+	// Gains and losses relative to the pre-sync slice drive the same
+	// disruption tracking a delta would: a stream the successor granted
+	// that the old table lacked starts a first-frame measurement.
+	now := time.Now()
+	for id := range accSet {
+		if !cur.accepted[id] {
+			n.pendingGain[id] = gainMark{epoch: r.Epoch, at: now}
+		}
+	}
+	for id := range cur.accepted {
+		if owned(id) && !accSet[id] {
+			delete(n.pendingGain, id)
+		}
+	}
+
+	// Settle in-flight resubscriptions toward this shard from the synced
+	// admission state. A gain in neither set was lost in the failover
+	// window (sent after the successor's registration snapshot): it is
+	// reported as neither accepted nor rejected — a bounded loss.
+	for id, req := range n.inflight {
+		if req.shard != k {
+			continue
+		}
+		res := &ResubscribeResult{Epoch: r.Epoch}
+		for _, g := range req.gained {
+			switch {
+			case accSet[g]:
+				if res.Epochs == nil {
+					res.Epochs = make(map[stream.ID]uint64)
+				}
+				res.Accepted = append(res.Accepted, g)
+				res.Epochs[g] = r.Epoch
+			case rejSet[g]:
+				res.Rejected = append(res.Rejected, g)
+			}
+		}
+		delete(n.inflight, id)
+		req.ch <- res
+	}
 }
 
 // Resubscribe sends a mid-session subscription diff to the membership
-// server and blocks until the server's routing update acknowledging it
-// has been applied locally (or ctx is cancelled). Frames keep flowing
-// throughout.
+// control plane — split across the shards owning the touched streams —
+// and blocks until every shard's acknowledging update has been applied
+// locally (or ctx is cancelled). Frames keep flowing throughout. Across
+// a membership failover the acknowledgement may come from the
+// successor's shard sync instead of a direct ack.
 func (n *Node) Resubscribe(ctx context.Context, gained, lost []stream.ID) (*ResubscribeResult, error) {
 	select {
 	case <-n.ready:
 	default:
 		return nil, errors.New("rp: routes not installed")
 	}
-	id := n.resubID.Add(1)
-	ch := make(chan *ResubscribeResult, 1)
-	n.mu.Lock()
-	n.waiters[id] = ch
-	n.mu.Unlock()
-	defer func() {
-		n.mu.Lock()
-		delete(n.waiters, id)
-		n.mu.Unlock()
-	}()
+	if len(n.ctrls) == 0 {
+		return nil, errors.New("rp: no control links")
+	}
+	shards := n.shards
 
-	msg := &transport.Message{Type: transport.MsgResubscribe, Resubscribe: &transport.Resubscribe{
-		Site: n.cfg.Site, ID: id, Gained: gained, Lost: lost,
-	}}
-	n.ctrlMu.Lock()
-	err := transport.WriteMessage(n.ctrlConn, msg)
-	n.ctrlMu.Unlock()
-	if err != nil {
-		return nil, fmt.Errorf("rp: site %d resubscribe: %w", n.cfg.Site, err)
+	n.mu.Lock()
+	for _, id := range gained {
+		n.desired[id] = true
 	}
-	select {
-	case res := <-ch:
-		return res, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case <-n.ctx.Done():
-		return nil, n.ctx.Err()
+	for _, id := range lost {
+		delete(n.desired, id)
 	}
+	n.mu.Unlock()
+
+	type part struct {
+		gained, lost []stream.ID
+	}
+	parts := make(map[int]*part)
+	add := func(k int) *part {
+		p := parts[k]
+		if p == nil {
+			p = &part{}
+			parts[k] = p
+		}
+		return p
+	}
+	for _, id := range gained {
+		k := transport.StreamShard(id, shards)
+		p := add(k)
+		p.gained = append(p.gained, id)
+	}
+	for _, id := range lost {
+		k := transport.StreamShard(id, shards)
+		p := add(k)
+		p.lost = append(p.lost, id)
+	}
+	if len(parts) == 0 {
+		add(0) // empty diff still round-trips for its acknowledgement
+	}
+	order := make([]int, 0, len(parts))
+	for k := range parts {
+		order = append(order, k)
+	}
+	sort.Ints(order)
+
+	type pending struct {
+		id uint64
+		ch chan *ResubscribeResult
+	}
+	var reqs []pending
+	cleanup := func() {
+		n.mu.Lock()
+		for _, rq := range reqs {
+			delete(n.inflight, rq.id)
+		}
+		n.mu.Unlock()
+	}
+	for _, k := range order {
+		p := parts[k]
+		id := n.resubID.Add(1)
+		ch := make(chan *ResubscribeResult, 1)
+		n.mu.Lock()
+		n.inflight[id] = &inflightReq{shard: k, gained: p.gained, ch: ch}
+		n.mu.Unlock()
+		msg := &transport.Message{Type: transport.MsgResubscribe, Resubscribe: &transport.Resubscribe{
+			Site: n.cfg.Site, ID: id, Gained: p.gained, Lost: p.lost,
+		}}
+		if err := n.ctrls[k].write(msg); err != nil {
+			// On a failover-capable shard a failed write races the
+			// reconnect: the request stays in flight and the successor's
+			// shard sync settles it. Without a successor it is fatal.
+			if len(n.dirFor(k)) < 2 {
+				cleanup()
+				return nil, fmt.Errorf("rp: site %d resubscribe: %w", n.cfg.Site, err)
+			}
+		}
+		reqs = append(reqs, pending{id: id, ch: ch})
+	}
+	defer cleanup()
+
+	out := &ResubscribeResult{}
+	for _, rq := range reqs {
+		select {
+		case res := <-rq.ch:
+			if res.Epoch > out.Epoch {
+				out.Epoch = res.Epoch
+			}
+			out.Accepted = append(out.Accepted, res.Accepted...)
+			out.Rejected = append(out.Rejected, res.Rejected...)
+			if len(res.Epochs) > 0 {
+				if out.Epochs == nil {
+					out.Epochs = make(map[stream.ID]uint64, len(res.Epochs))
+				}
+				for id, e := range res.Epochs {
+					out.Epochs[id] = e
+				}
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-n.ctx.Done():
+			return nil, n.ctx.Err()
+		}
+	}
+	return out, nil
 }
 
 // PublishTick captures one frame from every local camera and disseminates
@@ -758,8 +1269,9 @@ func (n *Node) Stats() map[stream.ID]StreamStats {
 }
 
 // StaleUpdates reports how many routing updates were dropped because
-// their epoch was not newer than the running table — reordered or
-// replayed deltas handled deterministically rather than applied.
+// their epoch was not newer than the running table's slice for the
+// sending shard — reordered or replayed deltas handled deterministically
+// rather than applied.
 func (n *Node) StaleUpdates() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -773,6 +1285,16 @@ func (n *Node) Disruptions() []Disruption {
 	defer n.mu.Unlock()
 	out := make([]Disruption, len(n.disruptions))
 	copy(out, n.disruptions)
+	return out
+}
+
+// Failovers snapshots the completed control-plane failovers this node
+// performed (empty on a healthy session).
+func (n *Node) Failovers() []FailoverEvent {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]FailoverEvent, len(n.failovers))
+	copy(out, n.failovers)
 	return out
 }
 
@@ -802,8 +1324,10 @@ func (n *Node) Close() error {
 	if n.ln != nil {
 		n.ln.Close()
 	}
-	if n.ctrlConn != nil {
-		n.ctrlConn.Close()
+	for _, l := range n.ctrls {
+		if l != nil {
+			l.close()
+		}
 	}
 	n.mu.Lock()
 	for _, link := range n.peers {

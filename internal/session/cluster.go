@@ -85,6 +85,13 @@ type ClusterConfig struct {
 	// Link adds jitter, loss and bandwidth on top of the matrix latency
 	// of every site-to-site virtual link.
 	Link transport.LinkProfile
+	// Shards partitions the membership control plane into this many
+	// servers (see transport.StreamShard); 0 or 1 runs the legacy single
+	// server.
+	Shards int
+	// FlushIntervalMs batches each membership server's route
+	// distribution; 0 distributes inline per event.
+	FlushIntervalMs float64
 }
 
 // withDefaults fills the zero values.
@@ -170,12 +177,15 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterResult, error) 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	liveCfg := LiveConfig{
-		Profile:    cfg.Profile,
-		DurationMs: cfg.DurationMs,
-		DrainMs:    cfg.DrainMs,
-		Algorithm:  cfg.Spec.Algorithm,
-		Seed:       cfg.Spec.Seed,
-		Fabric:     fabric,
+		Profile:         cfg.Profile,
+		DurationMs:      cfg.DurationMs,
+		DrainMs:         cfg.DrainMs,
+		Algorithm:       cfg.Spec.Algorithm,
+		Seed:            cfg.Spec.Seed,
+		Fabric:          fabric,
+		Shards:          cfg.Shards,
+		FlushIntervalMs: cfg.FlushIntervalMs,
+		Failover:        plan.Failover,
 		// The impairment scheduler starts on the session clock: AtMs is
 		// relative to the first published frame, like the trace's times.
 		OnStart: func() {

@@ -66,6 +66,28 @@ type LiveConfig struct {
 	// frame publishing begins. Scenario impairment schedulers hook here
 	// so their timers align with the session clock.
 	OnStart func()
+	// Shards is the number of membership servers the control plane is
+	// partitioned into (transport.StreamShard ownership); 0 or 1 boots
+	// the legacy single server.
+	Shards int
+	// FlushIntervalMs batches each membership server's route
+	// distribution (one coalesced delta per site per interval); 0 means
+	// inline per-event distribution.
+	FlushIntervalMs float64
+	// Failover, when non-nil, schedules a control-plane crash: a standby
+	// server is booted for the shard and the primary is killed at AtMs on
+	// the session clock, forcing every RP through re-registration
+	// recovery.
+	Failover *FailoverSpec
+}
+
+// FailoverSpec schedules a mid-session membership crash for one shard.
+type FailoverSpec struct {
+	// Shard is the membership shard whose primary is killed.
+	Shard int
+	// AtMs is the kill time on the session clock (milliseconds after the
+	// first published frame, like trace event times).
+	AtMs float64
 }
 
 // LiveEventOutcome reports what one control event did over the wire and
@@ -117,6 +139,12 @@ type LiveResult struct {
 	TotalDropped    int
 	// FinalEpoch is the routing-table version at session end.
 	FinalEpoch uint64
+	// Failovers counts the distinct membership shards the cluster failed
+	// over mid-session (0 on a healthy run); FailoverRecoveryMs is the
+	// worst per-node recovery span observed — control-connection loss to
+	// resynchronized shard table.
+	Failovers          int
+	FailoverRecoveryMs float64
 }
 
 func (c LiveConfig) withDefaults() LiveConfig {
@@ -189,16 +217,70 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	srv, err := membership.New(membership.Config{
-		N: n, Cost: s.Sites.Cost, Bcost: s.Problem.Bcost,
-		Algorithm: cfg.Algorithm, Seed: cfg.Seed,
-		Network: cfg.Fabric.Host(transport.ServerHost),
-	})
-	if err != nil {
-		return nil, err
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
 	}
-	srvErr := make(chan error, 1)
-	go func() { srvErr <- srv.Serve(ctx) }()
+	if cfg.Failover != nil && (cfg.Failover.Shard < 0 || cfg.Failover.Shard >= shards) {
+		return nil, fmt.Errorf("session: failover shard %d out of range [0, %d)", cfg.Failover.Shard, shards)
+	}
+
+	// Every shard server receives the full registration workload and
+	// constructs the identical forest (same seed, same algorithm), but
+	// owns — applies diffs to, pushes deltas for — only its slice of the
+	// stream space, so the union of shard directives equals the
+	// single-server table. Each server gets its own context so a
+	// scheduled failover can kill exactly one.
+	srvs := make([]*membership.Server, shards)
+	srvCancels := make([]context.CancelFunc, shards)
+	directory := make([][]string, shards)
+	for k := 0; k < shards; k++ {
+		srv, err := membership.New(membership.Config{
+			N: n, Cost: s.Sites.Cost, Bcost: s.Problem.Bcost,
+			Algorithm: cfg.Algorithm, Seed: cfg.Seed,
+			Network:         cfg.Fabric.Host(transport.ShardServerHost(k)),
+			Shards:          shards,
+			Shard:           k,
+			FlushIntervalMs: cfg.FlushIntervalMs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srvs[k] = srv
+		directory[k] = []string{srv.Addr()}
+	}
+	var standby *membership.Server
+	if cfg.Failover != nil {
+		var err error
+		standby, err = membership.New(membership.Config{
+			N: n, Cost: s.Sites.Cost, Bcost: s.Problem.Bcost,
+			Algorithm: cfg.Algorithm, Seed: cfg.Seed,
+			Network:         cfg.Fabric.Host(transport.StandbyServerHost(cfg.Failover.Shard)),
+			Shards:          shards,
+			Shard:           cfg.Failover.Shard,
+			FlushIntervalMs: cfg.FlushIntervalMs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		directory[cfg.Failover.Shard] = append(directory[cfg.Failover.Shard], standby.Addr())
+	}
+	srvErrs := make([]chan error, shards)
+	for k := 0; k < shards; k++ {
+		srvs[k].SetDirectory(directory)
+		srvCtx, srvCancel := context.WithCancel(ctx)
+		srvCancels[k] = srvCancel
+		srvErrs[k] = make(chan error, 1)
+		srv := srvs[k]
+		ch := srvErrs[k]
+		go func() { ch <- srv.Serve(srvCtx) }()
+	}
+	if standby != nil {
+		standby.SetDirectory(directory)
+		// The standby assembles only after the RPs re-register; its Serve
+		// outcome is the failover itself, surfaced through the RPs.
+		go func() { _ = standby.Serve(ctx) }()
+	}
 
 	nodes := make([]*rp.Node, n)
 	defer func() {
@@ -208,12 +290,17 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 				node.Close()
 			}
 		}
-		srv.Wait()
+		for _, srv := range srvs {
+			srv.Wait()
+		}
+		if standby != nil {
+			standby.Wait()
+		}
 	}()
 	startErrs := make(chan error, n)
 	for i := 0; i < n; i++ {
 		node, err := rp.New(rp.Config{
-			Site: i, Membership: srv.Addr(),
+			Site: i, Directory: directory,
 			In: s.Workload.Sites[i].In, Out: s.Workload.Sites[i].Out,
 			Cameras: s.Workload.Sites[i].NumStreams,
 			Profile: cfg.Profile, Seed: cfg.Seed*1000 + int64(i),
@@ -240,8 +327,10 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 	if startErr != nil {
 		return nil, startErr
 	}
-	if err := <-srvErr; err != nil {
-		return nil, fmt.Errorf("session: membership: %w", err)
+	for k := 0; k < shards; k++ {
+		if err := <-srvErrs[k]; err != nil {
+			return nil, fmt.Errorf("session: membership shard %d: %w", k, err)
+		}
 	}
 
 	// Publish on the profile's cadence from every site, mirroring the
@@ -251,6 +340,20 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 	}
 	interval := time.Duration(cfg.Profile.FrameIntervalMs() * float64(time.Millisecond))
 	t0 := time.Now()
+	if cfg.Failover != nil {
+		kill := srvCancels[cfg.Failover.Shard]
+		due := t0.Add(time.Duration(cfg.Failover.AtMs * float64(time.Millisecond)))
+		go func() {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Until(due)):
+			}
+			// Killing the shard's context closes its listener and every
+			// control connection — a hard crash as the RPs see it.
+			kill()
+		}()
+	}
 	pubDone := make(chan error, 1)
 	go func() {
 		ticker := time.NewTicker(interval)
@@ -335,7 +438,9 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 	}
 
 	// Match per-node disruption records (epoch, stream) to the events
-	// whose acknowledged routing update carried that epoch.
+	// whose acknowledged routing update carried that epoch. Epochs are
+	// per shard, so the lookup uses the owning shard's epoch for each
+	// gained stream (ResubscribeResult.Epochs).
 	type gainKey struct {
 		node  int
 		epoch uint64
@@ -358,7 +463,11 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 		o.GainedRejected = len(outcomes[i].res.Rejected)
 		o.Skipped = len(e.Gained) - o.GainedAccepted - o.GainedRejected
 		for _, id := range outcomes[i].res.Accepted {
-			ff, ok := firstFrame[gainKey{node: e.Node, epoch: o.Epoch, id: id}]
+			epoch := o.Epoch
+			if pe, ok := outcomes[i].res.Epochs[id]; ok {
+				epoch = pe
+			}
+			ff, ok := firstFrame[gainKey{node: e.Node, epoch: epoch, id: id}]
 			if !ok {
 				o.Undelivered++
 				continue
@@ -376,6 +485,7 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 	if res.DeliveredGained > 0 {
 		res.MeanDisruptionMs = sum / float64(res.DeliveredGained)
 	}
+	shardFailed := make(map[int]bool)
 	for _, node := range nodes {
 		for _, st := range node.Stats() {
 			res.TotalFrames += st.Frames
@@ -386,6 +496,11 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 		if e := node.Epoch(); e > res.FinalEpoch {
 			res.FinalEpoch = e
 		}
+		for _, f := range node.Failovers() {
+			shardFailed[f.Shard] = true
+			res.FailoverRecoveryMs = math.Max(res.FailoverRecoveryMs, f.RecoveryMs())
+		}
 	}
+	res.Failovers = len(shardFailed)
 	return res, nil
 }

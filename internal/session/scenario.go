@@ -39,6 +39,11 @@ const (
 	// ScenarioSlowLinks degrades a tenth of the sites' links (5x
 	// latency, added loss) for the middle half of the session.
 	ScenarioSlowLinks = "slow-links"
+	// ScenarioFailover runs flash-crowd churn and kills one membership
+	// shard's primary in the middle of the burst: every RP loses the
+	// shard's control connection and recovers through standby
+	// re-registration — the chaos drill for the sharded control plane.
+	ScenarioFailover = "failover"
 )
 
 // Impairment is one scheduled mutation of the virtual fabric.
@@ -58,6 +63,10 @@ type Impairment struct {
 type ScenarioPlan struct {
 	Trace       []sim.Event
 	Impairments []Impairment
+	// Failover, when non-nil, schedules a membership crash: RunCluster
+	// passes it to the live driver, which boots a standby for the shard
+	// and kills the primary at the given session time.
+	Failover *FailoverSpec
 }
 
 // Scenario is a named, reproducible cluster disruption pattern.
@@ -104,6 +113,11 @@ func Scenarios() []Scenario {
 			Name:    ScenarioSlowLinks,
 			Summary: "a tenth of the sites' links degrade to 5x latency with loss for the middle of the session",
 			plan:    planSlowLinks,
+		},
+		{
+			Name:    ScenarioFailover,
+			Summary: "one membership shard's primary is killed mid-flash-crowd; RPs recover via standby re-registration",
+			plan:    planFailover,
 		},
 	}
 }
@@ -206,6 +220,25 @@ func splitByLongitude(s *Session) (west, east []string) {
 		}
 	}
 	return west, east
+}
+
+// planFailover reuses the flash-crowd trace shape (5x churn compressed
+// into [0.2, 0.4) of the session) and schedules the kill of one
+// membership shard at 0.3 of the session — the middle of the burst, so
+// recovery happens under control-plane load. With a sharded plane the
+// victim is shard 1 (shard 0 keeps the legacy server name); a
+// single-shard plane drills its only server against the standby.
+func planFailover(s *Session, cfg ClusterConfig, rng *rand.Rand) (ScenarioPlan, error) {
+	plan, err := planFlashCrowd(s, cfg, rng)
+	if err != nil {
+		return ScenarioPlan{}, err
+	}
+	shard := 0
+	if cfg.Shards > 1 {
+		shard = 1
+	}
+	plan.Failover = &FailoverSpec{Shard: shard, AtMs: 0.3 * cfg.DurationMs}
+	return plan, nil
 }
 
 // planCorrelatedChurn generates pure view-change churn and snaps each

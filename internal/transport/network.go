@@ -8,8 +8,11 @@ package transport
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"time"
+
+	"github.com/tele3d/tele3d/internal/stream"
 )
 
 // DefaultDialTimeout bounds control-plane dials when the caller's context
@@ -52,6 +55,35 @@ type Fabric interface {
 // modelled as out-of-band, matching the simulator's assumption that
 // coordination is instantaneous relative to WAN frame latency.
 const ServerHost = "membership"
+
+// ShardServerHost returns the conventional fabric host name of shard k's
+// membership server. Shard 0 keeps the legacy ServerHost name, so an
+// unsharded session is byte-identical to the pre-sharding plane.
+func ShardServerHost(k int) string {
+	if k == 0 {
+		return ServerHost
+	}
+	return fmt.Sprintf("%s-%d", ServerHost, k)
+}
+
+// StandbyServerHost returns the conventional fabric host name of shard
+// k's standby membership server (the failover successor).
+func StandbyServerHost(k int) string {
+	return fmt.Sprintf("%s-standby-%d", ServerHost, k)
+}
+
+// StreamShard maps a stream to the membership shard that owns its
+// dissemination tree: streams are partitioned by originating site, so
+// one region's sources live together and a resubscription diff touches
+// at most as many shards as distinct source regions it watches. Every
+// layer (membership servers, RPs, session drivers) must use this one
+// function so ownership never disagrees across the plane.
+func StreamShard(id stream.ID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return id.Site % shards
+}
 
 // SiteHost returns the conventional fabric host name of site i's
 // rendezvous point ("site-<i>").

@@ -4,6 +4,8 @@ import (
 	"context"
 	"net"
 	"testing"
+
+	"github.com/tele3d/tele3d/internal/stream"
 )
 
 // TestTCPNetworkRoundTrip checks the TCP fabric is a faithful passthrough:
@@ -83,6 +85,48 @@ func TestSiteHost(t *testing.T) {
 	}
 	if _, ok := siteIndex(ServerHost); ok {
 		t.Error("siteIndex accepted the server host name")
+	}
+}
+
+// TestShardHelpers pins the shard naming and ownership conventions every
+// layer of the sharded control plane shares: shard 0 keeps the legacy
+// server host name, standbys get their own names, and stream ownership
+// partitions by originating site.
+func TestShardHelpers(t *testing.T) {
+	if got := ShardServerHost(0); got != ServerHost {
+		t.Errorf("ShardServerHost(0) = %q, want the legacy %q", got, ServerHost)
+	}
+	if got := ShardServerHost(2); got != "membership-2" {
+		t.Errorf("ShardServerHost(2) = %q", got)
+	}
+	if got := StandbyServerHost(0); got != "membership-standby-0" {
+		t.Errorf("StandbyServerHost(0) = %q", got)
+	}
+	if got := StandbyServerHost(3); got != "membership-standby-3" {
+		t.Errorf("StandbyServerHost(3) = %q", got)
+	}
+
+	id := stream.ID{Site: 7, Index: 2}
+	for _, shards := range []int{0, 1} {
+		if got := StreamShard(id, shards); got != 0 {
+			t.Errorf("StreamShard(%v, %d) = %d, want 0 (unsharded plane)", id, shards, got)
+		}
+	}
+	if got := StreamShard(id, 3); got != 1 {
+		t.Errorf("StreamShard(%v, 3) = %d, want 1", id, got)
+	}
+	// Ownership depends only on the originating site, never the stream
+	// index: a site's whole rig lives on one shard.
+	for idx := 0; idx < 4; idx++ {
+		if got := StreamShard(stream.ID{Site: 7, Index: idx}, 3); got != 1 {
+			t.Errorf("StreamShard(site 7, index %d) = %d, want 1", idx, got)
+		}
+	}
+	// Every shard index is in range for any site.
+	for site := 0; site < 20; site++ {
+		if got := StreamShard(stream.ID{Site: site}, 4); got < 0 || got >= 4 {
+			t.Errorf("StreamShard(site %d, 4) = %d out of range", site, got)
+		}
 	}
 }
 

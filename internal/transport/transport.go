@@ -49,13 +49,24 @@ const (
 // MaxMessage bounds a single wire message (a frame plus slack).
 const MaxMessage = stream.MaxPayload + 4096
 
-// Hello is the registration control message.
+// Hello is the registration control message. Epoch and LastResub are
+// zero on a session's first registration; a re-registration after a
+// membership failover carries the site's last-seen routing epoch for the
+// shard (so the successor resumes the epoch sequence above it) and the
+// highest resubscribe request ID the site has issued (so retried diffs
+// are recognized as duplicates instead of double-applied).
 type Hello struct {
 	Site       int    `json:"site"`
 	Addr       string `json:"addr"` // the RP's peer-facing listen address
 	In         int    `json:"in"`   // inbound capacity, streams
 	Out        int    `json:"out"`  // outbound capacity, streams
 	NumStreams int    `json:"numStreams"`
+	// Epoch is the highest routing-table epoch the site has seen from
+	// this shard (0 on first registration).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// LastResub is the highest resubscribe request ID the site has issued
+	// (0 on first registration).
+	LastResub uint64 `json:"lastResub,omitempty"`
 }
 
 // Subscribe carries the site's aggregated subscription set.
@@ -86,15 +97,29 @@ type Resubscribe struct {
 	Lost   []stream.ID `json:"lost,omitempty"`
 }
 
+// Ack is one acknowledged resubscribe request inside a RoutesUpdate: the
+// request's ID echoed back with the admission decision for each gained
+// stream. A coalesced (batched) update carries one Ack per request it
+// folded in, so every requester learns its own outcome even when many
+// diffs share a single epoch bump.
+type Ack struct {
+	ID       uint64      `json:"id"`
+	Accepted []stream.ID `json:"accepted,omitempty"`
+	Rejected []stream.ID `json:"rejected,omitempty"`
+}
+
 // RoutesUpdate is an incremental routing-table delta for one RP. Epoch
-// is the session-wide table version after the change: an RP applies an
-// update only if its epoch is newer than the table it currently runs,
-// so reordered or replayed updates are handled deterministically
-// (dropped). ReplyTo is non-zero only on the update sent to the RP
-// whose Resubscribe triggered the change, echoing that request's ID.
+// is the shard's table version after the change: an RP applies an
+// update only if its epoch is newer than the table it currently runs
+// for that shard, so reordered or replayed updates are handled
+// deterministically (dropped). ReplyTo is non-zero only on the update
+// sent to the RP whose Resubscribe triggered the change, echoing that
+// request's ID; batched updates list every folded-in request in Acks.
 type RoutesUpdate struct {
 	Site    int    `json:"site"`
 	Epoch   uint64 `json:"epoch"`
+	Shard   int    `json:"shard,omitempty"`
+	Acks    []Ack  `json:"acks,omitempty"`
 	ReplyTo uint64 `json:"replyTo,omitempty"`
 	// SetForward replaces the forwarding duty for each listed stream; an
 	// entry with no children clears the duty for that stream.
@@ -117,12 +142,24 @@ type ProtocolError struct {
 	Msg string `json:"msg"`
 }
 
-// Routes is the membership server's routing directive for one RP.
+// Routes is a membership server's routing directive for one RP. In a
+// sharded control plane each shard server sends the directive for the
+// trees it owns (streams s with StreamShard(s, Shards) == Shard); the
+// RP's effective table is the disjoint union across shards.
 type Routes struct {
 	Site int `json:"site"`
 	// Epoch versions the table; RoutesUpdate deltas carry the epochs
-	// that follow.
+	// that follow. Epochs are per shard.
 	Epoch uint64 `json:"epoch"`
+	// Shard and Shards identify the sending server's slice of the stream
+	// space; 0/1 (or 0/0, legacy) means the whole forest.
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// Directory is the replicated session directory: Directory[k] lists
+	// the dial addresses of shard k's membership servers, primary first,
+	// standbys after. RPs use it to discover shard ownership and to fail
+	// over to a successor when a shard's control connection dies.
+	Directory [][]string `json:"directory,omitempty"`
 	// Peers maps site index to its RP dial address.
 	Peers map[int]string `json:"peers"`
 	// DelayMs maps site index to the emulated one-way WAN latency applied
