@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet test race live-race bench bench-smoke bench-compare sweep-smoke fuzz-smoke cluster-smoke failover-smoke lint-docs cover profile ci
+.PHONY: build fmt-check vet test race live-race bench bench-smoke bench-compare sweep-smoke fuzz-smoke cluster-smoke failover-smoke tenant-smoke lint-docs cover profile ci
 
 build:
 	$(GO) build ./...
@@ -112,6 +112,25 @@ failover-smoke:
 	grep -q '"shards":2' "$$jsonl" || { echo "record missing shard count:"; cat "$$jsonl"; exit 1; }; \
 	echo "failover-smoke OK"
 
+# tenant-smoke is the multi-tenant SLO drill: a 100-node fabric serves
+# four tenants (premium, standard, two best-effort) with the shared
+# per-PoP uplink pool capped low enough to overload, under the race
+# detector. The emitted records must carry the per-tenant columns, the
+# premium tenant must see zero rejections, and at least one best-effort
+# tenant must absorb rejections — the cross-tenant arbitration contract.
+tenant-smoke:
+	@jsonl="$$(mktemp /tmp/tele3d-tenant.XXXXXX)"; trap 'rm -f "$$jsonl"' EXIT; \
+	$(GO) run -race ./cmd/ticluster -virtual -nodes 100 -tenants 4 -uplink 4 \
+		-cameras 2 -displays 1 -duration 1500ms -churnrate 4 -seed 7 \
+		-jsonl "$$jsonl" || exit 1; \
+	test "$$(wc -l < "$$jsonl")" -eq 4 || { echo "want one record per tenant:"; cat "$$jsonl"; exit 1; }; \
+	grep -q '"slo_class":"premium"' "$$jsonl" || { echo "records missing premium tenant:"; cat "$$jsonl"; exit 1; }; \
+	grep -q '"tenant":' "$$jsonl" || { echo "records missing tenant column:"; cat "$$jsonl"; exit 1; }; \
+	grep -q '"admitted":' "$$jsonl" || { echo "records missing admitted column:"; cat "$$jsonl"; exit 1; }; \
+	grep -E -q '"slo_class":"premium"[^\n]*"rejections":0' "$$jsonl" || { echo "premium tenant was rejected:"; cat "$$jsonl"; exit 1; }; \
+	grep -E -q '"slo_class":"besteffort"[^\n]*"rejections":[1-9]' "$$jsonl" || { echo "overload produced no besteffort rejection:"; cat "$$jsonl"; exit 1; }; \
+	echo "tenant-smoke OK"
+
 # lint-docs enforces the documentation contracts with the in-repo
 # doccheck tool: every exported identifier in the networked-plane
 # packages carries a doc comment (the revive/golint `exported` rule),
@@ -133,10 +152,11 @@ lint-docs:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDynamicChurn$$' -fuzztime 20s ./internal/overlay
 	$(GO) test -run '^$$' -fuzz '^FuzzSimEvents$$' -fuzztime 20s ./internal/sim
+	$(GO) test -run '^$$' -fuzz '^FuzzAdmission$$' -fuzztime 20s ./internal/rp
 
 # cover prints per-package statement coverage for the internal tree; CI
 # publishes this into the workflow summary.
 cover:
 	$(GO) test -cover ./internal/...
 
-ci: build fmt-check vet race live-race lint-docs bench-smoke sweep-smoke cluster-smoke failover-smoke fuzz-smoke
+ci: build fmt-check vet race live-race lint-docs bench-smoke sweep-smoke cluster-smoke failover-smoke tenant-smoke fuzz-smoke

@@ -15,6 +15,7 @@ import (
 	"github.com/tele3d/tele3d/internal/geo"
 	"github.com/tele3d/tele3d/internal/metrics"
 	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/session"
 	"github.com/tele3d/tele3d/internal/sim"
 	"github.com/tele3d/tele3d/internal/stream"
 	"github.com/tele3d/tele3d/internal/topology"
@@ -349,6 +350,38 @@ func BenchmarkChurn(b *testing.B) {
 	b.ReportMetric(res.MeanDisruptionMs, "disruption_ms")
 	b.ReportMetric(res.FinalRejection, "rejection")
 }
+
+// benchMultiTenant measures the multi-tenant build path — spec
+// expansion, K per-tenant site placements and forests, the SLO-ordered
+// admission pre-pass and churn-trace planning — at a fixed total fleet
+// size, so the 1-vs-8 pair isolates the cost of tenancy itself rather
+// than of extra sites.
+func benchMultiTenant(b *testing.B, tenants int) {
+	const totalSites = 200
+	spec, err := workload.DefaultTenantSpec(tenants, totalSites)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := session.MultiClusterConfig{
+		Spec: spec, CamerasPerSite: 2, DisplaysPerSite: 1,
+		Algorithm: overlay.RJ{}, Seed: 1,
+		Churn:          workload.ChurnProfile{RatePerSec: 4, ViewChangeMix: 0.7},
+		UplinkCapacity: 8,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mc, err := session.BuildMultiCluster(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(mc.Tenants) != tenants {
+			b.Fatalf("built %d tenants, want %d", len(mc.Tenants), tenants)
+		}
+	}
+}
+
+func BenchmarkMultiTenant1(b *testing.B) { benchMultiTenant(b, 1) }
+func BenchmarkMultiTenant8(b *testing.B) { benchMultiTenant(b, 8) }
 
 func BenchmarkAblationDynamic(b *testing.B) {
 	r := newRunner(b)

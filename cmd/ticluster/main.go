@@ -62,6 +62,10 @@ type options struct {
 	maxDisruption float64
 	csvPath       string
 	jsonlPath     string
+
+	tenants    int
+	tenantSpec string
+	uplinkCap  int
 }
 
 func main() {
@@ -84,15 +88,28 @@ func main() {
 		"virtual mode: fail the run if live max disruption exceeds this many ms; 0 disables")
 	flag.StringVar(&opt.csvPath, "csv", "", "virtual mode: CSV record path (tisweep schema); - for stdout")
 	flag.StringVar(&opt.jsonlPath, "jsonl", "", "virtual mode: JSONL record path; - for stdout")
+	flag.IntVar(&opt.tenants, "tenants", 0,
+		"virtual mode: serve this many concurrent tenant sessions over one fabric (1 premium, 1 standard when >= 3, rest besteffort); 0 runs single-tenant")
+	flag.StringVar(&opt.tenantSpec, "tenantspec", "",
+		"virtual mode: explicit tenant classes, e.g. 1xpremium:50,3xbesteffort:25 (overrides -tenants)")
+	flag.IntVar(&opt.uplinkCap, "uplink", 0,
+		"multi-tenant mode: shared non-premium admission capacity per PoP uplink in stream units; 0 means unlimited")
 	flag.Parse()
 
 	var err error
-	if opt.virtual {
+	switch {
+	case opt.tenants > 0 || opt.tenantSpec != "":
+		if !opt.virtual {
+			err = fmt.Errorf("ticluster: -tenants/-tenantspec require -virtual")
+			break
+		}
 		// Mirror tisweep's stream split: the human summary goes to
 		// stderr, records (including "-" sinks) to real stdout, so
 		// `-csv - | ...` pipes clean CSV.
+		err = runMultiTenant(opt, os.Stderr, os.Stdout)
+	case opt.virtual:
 		err = runVirtual(opt, os.Stderr, os.Stdout)
-	} else {
+	default:
 		err = runTCP(opt)
 	}
 	if err != nil {
@@ -193,6 +210,109 @@ func runVirtual(opt options, out, stdout io.Writer) error {
 	if opt.maxDisruption > 0 && res.Live.MaxDisruptionMs > opt.maxDisruption {
 		return fmt.Errorf("ticluster: live max disruption %.1f ms exceeds bound %.1f ms",
 			res.Live.MaxDisruptionMs, opt.maxDisruption)
+	}
+	return nil
+}
+
+// runMultiTenant drives session.RunMultiCluster: K concurrent tenant
+// sessions over one virtual fabric with shared uplink admission. It
+// emits one shared-schema record per tenant, each carrying that
+// tenant's disruption-latency and admission columns, and enforces
+// -maxdisruption against premium tenants only (lower classes absorb
+// overload by design).
+func runMultiTenant(opt options, out, stdout io.Writer) error {
+	alg, err := parseAlgo(opt.algo)
+	if err != nil {
+		return err
+	}
+	nodes := opt.nodes
+	if nodes == 0 {
+		nodes = opt.n
+	}
+	var spec workload.MultiTenantSpec
+	if opt.tenantSpec != "" {
+		spec, err = workload.ParseTenantSpec(opt.tenantSpec)
+	} else {
+		spec, err = workload.DefaultTenantSpec(opt.tenants, nodes)
+	}
+	if err != nil {
+		return err
+	}
+	const bcostMultiplier = 3.0
+	cfg := session.MultiClusterConfig{
+		Spec:            spec,
+		CamerasPerSite:  opt.cameras,
+		DisplaysPerSite: opt.displays,
+		BcostMultiplier: bcostMultiplier,
+		Algorithm:       alg,
+		Seed:            opt.seed,
+		DurationMs:      float64(opt.duration.Milliseconds()),
+		Churn:           workload.ChurnProfile{RatePerSec: opt.churnRate, ViewChangeMix: opt.churnMix},
+		Shards:          opt.shards,
+		FlushIntervalMs: opt.flushMs,
+		UplinkCapacity:  opt.uplinkCap,
+	}
+	fmt.Fprintf(out, "ticluster: multi-tenant virtual cluster, %d tenants over %d sites, uplink capacity %d, %d membership shard(s), %v\n",
+		spec.NumTenants(), spec.TotalSites(), opt.uplinkCap, opt.shards, opt.duration)
+	start := time.Now()
+	res, err := session.RunMultiCluster(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	var sink *reclib.Sink
+	if opt.csvPath != "" || opt.jsonlPath != "" {
+		if sink, err = reclib.NewSink(opt.csvPath, opt.jsonlPath, stdout); err != nil {
+			return err
+		}
+		defer sink.Close()
+	}
+	var worstPremium float64
+	for i, tn := range res.Tenants {
+		delivered := tn.Live.DeliveredGained + tn.Live.UndeliveredGained
+		frac := 0.0
+		if delivered > 0 {
+			frac = float64(tn.Live.DeliveredGained) / float64(delivered)
+		}
+		fmt.Fprintf(out, "  tenant %-14s %3d sites: live mean %.1f ms max %.1f ms (sim mean %.1f ms), admitted %d, rejected %d, evicted %d\n",
+			tn.Name, tn.Sites, tn.Live.MeanDisruptionMs, tn.Live.MaxDisruptionMs,
+			tn.Sim.MeanDisruptionMs, tn.Admitted, tn.Rejections, tn.Evictions)
+		if tn.SLO == workload.SLOPremium && tn.Live.MaxDisruptionMs > worstPremium {
+			worstPremium = tn.Live.MaxDisruptionMs
+		}
+		if sink == nil {
+			continue
+		}
+		if err := sink.Write(reclib.Record{
+			N: tn.Sites, Streams: opt.cameras,
+			Bcost:    bcostMultiplier,
+			Capacity: "fov", Popularity: "fov",
+			Algorithm: alg.Name(),
+			Samples:   1, Seed: opt.seed, Parallelism: 1,
+			ChurnRate: opt.churnRate, ChurnMix: opt.churnMix,
+			Scenario:           session.ScenarioSteadyChurn,
+			ChurnEvents:        float64(tn.Events),
+			DisruptionMeanMs:   tn.Live.MeanDisruptionMs,
+			DisruptionMaxMs:    tn.Live.MaxDisruptionMs,
+			DeliveredFraction:  frac,
+			Shards:             opt.shards,
+			Failovers:          tn.Live.Failovers,
+			FailoverRecoveryMs: tn.Live.FailoverRecoveryMs,
+			Tenant:             i,
+			SLOClass:           tn.SLO.String(),
+			Admitted:           tn.Admitted,
+			Rejections:         tn.Rejections,
+			ElapsedMs:          float64(elapsed.Microseconds()) / 1e3,
+		}); err != nil {
+			return err
+		}
+	}
+	// The bound is checked after the records are written so a failing run
+	// still leaves its measurements on disk for diagnosis.
+	if opt.maxDisruption > 0 && worstPremium > opt.maxDisruption {
+		return fmt.Errorf("ticluster: premium live max disruption %.1f ms exceeds bound %.1f ms",
+			worstPremium, opt.maxDisruption)
 	}
 	return nil
 }

@@ -135,6 +135,90 @@ func TestRunVirtualRejectsBadFlags(t *testing.T) {
 	}
 }
 
+// TestRunMultiTenantEndToEnd drives the multi-tenant CLI path: four
+// tenants over one fabric with capped uplinks must emit one record per
+// tenant carrying the per-tenant columns, with the premium tenant free
+// of rejections and at least one besteffort tenant absorbing them.
+func TestRunMultiTenantEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	opt := options{
+		n: 4, nodes: 40, cameras: 2, displays: 1,
+		algo: "RJ", seed: 21,
+		duration:  1000 * time.Millisecond,
+		virtual:   true,
+		churnRate: 4, churnMix: 0.7,
+		tenants:   4,
+		uplinkCap: 2,
+		jsonlPath: filepath.Join(dir, "tenants.jsonl"),
+	}
+	var out, stdout bytes.Buffer
+	if err := runMultiTenant(opt, &out, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"multi-tenant virtual cluster, 4 tenants over 40 sites", "premium-0", "besteffort-1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+
+	f, err := os.Open(opt.jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var recs []reclib.Record
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		var rec reclib.Record
+		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("emitted %d records, want one per tenant", len(recs))
+	}
+	besteffortRejections := 0
+	for i, rec := range recs {
+		if rec.Tenant != i || rec.SLOClass == "" {
+			t.Errorf("record %d tenant columns: %+v", i, rec)
+		}
+		switch rec.SLOClass {
+		case "premium":
+			if rec.Rejections != 0 {
+				t.Errorf("premium record carries %d rejections", rec.Rejections)
+			}
+			if rec.Admitted == 0 {
+				t.Errorf("premium record admitted nothing: %+v", rec)
+			}
+		case "besteffort":
+			besteffortRejections += rec.Rejections
+		}
+	}
+	if besteffortRejections == 0 {
+		t.Error("capped uplinks produced no besteffort rejections in the records")
+	}
+}
+
+// TestRunMultiTenantRejectsBadSpec covers the multi-tenant error paths.
+func TestRunMultiTenantRejectsBadSpec(t *testing.T) {
+	var out, stdout bytes.Buffer
+	base := options{
+		n: 4, virtual: true, algo: "RJ", cameras: 1, displays: 1,
+		duration: time.Second, churnRate: 2, churnMix: 0.7,
+	}
+	bad := base
+	bad.tenantSpec = "1xgold:4"
+	if err := runMultiTenant(bad, &out, &stdout); err == nil {
+		t.Error("unknown SLO class accepted")
+	}
+	bad = base
+	bad.tenants = 9 // 9 tenants cannot fit 4 sites at >= 2 each
+	if err := runMultiTenant(bad, &out, &stdout); err == nil {
+		t.Error("oversubscribed tenant count accepted")
+	}
+}
+
 // TestScenarioNamesMatchLibrary keeps the flag usage string in sync with
 // the scenario library.
 func TestScenarioNamesMatchLibrary(t *testing.T) {

@@ -78,6 +78,11 @@ type Config struct {
 	// coalesced and flushed as one epoch bump per interval. 0 flushes
 	// inline after every event (legacy behaviour, one epoch per diff).
 	FlushIntervalMs float64
+	// Tenant is the session's tenant index in a multi-tenant plane; 0
+	// (the default) keeps the legacy shard keying bit for bit. It must
+	// match the RP nodes' configured tenant — ownership hashing
+	// (transport.TenantStreamShard) is shared by both sides.
+	Tenant int
 }
 
 // Server is one membership coordination point (the whole control plane
@@ -250,7 +255,7 @@ func (s *Server) Flush() {
 
 // owns reports whether this server's shard owns the stream's tree.
 func (s *Server) owns(id stream.ID) bool {
-	return transport.StreamShard(id, s.cfg.Shards) == s.cfg.Shard
+	return transport.TenantStreamShard(s.cfg.Tenant, id, s.cfg.Shards) == s.cfg.Shard
 }
 
 // Serve accepts RP registrations and blocks until all N sites hold their

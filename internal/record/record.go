@@ -53,7 +53,17 @@ type Record struct {
 	Shards             int     `json:"shards"`
 	Failovers          int     `json:"failovers"`
 	FailoverRecoveryMs float64 `json:"failover_recovery_ms"`
-	ElapsedMs          float64 `json:"elapsed_ms"`
+	// Tenant and SLOClass identify the tenant a multi-tenant cluster
+	// row reports on (tenant 0 with an empty class for single-tenant
+	// records); Admitted counts the tenant's lifetime stream
+	// admissions and Rejections its admission denials. The disruption
+	// columns above are per tenant in multi-tenant records: each row
+	// carries its own tenant's latency figures.
+	Tenant     int     `json:"tenant"`
+	SLOClass   string  `json:"slo_class,omitempty"`
+	Admitted   int     `json:"admitted"`
+	Rejections int     `json:"rejections"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
 }
 
 // CSVHeader is the CSV column order; CSVRow emits values in the same
@@ -64,7 +74,8 @@ var CSVHeader = []string{
 	"rejection", "weighted_rejection", "util_mean", "util_stddev",
 	"relay_fraction", "churn_rate", "churn_mix", "scenario", "churn_events",
 	"disruption_mean_ms", "disruption_max_ms", "delivered_fraction",
-	"shards", "failovers", "failover_recovery_ms", "elapsed_ms",
+	"shards", "failovers", "failover_recovery_ms",
+	"tenant", "slo_class", "admitted", "rejections", "elapsed_ms",
 }
 
 // CSVRow renders the record as one CSV row matching CSVHeader.
@@ -81,6 +92,7 @@ func (r Record) CSVRow() []string {
 		f(r.ChurnRate), f(r.ChurnMix), r.Scenario, f(r.ChurnEvents),
 		f(r.DisruptionMeanMs), f(r.DisruptionMaxMs), f(r.DeliveredFraction),
 		strconv.Itoa(r.Shards), strconv.Itoa(r.Failovers), f(r.FailoverRecoveryMs),
+		strconv.Itoa(r.Tenant), r.SLOClass, strconv.Itoa(r.Admitted), strconv.Itoa(r.Rejections),
 		strconv.FormatFloat(r.ElapsedMs, 'f', 1, 64),
 	}
 }

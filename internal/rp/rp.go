@@ -50,6 +50,7 @@ import (
 
 	"github.com/tele3d/tele3d/internal/stream"
 	"github.com/tele3d/tele3d/internal/transport"
+	"github.com/tele3d/tele3d/internal/workload"
 )
 
 // Config parameterizes one RP node.
@@ -86,6 +87,30 @@ type Config struct {
 	// delay on outgoing frames — the delay would otherwise be applied
 	// twice.
 	Network transport.Network
+
+	// Tenant identifies the session this node serves in a multi-tenant
+	// plane; 0 (the single-tenant default) keeps the legacy shard
+	// keying bit for bit. The index feeds stream-ownership hashing
+	// (transport.TenantStreamShard), so it must match the membership
+	// servers' configured tenant.
+	Tenant int
+
+	// SLO is the tenant's admission class; consulted only when
+	// Admission is set.
+	SLO workload.SLOClass
+
+	// Uplink names the shared uplink (typically the site's PoP) that
+	// this node's inbound subscriptions are charged against; consulted
+	// only when Admission is set.
+	Uplink string
+
+	// Admission, when non-nil, is the shared cross-tenant admission
+	// controller arbitrating uplink bandwidth: subscriptions are
+	// admitted through it at registration and on every Resubscribe,
+	// and bookings evicted by higher classes are shed from the data
+	// plane. nil disables admission — the legacy single-session
+	// behaviour.
+	Admission *Admission
 }
 
 // Delivery is one frame handed to the local displays.
@@ -272,6 +297,7 @@ type Node struct {
 	failovers    []FailoverEvent
 	published    int
 	staleUpdates int
+	admRejected  int // streams denied by the admission controller
 	firstErr     error
 
 	deliveries chan Delivery
@@ -348,6 +374,24 @@ func (n *Node) Start(ctx context.Context) error {
 	}
 	n.ln = ln
 	n.ctx, n.cancel = context.WithCancel(ctx)
+
+	// Admission gates the initial subscription set before registration:
+	// a denied stream never reaches the membership plane, so it cannot
+	// resurrect through a failover re-registration either. Already
+	// booked ids (the driver's admission pre-pass) re-admit
+	// idempotently without double charge.
+	if n.cfg.Admission != nil {
+		_, denied := n.cfg.Admission.Admit(n.cfg.Uplink, n.cfg.Tenant, n.cfg.Site, n.cfg.SLO, n.cfg.Subscriptions)
+		if len(denied) > 0 {
+			n.mu.Lock()
+			for _, id := range denied {
+				delete(n.desired, id)
+			}
+			n.admRejected += len(denied)
+			n.mu.Unlock()
+		}
+		n.cfg.Admission.bind(n.cfg.Tenant, n.cfg.Site, n)
+	}
 
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -803,7 +847,7 @@ func (n *Node) applySync(r *transport.Routes) {
 		n.dir = r.Directory
 	}
 
-	owned := func(id stream.ID) bool { return transport.StreamShard(id, shards) == k }
+	owned := func(id stream.ID) bool { return transport.TenantStreamShard(n.cfg.Tenant, id, shards) == k }
 
 	merged := &transport.Routes{
 		Site:    cur.routes.Site,
@@ -921,6 +965,21 @@ func (n *Node) Resubscribe(ctx context.Context, gained, lost []stream.ID) (*Resu
 	}
 	shards := n.shards
 
+	// Admission gates gains before they enter the desired set (a denied
+	// stream must not resurrect through a failover re-registration) and
+	// returns lost bookings to the uplink pool first, so a view change
+	// that swaps streams does not transiently overcount.
+	var admissionDenied []stream.ID
+	if n.cfg.Admission != nil {
+		n.cfg.Admission.Release(n.cfg.Uplink, n.cfg.Tenant, n.cfg.Site, lost)
+		gained, admissionDenied = n.cfg.Admission.Admit(n.cfg.Uplink, n.cfg.Tenant, n.cfg.Site, n.cfg.SLO, gained)
+		if len(admissionDenied) > 0 {
+			n.mu.Lock()
+			n.admRejected += len(admissionDenied)
+			n.mu.Unlock()
+		}
+	}
+
 	n.mu.Lock()
 	for _, id := range gained {
 		n.desired[id] = true
@@ -943,12 +1002,12 @@ func (n *Node) Resubscribe(ctx context.Context, gained, lost []stream.ID) (*Resu
 		return p
 	}
 	for _, id := range gained {
-		k := transport.StreamShard(id, shards)
+		k := transport.TenantStreamShard(n.cfg.Tenant, id, shards)
 		p := add(k)
 		p.gained = append(p.gained, id)
 	}
 	for _, id := range lost {
-		k := transport.StreamShard(id, shards)
+		k := transport.TenantStreamShard(n.cfg.Tenant, id, shards)
 		p := add(k)
 		p.lost = append(p.lost, id)
 	}
@@ -1019,7 +1078,33 @@ func (n *Node) Resubscribe(ctx context.Context, gained, lost []stream.ID) (*Resu
 			return nil, n.ctx.Err()
 		}
 	}
+	// Streams the admission controller denied never reached the
+	// membership plane; report them alongside its rejections so callers
+	// see one combined admission verdict.
+	out.Rejected = append(out.Rejected, admissionDenied...)
 	return out, nil
+}
+
+// shedAsync drops victims from the node's subscription set in the
+// background: the admission controller displaced them to make room for
+// a higher class, so the node resubscribes without them as if its own
+// view had dropped them. Called by the controller after its lock is
+// released, so re-entrant admission from the resubscription is safe.
+func (n *Node) shedAsync(victims []stream.ID) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		_, _ = n.Resubscribe(n.ctx, nil, victims)
+	}()
+}
+
+// AdmissionRejections reports how many subscription attempts the
+// admission controller denied this node over its lifetime (zero when
+// the node runs without admission).
+func (n *Node) AdmissionRejections() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.admRejected
 }
 
 // PublishTick captures one frame from every local camera and disseminates
@@ -1338,5 +1423,11 @@ func (n *Node) Close() error {
 	}
 	n.mu.Unlock()
 	n.wg.Wait()
+	// Return the uplink bookings after every worker has drained so a
+	// late shed cannot re-book what the close already released.
+	if n.cfg.Admission != nil {
+		n.cfg.Admission.unbind(n.cfg.Tenant, n.cfg.Site)
+		n.cfg.Admission.Release(n.cfg.Uplink, n.cfg.Tenant, n.cfg.Site, n.desiredSnapshot())
+	}
 	return n.Err()
 }

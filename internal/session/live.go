@@ -26,6 +26,7 @@ import (
 	"github.com/tele3d/tele3d/internal/sim"
 	"github.com/tele3d/tele3d/internal/stream"
 	"github.com/tele3d/tele3d/internal/transport"
+	"github.com/tele3d/tele3d/internal/workload"
 )
 
 // LiveSimToleranceMs is the documented tolerance between the mean
@@ -79,6 +80,23 @@ type LiveConfig struct {
 	// the session clock, forcing every RP through re-registration
 	// recovery.
 	Failover *FailoverSpec
+	// Tenant namespaces the session on a shared fabric: membership
+	// servers and RPs listen on tenant-scoped host names and shard
+	// ownership keys by (tenant, site). Tenant 0 (the default) keeps
+	// every legacy name and mapping — a single-tenant run is
+	// bit-identical to the pre-tenancy plane.
+	Tenant int
+	// SLO is the tenant's admission class; consulted only when
+	// Admission is set.
+	SLO workload.SLOClass
+	// Admission, when non-nil, is the shared cross-tenant admission
+	// controller every RP admits its subscriptions through (see
+	// rp.Admission). nil disables admission.
+	Admission *rp.Admission
+	// Uplinks[i] names the shared uplink site i's subscriptions are
+	// charged against (typically its PoP); consulted only when
+	// Admission is set. nil charges every site to one unnamed uplink.
+	Uplinks []string
 }
 
 // FailoverSpec schedules a mid-session membership crash for one shard.
@@ -145,6 +163,10 @@ type LiveResult struct {
 	// resynchronized shard table.
 	Failovers          int
 	FailoverRecoveryMs float64
+	// AdmissionRejections counts subscription attempts the shared
+	// admission controller denied across the session's RPs (0 without
+	// admission).
+	AdmissionRejections int
 }
 
 func (c LiveConfig) withDefaults() LiveConfig {
@@ -238,10 +260,11 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 		srv, err := membership.New(membership.Config{
 			N: n, Cost: s.Sites.Cost, Bcost: s.Problem.Bcost,
 			Algorithm: cfg.Algorithm, Seed: cfg.Seed,
-			Network:         cfg.Fabric.Host(transport.ShardServerHost(k)),
+			Network:         cfg.Fabric.Host(transport.TenantShardServerHost(cfg.Tenant, k)),
 			Shards:          shards,
 			Shard:           k,
 			FlushIntervalMs: cfg.FlushIntervalMs,
+			Tenant:          cfg.Tenant,
 		})
 		if err != nil {
 			return nil, err
@@ -255,10 +278,11 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 		standby, err = membership.New(membership.Config{
 			N: n, Cost: s.Sites.Cost, Bcost: s.Problem.Bcost,
 			Algorithm: cfg.Algorithm, Seed: cfg.Seed,
-			Network:         cfg.Fabric.Host(transport.StandbyServerHost(cfg.Failover.Shard)),
+			Network:         cfg.Fabric.Host(transport.TenantStandbyServerHost(cfg.Tenant, cfg.Failover.Shard)),
 			Shards:          shards,
 			Shard:           cfg.Failover.Shard,
 			FlushIntervalMs: cfg.FlushIntervalMs,
+			Tenant:          cfg.Tenant,
 		})
 		if err != nil {
 			return nil, err
@@ -299,6 +323,10 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 	}()
 	startErrs := make(chan error, n)
 	for i := 0; i < n; i++ {
+		var uplink string
+		if i < len(cfg.Uplinks) {
+			uplink = cfg.Uplinks[i]
+		}
 		node, err := rp.New(rp.Config{
 			Site: i, Directory: directory,
 			In: s.Workload.Sites[i].In, Out: s.Workload.Sites[i].Out,
@@ -306,7 +334,11 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 			Profile: cfg.Profile, Seed: cfg.Seed*1000 + int64(i),
 			Subscriptions:  s.Workload.Subs[i],
 			DeliveryBuffer: cfg.DeliveryBuffer,
-			Network:        cfg.Fabric.Host(transport.SiteHost(i)),
+			Network:        cfg.Fabric.Host(transport.TenantSiteHost(cfg.Tenant, i)),
+			Tenant:         cfg.Tenant,
+			SLO:            cfg.SLO,
+			Uplink:         uplink,
+			Admission:      cfg.Admission,
 		})
 		if err != nil {
 			return nil, err
@@ -500,6 +532,7 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 			shardFailed[f.Shard] = true
 			res.FailoverRecoveryMs = math.Max(res.FailoverRecoveryMs, f.RecoveryMs())
 		}
+		res.AdmissionRejections += node.AdmissionRejections()
 	}
 	res.Failovers = len(shardFailed)
 	return res, nil

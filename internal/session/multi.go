@@ -1,0 +1,352 @@
+package session
+
+// multi.go serves many tenants over one fabric: BuildMultiCluster
+// expands a workload.MultiTenantSpec into K independent cluster
+// sessions (each with its own site placement, FOVs and forest, seeded
+// per tenant), runs an SLO-ordered admission pre-pass that books every
+// tenant's initial subscriptions against the shared per-PoP uplinks,
+// and plans each tenant's churn trace; RunMultiCluster then boots all
+// K membership+RP stacks concurrently on one transport.VirtualNetwork
+// — tenant-scoped host names keep the planes disjoint — with one
+// shared rp.Admission arbitrating uplink bandwidth across tenants for
+// the whole run. Tenant 0 (always the highest class present) keeps the
+// legacy seeds, host names and shard keying, so a single-tenant
+// multi-cluster is bit-identical to BuildCluster + the steady-churn
+// plan.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/tele3d/tele3d/internal/overlay"
+	"github.com/tele3d/tele3d/internal/rp"
+	"github.com/tele3d/tele3d/internal/sim"
+	"github.com/tele3d/tele3d/internal/stream"
+	"github.com/tele3d/tele3d/internal/transport"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+// tenantSeedStride separates tenant seed streams: tenant i builds with
+// Seed + i*tenantSeedStride, so tenant 0 keeps the configured seed
+// exactly (the single-tenant regression pin) and the streams never
+// collide for realistic tenant counts.
+const tenantSeedStride = 1_000_003
+
+// MultiClusterConfig parameterizes a multi-tenant cluster run.
+type MultiClusterConfig struct {
+	// Spec is the multi-tenant workload: tenant classes with per-class
+	// site counts, rigs, FOV profiles, churn overrides and SLO classes.
+	Spec workload.MultiTenantSpec
+	// CamerasPerSite / DisplaysPerSite are the defaults for classes
+	// that leave their rig unset; 0 means the session defaults (8 / 2).
+	CamerasPerSite, DisplaysPerSite int
+	// InCap / OutCap / BcostMultiplier / Algorithm are shared session
+	// knobs (see Spec); zero values mean the session defaults.
+	InCap, OutCap   int
+	BcostMultiplier float64
+	Algorithm       overlay.Algorithm
+	// Seed drives tenant 0 exactly as ClusterSpec.Seed drives a
+	// single-tenant cluster; tenant i uses Seed + i*tenantSeedStride.
+	Seed int64
+	// LocalCostMs is the metro latency between co-located sites; 0
+	// means topology.DefaultLocalCostMs.
+	LocalCostMs float64
+	// Profile / DurationMs / DrainMs mirror ClusterConfig.
+	Profile    stream.Profile
+	DurationMs float64
+	DrainMs    float64
+	// Churn is the base churn process; classes may override its rate.
+	Churn workload.ChurnProfile
+	// Link adds jitter, loss and bandwidth on top of each tenant's
+	// matrix latency.
+	Link transport.LinkProfile
+	// Shards / FlushIntervalMs mirror ClusterConfig, applied to every
+	// tenant's control plane.
+	Shards          int
+	FlushIntervalMs float64
+	// UplinkCapacity is the shared non-premium admission capacity per
+	// PoP uplink, in stream units; 0 means unlimited (accounting
+	// only), negative is invalid. Premium tenants bypass the pool.
+	UplinkCapacity int
+}
+
+// withDefaults fills the zero values.
+func (c MultiClusterConfig) withDefaults() MultiClusterConfig {
+	if c.Profile == (stream.Profile{}) {
+		c.Profile = stream.Profile{Width: 64, Height: 48, FPS: 15, CompressionRatio: 10}
+	}
+	if c.DurationMs == 0 {
+		c.DurationMs = 2000
+	}
+	if c.DrainMs == 0 {
+		c.DrainMs = 400
+	}
+	return c
+}
+
+// TenantRun is one tenant's prepared session inside a multi-cluster:
+// the assembled session, its uplink assignment, its planned churn
+// trace, and the admission pre-pass outcome for its initial
+// subscription set.
+type TenantRun struct {
+	// Tenant is the expanded tenant identity (index, name, SLO, shape).
+	Tenant workload.Tenant
+	// Session is the tenant's assembled session; after the admission
+	// pre-pass its workload carries only the admitted subscriptions.
+	Session *Session
+	// Uplinks[i] is the shared uplink site i is charged against (its
+	// PoP name).
+	Uplinks []string
+	// Trace is the tenant's planned churn trace.
+	Trace []sim.Event
+	// AdmittedStart / RejectedStart split the tenant's initial
+	// subscription demand by the pre-pass admission verdict.
+	AdmittedStart, RejectedStart int
+}
+
+// MultiCluster is an assembled multi-tenant cluster, ready to run.
+type MultiCluster struct {
+	// Tenants holds one prepared run per tenant, in admission order
+	// (descending SLO class; tenant 0 is the highest class present).
+	Tenants []*TenantRun
+	// Admission is the shared cross-tenant controller, pre-loaded with
+	// every tenant's admitted initial bookings.
+	Admission *rp.Admission
+
+	cfg MultiClusterConfig
+}
+
+// BuildMultiCluster assembles one session per tenant (each with its own
+// backbone placement, FOVs, workload and forest, seeded per tenant),
+// books every tenant's initial subscriptions through a shared admission
+// controller in SLO order — premium reservations first, then standard,
+// then best-effort into whatever remains — and plans each tenant's
+// churn trace from the admitted workload. Subscriptions denied by the
+// pre-pass are removed from the tenant's workload before trace
+// planning, so traces never reference capacity the tenant was refused.
+func BuildMultiCluster(cfg MultiClusterConfig) (*MultiCluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.UplinkCapacity < 0 {
+		return nil, fmt.Errorf("session: uplink capacity %d < 0", cfg.UplinkCapacity)
+	}
+	if err := cfg.Churn.Validate(); err != nil {
+		return nil, fmt.Errorf("session: multi-cluster churn profile: %w", err)
+	}
+	tenants, err := cfg.Spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+
+	capacity := cfg.UplinkCapacity
+	if capacity == 0 {
+		capacity = -1 // unlimited pool, accounting only
+	}
+	mc := &MultiCluster{Admission: rp.NewAdmission(capacity), cfg: cfg}
+
+	for _, tn := range tenants {
+		seed := cfg.Seed + int64(tn.Index)*tenantSeedStride
+		cams := tn.CamerasPerSite
+		if cams == 0 {
+			cams = cfg.CamerasPerSite
+		}
+		displays := tn.DisplaysPerSite
+		if displays == 0 {
+			displays = cfg.DisplaysPerSite
+		}
+		s, err := BuildCluster(ClusterSpec{
+			Spec: Spec{
+				N:               tn.Sites,
+				CamerasPerSite:  cams,
+				DisplaysPerSite: displays,
+				InCap:           cfg.InCap,
+				OutCap:          cfg.OutCap,
+				BcostMultiplier: cfg.BcostMultiplier,
+				Algorithm:       cfg.Algorithm,
+				Seed:            seed,
+			},
+			LocalCostMs: cfg.LocalCostMs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("session: tenant %s: %w", tn.Name, err)
+		}
+
+		run := &TenantRun{Tenant: tn, Session: s, Uplinks: make([]string, tn.Sites)}
+		for i := range run.Uplinks {
+			run.Uplinks[i] = s.Sites.Nodes[i].City.Name
+		}
+
+		// Admission pre-pass, in expansion (descending-SLO) order:
+		// filter each site's subscriptions down to the admitted subset
+		// before the trace is planned, so the wire run registers only
+		// what the controller booked. Runtime gains retry through the
+		// same controller.
+		subs := make([][]stream.ID, tn.Sites)
+		for i := 0; i < tn.Sites; i++ {
+			admitted, denied := mc.Admission.Admit(run.Uplinks[i], tn.Index, i, tn.SLO, s.Workload.Subs[i])
+			subs[i] = admitted
+			run.AdmittedStart += len(admitted)
+			run.RejectedStart += len(denied)
+		}
+		if run.RejectedStart > 0 {
+			w, err := workload.New(s.Workload.Sites, subs)
+			if err != nil {
+				return nil, fmt.Errorf("session: tenant %s admitted workload: %w", tn.Name, err)
+			}
+			s.Workload = w
+		}
+
+		churn := cfg.Churn
+		if tn.ChurnRatePerSec > 0 {
+			churn.RatePerSec = tn.ChurnRatePerSec
+		}
+		// The trace rng matches RunCluster's steady-churn derivation
+		// exactly (seed*7919 + len(scenario name)) so a single-tenant
+		// multi-cluster replays the identical trace.
+		effSeed := seed
+		if effSeed == 0 {
+			effSeed = 1
+		}
+		rng := rand.New(rand.NewSource(effSeed*7919 + int64(len(ScenarioSteadyChurn))))
+		trace, err := s.ChurnTrace(churn, cfg.DurationMs, rng)
+		if err != nil {
+			return nil, fmt.Errorf("session: tenant %s trace: %w", tn.Name, err)
+		}
+		run.Trace = trace
+		mc.Tenants = append(mc.Tenants, run)
+	}
+	return mc, nil
+}
+
+// TenantResult is one tenant's completed run inside a multi-cluster.
+type TenantResult struct {
+	// Name / SLO / Sites identify the tenant; Events is its trace size.
+	Name   string
+	SLO    workload.SLOClass
+	Sites  int
+	Events int
+	// AdmittedStart / RejectedStart report the admission pre-pass
+	// verdict on the tenant's initial demand.
+	AdmittedStart, RejectedStart int
+	// Admitted / Rejections / Evictions are the controller's lifetime
+	// books for the tenant: successful stream admissions, admission
+	// denials (pre-pass plus runtime), and bookings displaced by
+	// higher classes.
+	Admitted, Rejections, Evictions int
+	// Live is the tenant's measured outcome; Sim the simulator's
+	// prediction for the same trace over the same (admitted) forest.
+	// Under overload the divergence of non-premium tenants is the
+	// measurement: the simulator does not model cross-tenant admission.
+	Live *LiveResult
+	Sim  *sim.EventResult
+}
+
+// MultiClusterResult is a completed multi-tenant cluster run.
+type MultiClusterResult struct {
+	// Tenants holds one result per tenant, in the multi-cluster's
+	// tenant order.
+	Tenants []TenantResult
+	// Sites is the total site count across tenants.
+	Sites int
+}
+
+// RunMultiCluster assembles the multi-cluster and serves every tenant
+// concurrently over one virtual fabric: K membership control planes and
+// K RP fleets share the network (tenant-scoped host names, per-tenant
+// latency matrices) and one admission controller arbitrates the shared
+// PoP uplinks for the whole run — premium reservations are never
+// displaced, standard may evict best-effort mid-session, and every
+// eviction is shed live from the victim's data plane.
+func RunMultiCluster(ctx context.Context, cfg MultiClusterConfig) (*MultiClusterResult, error) {
+	mc, err := BuildMultiCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = mc.cfg
+
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	costs := make([][][]float64, len(mc.Tenants))
+	for i, run := range mc.Tenants {
+		costs[i] = run.Session.Sites.Cost
+	}
+	fabric := transport.NewVirtualNetwork(transport.VirtualConfig{
+		Seed:  seed,
+		Links: transport.TenantSiteLinks(costs, cfg.Link),
+	})
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	lives := make([]*LiveResult, len(mc.Tenants))
+	for i, run := range mc.Tenants {
+		wg.Add(1)
+		go func(i int, run *TenantRun) {
+			defer wg.Done()
+			live, err := run.Session.RunLive(runCtx, LiveConfig{
+				Profile:         cfg.Profile,
+				DurationMs:      cfg.DurationMs,
+				DrainMs:         cfg.DrainMs,
+				Algorithm:       cfg.Algorithm,
+				Seed:            cfg.Seed + int64(run.Tenant.Index)*tenantSeedStride,
+				Fabric:          fabric,
+				Shards:          cfg.Shards,
+				FlushIntervalMs: cfg.FlushIntervalMs,
+				Tenant:          run.Tenant.Index,
+				SLO:             run.Tenant.SLO,
+				Admission:       mc.Admission,
+				Uplinks:         run.Uplinks,
+			}, run.Trace)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("session: tenant %s: %w", run.Tenant.Name, err)
+					cancel()
+				}
+				return
+			}
+			lives[i] = live
+		}(i, run)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	stats := mc.Admission.Stats()
+	res := &MultiClusterResult{}
+	for i, run := range mc.Tenants {
+		st := stats[run.Tenant.Index]
+		pred, err := run.Session.SimPrediction(LiveConfig{
+			Profile:    cfg.Profile,
+			DurationMs: cfg.DurationMs,
+			Algorithm:  cfg.Algorithm,
+			Seed:       cfg.Seed + int64(run.Tenant.Index)*tenantSeedStride,
+		}, run.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("session: tenant %s prediction: %w", run.Tenant.Name, err)
+		}
+		res.Tenants = append(res.Tenants, TenantResult{
+			Name:          run.Tenant.Name,
+			SLO:           run.Tenant.SLO,
+			Sites:         run.Tenant.Sites,
+			Events:        len(run.Trace),
+			AdmittedStart: run.AdmittedStart,
+			RejectedStart: run.RejectedStart,
+			Admitted:      st.TotalAdmissions,
+			Rejections:    st.Rejections,
+			Evictions:     st.Evictions,
+			Live:          lives[i],
+			Sim:           pred,
+		})
+		res.Sites += run.Tenant.Sites
+	}
+	return res, nil
+}

@@ -85,6 +85,52 @@ func StreamShard(id stream.ID, shards int) int {
 	return id.Site % shards
 }
 
+// TenantStreamShard extends StreamShard with a tenant component: each
+// tenant's streams are rotated across the shard ring by its tenant
+// index, so directives for different tenants stay disjoint per shard
+// server while tenant 0 keeps the exact legacy StreamShard mapping (a
+// single-tenant plane is bit-identical to the pre-tenancy one). As with
+// StreamShard, every layer must use this one function so ownership
+// never disagrees across the plane.
+func TenantStreamShard(tenant int, id stream.ID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return ((id.Site+tenant)%shards + shards) % shards
+}
+
+// TenantShardServerHost returns the fabric host name of tenant t's
+// shard-k membership server. Tenant 0 keeps the legacy
+// ShardServerHost names so a single-tenant session is byte-identical
+// to the pre-tenancy plane.
+func TenantShardServerHost(t, k int) string {
+	if t == 0 {
+		return ShardServerHost(k)
+	}
+	return fmt.Sprintf("t%d-%s", t, ShardServerHost(k))
+}
+
+// TenantStandbyServerHost returns the fabric host name of tenant t's
+// shard-k standby membership server; tenant 0 keeps the legacy
+// StandbyServerHost names.
+func TenantStandbyServerHost(t, k int) string {
+	if t == 0 {
+		return StandbyServerHost(k)
+	}
+	return fmt.Sprintf("t%d-%s", t, StandbyServerHost(k))
+}
+
+// TenantSiteHost returns the fabric host name of tenant t's site-i
+// rendezvous point ("t<t>-site-<i>"). Tenant 0 keeps the legacy
+// SiteHost names so a single-tenant session is byte-identical to the
+// pre-tenancy plane.
+func TenantSiteHost(t, i int) string {
+	if t == 0 {
+		return SiteHost(i)
+	}
+	return fmt.Sprintf("t%d-%s", t, SiteHost(i))
+}
+
 // SiteHost returns the conventional fabric host name of site i's
 // rendezvous point ("site-<i>").
 func SiteHost(i int) string {

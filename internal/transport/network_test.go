@@ -130,6 +130,70 @@ func TestShardHelpers(t *testing.T) {
 	}
 }
 
+// TestTenantHelpers pins the tenant naming and ownership conventions:
+// tenant 0 keeps every legacy name and the legacy StreamShard mapping
+// (the single-tenant regression pin), while higher tenants get
+// namespaced hosts and a rotated — but still disjoint — shard mapping.
+func TestTenantHelpers(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		if got, want := TenantSiteHost(0, i), SiteHost(i); got != want {
+			t.Errorf("TenantSiteHost(0, %d) = %q, want legacy %q", i, got, want)
+		}
+	}
+	for k := 0; k < 3; k++ {
+		if got, want := TenantShardServerHost(0, k), ShardServerHost(k); got != want {
+			t.Errorf("TenantShardServerHost(0, %d) = %q, want legacy %q", k, got, want)
+		}
+		if got, want := TenantStandbyServerHost(0, k), StandbyServerHost(k); got != want {
+			t.Errorf("TenantStandbyServerHost(0, %d) = %q, want legacy %q", k, got, want)
+		}
+	}
+	if got := TenantSiteHost(3, 7); got != "t3-site-7" {
+		t.Errorf("TenantSiteHost(3, 7) = %q", got)
+	}
+	if got := TenantShardServerHost(2, 0); got != "t2-membership" {
+		t.Errorf("TenantShardServerHost(2, 0) = %q", got)
+	}
+	if got := TenantShardServerHost(2, 1); got != "t2-membership-1" {
+		t.Errorf("TenantShardServerHost(2, 1) = %q", got)
+	}
+	if got := TenantStandbyServerHost(2, 1); got != "t2-membership-standby-1" {
+		t.Errorf("TenantStandbyServerHost(2, 1) = %q", got)
+	}
+	// Host names must be unique across (tenant, site): a shared fabric
+	// keys its listeners by name.
+	seen := map[string]bool{}
+	for tenant := 0; tenant < 4; tenant++ {
+		for i := 0; i < 6; i++ {
+			h := TenantSiteHost(tenant, i)
+			if seen[h] {
+				t.Fatalf("duplicate host name %q", h)
+			}
+			seen[h] = true
+		}
+	}
+
+	id := stream.ID{Site: 7, Index: 2}
+	for shards := 1; shards <= 5; shards++ {
+		if got, want := TenantStreamShard(0, id, shards), StreamShard(id, shards); got != want {
+			t.Errorf("TenantStreamShard(0, %v, %d) = %d, want legacy %d", id, shards, got, want)
+		}
+	}
+	// Ownership still depends only on the originating site and stays in
+	// range for any tenant.
+	for tenant := 0; tenant < 9; tenant++ {
+		for site := 0; site < 20; site++ {
+			got := TenantStreamShard(tenant, stream.ID{Site: site}, 4)
+			if got < 0 || got >= 4 {
+				t.Fatalf("TenantStreamShard(%d, site %d, 4) = %d out of range", tenant, site, got)
+			}
+			if got != TenantStreamShard(tenant, stream.ID{Site: site, Index: 3}, 4) {
+				t.Fatalf("tenant %d site %d: ownership depends on stream index", tenant, site)
+			}
+		}
+	}
+}
+
 // TestNetworkInterfaces pins that both fabrics satisfy the interfaces.
 func TestNetworkInterfaces(t *testing.T) {
 	var _ Network = TCPNetwork{}

@@ -94,6 +94,56 @@ func SiteLinks(cost [][]float64, base LinkProfile) func(from, to string) LinkPro
 	}
 }
 
+// TenantSiteLinks returns a link-profile function for a multi-tenant
+// fabric: costs[t] is tenant t's pairwise cost matrix, and the link
+// between TenantSiteHost(t, i) and TenantSiteHost(t, j) carries
+// costs[t][i][j] milliseconds of one-way latency plus the base
+// profile's jitter, loss and bandwidth. Links between hosts of
+// different tenants are perfect — tenants never exchange frames, so
+// those links carry nothing — as are control-plane links, matching
+// SiteLinks' out-of-band model.
+func TenantSiteLinks(costs [][][]float64, base LinkProfile) func(from, to string) LinkProfile {
+	return func(from, to string) LinkProfile {
+		ta, i, okFrom := tenantSiteIndex(from)
+		tb, j, okTo := tenantSiteIndex(to)
+		if !okFrom || !okTo || ta != tb || ta >= len(costs) || i == j {
+			return LinkProfile{}
+		}
+		cost := costs[ta]
+		if i >= len(cost) || j >= len(cost) {
+			return LinkProfile{}
+		}
+		p := base
+		p.LatencyMs = cost[i][j]
+		return p
+	}
+}
+
+// tenantSiteIndex parses a TenantSiteHost name back to its tenant and
+// site indices; plain SiteHost names parse as tenant 0.
+func tenantSiteIndex(name string) (tenant, site int, ok bool) {
+	if i, plain := siteIndex(name); plain {
+		return 0, i, true
+	}
+	if !strings.HasPrefix(name, "t") {
+		return 0, 0, false
+	}
+	rest := name[1:]
+	dash := strings.IndexByte(rest, '-')
+	if dash <= 0 {
+		return 0, 0, false
+	}
+	t, err := strconv.Atoi(rest[:dash])
+	if err != nil || t <= 0 {
+		return 0, 0, false
+	}
+	i, plain := siteIndex(rest[dash+1:])
+	if !plain {
+		return 0, 0, false
+	}
+	return t, i, true
+}
+
 // siteIndex parses a SiteHost name back to its index.
 func siteIndex(name string) (int, bool) {
 	const prefix = "site-"

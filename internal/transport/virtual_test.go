@@ -314,6 +314,36 @@ func TestSiteLinks(t *testing.T) {
 	}
 }
 
+// TestTenantSiteLinks pins the multi-tenant link model: each tenant's
+// sites see that tenant's own cost matrix, cross-tenant and
+// control-plane links are perfect, and tenant 0 hosts (legacy names)
+// resolve through costs[0].
+func TestTenantSiteLinks(t *testing.T) {
+	costs := [][][]float64{
+		{{0, 40}, {40, 0}},
+		{{0, 90}, {90, 0}},
+	}
+	links := TenantSiteLinks(costs, LinkProfile{JitterMs: 2, Loss: 0.01})
+	if p := links(TenantSiteHost(0, 0), TenantSiteHost(0, 1)); p.LatencyMs != 40 || p.JitterMs != 2 {
+		t.Fatalf("tenant 0 link profile %+v", p)
+	}
+	if p := links(TenantSiteHost(1, 0), TenantSiteHost(1, 1)); p.LatencyMs != 90 || p.Loss != 0.01 {
+		t.Fatalf("tenant 1 link profile %+v", p)
+	}
+	if p := links(TenantSiteHost(0, 0), TenantSiteHost(1, 1)); p != (LinkProfile{}) {
+		t.Fatalf("cross-tenant link profile %+v, want perfect", p)
+	}
+	if p := links(TenantShardServerHost(1, 0), TenantSiteHost(1, 1)); p != (LinkProfile{}) {
+		t.Fatalf("control link profile %+v, want perfect", p)
+	}
+	if p := links(TenantSiteHost(2, 0), TenantSiteHost(2, 1)); p != (LinkProfile{}) {
+		t.Fatalf("unknown-tenant link profile %+v, want perfect", p)
+	}
+	if p := links(TenantSiteHost(1, 0), TenantSiteHost(1, 5)); p != (LinkProfile{}) {
+		t.Fatalf("out-of-range site profile %+v, want perfect", p)
+	}
+}
+
 // TestVirtualSetLinkConcurrentDials is the regression test for the
 // SetLink pipe-set snapshot: impairments toggling a link while peers on
 // that link dial and close concurrently must not race on the registry

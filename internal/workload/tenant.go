@@ -1,0 +1,281 @@
+package workload
+
+// tenant.go describes multi-tenant workloads: many concurrent 3DTI
+// sessions sharing one fabric, each with its own site count, rig size,
+// FOV (display) profile, churn profile and an SLO class that the RP
+// admission layer arbitrates with. The spec shape follows the
+// per-client rate/SLO model of inference serving simulators: a small
+// list of tenant classes, each expanded into concrete tenants.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SLOClass ranks a tenant's service level for admission control.
+// Higher values are stricter: overload rejects or degrades lower
+// classes first and never premium.
+type SLOClass int
+
+const (
+	// SLOBestEffort tenants are admitted only into spare capacity and
+	// are the first evicted under pressure.
+	SLOBestEffort SLOClass = iota
+	// SLOStandard tenants share the pooled uplink capacity and may
+	// displace best-effort bookings, but never premium reservations.
+	SLOStandard
+	// SLOPremium tenants ride provisioned reservations (the paper's
+	// single-session bandwidth reservation, now one tenant among many)
+	// and are never rejected or degraded by the shared pool.
+	SLOPremium
+)
+
+// String implements fmt.Stringer ("besteffort", "standard", "premium").
+func (c SLOClass) String() string {
+	switch c {
+	case SLOBestEffort:
+		return "besteffort"
+	case SLOStandard:
+		return "standard"
+	case SLOPremium:
+		return "premium"
+	default:
+		return fmt.Sprintf("SLOClass(%d)", int(c))
+	}
+}
+
+// ParseSLOClass parses a class name as printed by String.
+func ParseSLOClass(s string) (SLOClass, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "besteffort", "best-effort", "be":
+		return SLOBestEffort, nil
+	case "standard", "std":
+		return SLOStandard, nil
+	case "premium", "prem":
+		return SLOPremium, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown SLO class %q (want premium|standard|besteffort)", s)
+	}
+}
+
+// TenantClass describes one class of tenants in a multi-tenant spec:
+// Count identical sessions with the given shape and service level.
+type TenantClass struct {
+	// Count is how many tenants of this class to run (>= 1).
+	Count int
+	// SLO is the class's service level.
+	SLO SLOClass
+	// Sites is the per-tenant session size (>= 2).
+	Sites int
+	// CamerasPerSite is the per-site rig size (streams per site);
+	// 0 means the driver's default.
+	CamerasPerSite int
+	// DisplaysPerSite is the FOV profile — how many independently
+	// aimed displays each site renders; 0 means the driver's default.
+	DisplaysPerSite int
+	// ChurnRatePerSec overrides the driver's churn rate for this
+	// class; 0 keeps the driver's default.
+	ChurnRatePerSec float64
+}
+
+// Validate checks one class.
+func (c TenantClass) Validate() error {
+	switch {
+	case c.Count < 1:
+		return fmt.Errorf("workload: tenant class count %d < 1", c.Count)
+	case c.SLO < SLOBestEffort || c.SLO > SLOPremium:
+		return fmt.Errorf("workload: tenant class SLO %d unknown", int(c.SLO))
+	case c.Sites < 2:
+		return fmt.Errorf("workload: tenant class sites %d < 2", c.Sites)
+	case c.CamerasPerSite < 0 || c.DisplaysPerSite < 0:
+		return fmt.Errorf("workload: tenant class negative rig (%d cameras, %d displays)",
+			c.CamerasPerSite, c.DisplaysPerSite)
+	case c.ChurnRatePerSec < 0:
+		return fmt.Errorf("workload: tenant class churn rate %v < 0", c.ChurnRatePerSec)
+	}
+	return nil
+}
+
+// MultiTenantSpec is the multi-tenant workload: a list of tenant
+// classes expanded into concrete tenants.
+type MultiTenantSpec struct {
+	// Classes are the tenant classes; at least one.
+	Classes []TenantClass
+}
+
+// Validate checks the spec.
+func (s MultiTenantSpec) Validate() error {
+	if len(s.Classes) == 0 {
+		return fmt.Errorf("workload: multi-tenant spec has no classes")
+	}
+	for i, c := range s.Classes {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("class %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// NumTenants is the total tenant count across classes.
+func (s MultiTenantSpec) NumTenants() int {
+	n := 0
+	for _, c := range s.Classes {
+		n += c.Count
+	}
+	return n
+}
+
+// TotalSites is the total site count across every tenant of every
+// class.
+func (s MultiTenantSpec) TotalSites() int {
+	n := 0
+	for _, c := range s.Classes {
+		n += c.Count * c.Sites
+	}
+	return n
+}
+
+// Tenant is one expanded tenant: a concrete session the multi-cluster
+// driver builds and serves.
+type Tenant struct {
+	// Index is the tenant's plane-wide identity (0-based, also the
+	// transport namespace component). Index 0 is always the
+	// highest-SLO tenant so a single-tenant plane degenerates to the
+	// legacy session exactly.
+	Index int
+	// Name labels the tenant in reports ("premium-0", "besteffort-2").
+	Name string
+	// SLO, Sites, CamerasPerSite, DisplaysPerSite and ChurnRatePerSec
+	// carry the class shape (zero values mean driver defaults).
+	SLO             SLOClass
+	Sites           int
+	CamerasPerSite  int
+	DisplaysPerSite int
+	ChurnRatePerSec float64
+}
+
+// Expand flattens the spec into concrete tenants ordered by descending
+// SLO class (premium first). That order is also the admission order:
+// reservations book before the shared pool fills, so a premium tenant
+// can never lose capacity to an earlier-arriving best-effort one.
+func (s MultiTenantSpec) Expand() ([]Tenant, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	classes := make([]TenantClass, len(s.Classes))
+	copy(classes, s.Classes)
+	sort.SliceStable(classes, func(i, j int) bool { return classes[i].SLO > classes[j].SLO })
+
+	var out []Tenant
+	perClass := map[SLOClass]int{}
+	for _, c := range classes {
+		for k := 0; k < c.Count; k++ {
+			out = append(out, Tenant{
+				Index:           len(out),
+				Name:            fmt.Sprintf("%s-%d", c.SLO, perClass[c.SLO]),
+				SLO:             c.SLO,
+				Sites:           c.Sites,
+				CamerasPerSite:  c.CamerasPerSite,
+				DisplaysPerSite: c.DisplaysPerSite,
+				ChurnRatePerSec: c.ChurnRatePerSec,
+			})
+			perClass[c.SLO]++
+		}
+	}
+	return out, nil
+}
+
+// ParseTenantSpec parses the compact -tenantspec flag syntax: a
+// comma-separated list of classes, each "COUNTxSLO:SITES" with an
+// optional ":CAMERASxDISPLAYS" rig and ":@RATE" churn override, e.g.
+//
+//	1xpremium:125,1xstandard:125,6xbesteffort:125:@4
+//	2xpremium:50:8x2,4xbesteffort:25
+func ParseTenantSpec(spec string) (MultiTenantSpec, error) {
+	var out MultiTenantSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 {
+			return out, fmt.Errorf("workload: tenant class %q: want COUNTxSLO:SITES[:CAMSxDISPS][:@RATE]", part)
+		}
+		var c TenantClass
+		head := strings.SplitN(fields[0], "x", 2)
+		if len(head) != 2 {
+			return out, fmt.Errorf("workload: tenant class %q: count and SLO must be COUNTxSLO", part)
+		}
+		n, err := strconv.Atoi(head[0])
+		if err != nil {
+			return out, fmt.Errorf("workload: tenant class %q: bad count: %w", part, err)
+		}
+		c.Count = n
+		if c.SLO, err = ParseSLOClass(head[1]); err != nil {
+			return out, fmt.Errorf("workload: tenant class %q: %w", part, err)
+		}
+		if c.Sites, err = strconv.Atoi(fields[1]); err != nil {
+			return out, fmt.Errorf("workload: tenant class %q: bad site count: %w", part, err)
+		}
+		for _, f := range fields[2:] {
+			switch {
+			case strings.HasPrefix(f, "@"):
+				if c.ChurnRatePerSec, err = strconv.ParseFloat(f[1:], 64); err != nil {
+					return out, fmt.Errorf("workload: tenant class %q: bad churn rate: %w", part, err)
+				}
+			default:
+				rig := strings.SplitN(f, "x", 2)
+				if len(rig) != 2 {
+					return out, fmt.Errorf("workload: tenant class %q: rig %q must be CAMSxDISPS", part, f)
+				}
+				if c.CamerasPerSite, err = strconv.Atoi(rig[0]); err != nil {
+					return out, fmt.Errorf("workload: tenant class %q: bad cameras: %w", part, err)
+				}
+				if c.DisplaysPerSite, err = strconv.Atoi(rig[1]); err != nil {
+					return out, fmt.Errorf("workload: tenant class %q: bad displays: %w", part, err)
+				}
+			}
+		}
+		out.Classes = append(out.Classes, c)
+	}
+	if err := out.Validate(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// DefaultTenantSpec builds the conventional K-tenant mix over a total
+// site budget: one premium tenant, one standard when K >= 3, and the
+// rest best-effort, with totalSites split as evenly as possible
+// (remainder to the earliest tenants). It is the shape behind the
+// ticluster -tenants flag.
+func DefaultTenantSpec(k, totalSites int) (MultiTenantSpec, error) {
+	if k < 1 {
+		return MultiTenantSpec{}, fmt.Errorf("workload: tenant count %d < 1", k)
+	}
+	if totalSites < 2*k {
+		return MultiTenantSpec{}, fmt.Errorf("workload: %d sites cannot host %d tenants (>= 2 each)", totalSites, k)
+	}
+	base, rem := totalSites/k, totalSites%k
+	sites := func(i int) int {
+		if i < rem {
+			return base + 1
+		}
+		return base
+	}
+	var s MultiTenantSpec
+	add := func(slo SLOClass, idx int) {
+		s.Classes = append(s.Classes, TenantClass{Count: 1, SLO: slo, Sites: sites(idx)})
+	}
+	add(SLOPremium, 0)
+	if k >= 3 {
+		add(SLOStandard, 1)
+	}
+	for i := len(s.Classes); i < k; i++ {
+		add(SLOBestEffort, i)
+	}
+	return s, nil
+}

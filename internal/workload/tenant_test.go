@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSLOClassRoundTrip(t *testing.T) {
+	for _, c := range []SLOClass{SLOBestEffort, SLOStandard, SLOPremium} {
+		got, err := ParseSLOClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseSLOClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseSLOClass("gold"); err == nil {
+		t.Error("ParseSLOClass accepted an unknown class")
+	}
+}
+
+// TestExpandOrdersBySLO pins the admission-order contract: expansion is
+// premium-first regardless of class order in the spec, and tenant 0 is
+// always the highest class present.
+func TestExpandOrdersBySLO(t *testing.T) {
+	spec := MultiTenantSpec{Classes: []TenantClass{
+		{Count: 2, SLO: SLOBestEffort, Sites: 4},
+		{Count: 1, SLO: SLOPremium, Sites: 8},
+		{Count: 1, SLO: SLOStandard, Sites: 6},
+	}}
+	tenants, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 4 || spec.NumTenants() != 4 {
+		t.Fatalf("expanded %d tenants, NumTenants %d, want 4", len(tenants), spec.NumTenants())
+	}
+	wantSLO := []SLOClass{SLOPremium, SLOStandard, SLOBestEffort, SLOBestEffort}
+	wantName := []string{"premium-0", "standard-0", "besteffort-0", "besteffort-1"}
+	for i, tn := range tenants {
+		if tn.Index != i || tn.SLO != wantSLO[i] || tn.Name != wantName[i] {
+			t.Errorf("tenant %d = %+v, want index %d SLO %v name %q", i, tn, i, wantSLO[i], wantName[i])
+		}
+	}
+	if tenants[0].Sites != 8 || tenants[3].Sites != 4 {
+		t.Errorf("site counts not carried: %+v", tenants)
+	}
+}
+
+func TestParseTenantSpec(t *testing.T) {
+	spec, err := ParseTenantSpec("1xpremium:125,1xstandard:125:16x3,6xbesteffort:25:@4.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Classes) != 3 || spec.NumTenants() != 8 {
+		t.Fatalf("parsed %+v", spec)
+	}
+	std := spec.Classes[1]
+	if std.SLO != SLOStandard || std.Sites != 125 || std.CamerasPerSite != 16 || std.DisplaysPerSite != 3 {
+		t.Errorf("standard class %+v", std)
+	}
+	if be := spec.Classes[2]; be.Count != 6 || be.ChurnRatePerSec != 4.5 {
+		t.Errorf("besteffort class %+v", be)
+	}
+
+	for _, bad := range []string{"", "premium:4", "1xgold:4", "1xpremium:1", "0xpremium:4", "1xpremium:4:8"} {
+		if _, err := ParseTenantSpec(bad); err == nil {
+			t.Errorf("ParseTenantSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDefaultTenantSpec(t *testing.T) {
+	spec, err := DefaultTenantSpec(4, 102)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 4 {
+		t.Fatalf("expanded %d tenants", len(tenants))
+	}
+	if tenants[0].SLO != SLOPremium || tenants[1].SLO != SLOStandard ||
+		tenants[2].SLO != SLOBestEffort || tenants[3].SLO != SLOBestEffort {
+		t.Errorf("default mix %+v", tenants)
+	}
+	total := 0
+	for _, tn := range tenants {
+		total += tn.Sites
+	}
+	if total != 102 {
+		t.Errorf("total sites %d, want 102", total)
+	}
+
+	if spec, err := DefaultTenantSpec(1, 10); err != nil {
+		t.Fatal(err)
+	} else if ts, _ := spec.Expand(); len(ts) != 1 || ts[0].SLO != SLOPremium {
+		t.Errorf("single-tenant default %+v, want one premium", ts)
+	}
+	if _, err := DefaultTenantSpec(0, 10); err == nil {
+		t.Error("DefaultTenantSpec(0) accepted")
+	}
+	if _, err := DefaultTenantSpec(6, 10); err == nil || !strings.Contains(err.Error(), "cannot host") {
+		t.Errorf("undersized split error = %v", err)
+	}
+}
