@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet test race live-race bench bench-smoke bench-compare sweep-smoke fuzz-smoke cluster-smoke failover-smoke tenant-smoke lint-docs cover profile ci
+.PHONY: build fmt-check vet test race live-race bench bench-smoke bench-compare sweep-smoke fuzz-smoke cluster-smoke failover-smoke tenant-smoke chaos-smoke lint-docs cover profile ci
 
 build:
 	$(GO) build ./...
@@ -131,6 +131,24 @@ tenant-smoke:
 	grep -E -q '"slo_class":"besteffort"[^\n]*"rejections":[1-9]' "$$jsonl" || { echo "overload produced no besteffort rejection:"; cat "$$jsonl"; exit 1; }; \
 	echo "tenant-smoke OK"
 
+# chaos-smoke is the fault-injection drill: a 100-node virtual cluster
+# with a 2-shard membership plane absorbs a composed chaos schedule —
+# an RP crash whose rejoin lands inside a fabric-wide latency storm —
+# under the race detector. The emitted record must carry the resolved
+# schedule, the fault count and the retry total, proving the chaos
+# columns flow end to end.
+chaos-smoke:
+	@jsonl="$$(mktemp /tmp/tele3d-chaos.XXXXXX)"; trap 'rm -f "$$jsonl"' EXIT; \
+	$(GO) run -race ./cmd/ticluster -virtual -nodes 100 -shards 2 -scenario chaos \
+		-chaos '300:rp-crash:rand;450:latency-storm:2:300;900:rp-rejoin:last' \
+		-cameras 2 -displays 1 -duration 1500ms -churnrate 4 -seed 7 \
+		-jsonl "$$jsonl" || exit 1; \
+	grep -q '"chaos_events":3' "$$jsonl" || { echo "record missing chaos events:"; cat "$$jsonl"; exit 1; }; \
+	grep -q '"chaos_schedule":"300:rp-crash:' "$$jsonl" || { echo "record missing resolved schedule:"; cat "$$jsonl"; exit 1; }; \
+	grep -E -q '"chaos_recovery_ms":[0-9]*\.?[0-9]*[1-9]' "$$jsonl" || { echo "record missing chaos recovery:"; cat "$$jsonl"; exit 1; }; \
+	grep -E -q '"retries":[1-9]' "$$jsonl" || { echo "record missing retry total:"; cat "$$jsonl"; exit 1; }; \
+	echo "chaos-smoke OK"
+
 # lint-docs enforces the documentation contracts with the in-repo
 # doccheck tool: every exported identifier in the networked-plane
 # packages carries a doc comment (the revive/golint `exported` rule),
@@ -138,7 +156,7 @@ tenant-smoke:
 # `make <target>` the docs mention exists in this Makefile.
 lint-docs:
 	$(GO) run ./cmd/doccheck -exported \
-		./internal/transport ./internal/membership ./internal/rp ./internal/session
+		./internal/transport ./internal/membership ./internal/rp ./internal/session ./internal/chaos
 	$(GO) run ./cmd/doccheck -links \
 		README.md ARCHITECTURE.md examples/README.md
 	$(GO) run ./cmd/doccheck -make -makefile Makefile \
@@ -159,4 +177,4 @@ fuzz-smoke:
 cover:
 	$(GO) test -cover ./internal/...
 
-ci: build fmt-check vet race live-race lint-docs bench-smoke sweep-smoke cluster-smoke failover-smoke tenant-smoke fuzz-smoke
+ci: build fmt-check vet race live-race lint-docs bench-smoke sweep-smoke cluster-smoke failover-smoke tenant-smoke chaos-smoke fuzz-smoke

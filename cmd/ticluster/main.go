@@ -55,6 +55,7 @@ type options struct {
 	virtual       bool
 	nodes         int
 	scenario      string
+	chaos         string
 	churnRate     float64
 	churnMix      float64
 	shards        int
@@ -80,6 +81,8 @@ func main() {
 	flag.IntVar(&opt.nodes, "nodes", 0, "cluster size in virtual mode; 0 means -n")
 	flag.StringVar(&opt.scenario, "scenario", session.ScenarioSteadyChurn,
 		"virtual-mode scenario: "+scenarioNames())
+	flag.StringVar(&opt.chaos, "chaos", "",
+		"virtual mode: declarative fault schedule, e.g. '300:rp-crash:rand;900:rp-rejoin:last;1200:latency-storm:5:400' (required by -scenario chaos)")
 	flag.Float64Var(&opt.churnRate, "churnrate", 2, "base churn events/sec for the scenario")
 	flag.Float64Var(&opt.churnMix, "churnmix", 0.7, "view-change fraction of base churn")
 	flag.IntVar(&opt.shards, "shards", 1, "virtual mode: membership control-plane shard count")
@@ -152,6 +155,7 @@ func runVirtual(opt options, out, stdout io.Writer) error {
 		Churn:           workload.ChurnProfile{RatePerSec: opt.churnRate, ViewChangeMix: opt.churnMix},
 		Shards:          opt.shards,
 		FlushIntervalMs: opt.flushMs,
+		ChaosSchedule:   opt.chaos,
 	}
 	fmt.Fprintf(out, "ticluster: virtual cluster, %d sites, %d membership shard(s), scenario %s, %v\n",
 		nodes, opt.shards, opt.scenario, opt.duration)
@@ -178,6 +182,10 @@ func runVirtual(opt options, out, stdout io.Writer) error {
 		fmt.Fprintf(out, "  failover: %d membership shard(s) recovered, slowest in %.1f ms\n",
 			res.Live.Failovers, res.Live.FailoverRecoveryMs)
 	}
+	if res.Live.ChaosEvents > 0 {
+		fmt.Fprintf(out, "  chaos: %d fault(s) injected (%s), worst recovery %.1f ms, %d redial attempts\n",
+			res.Live.ChaosEvents, res.ChaosSchedule, res.Live.ChaosRecoveryMs, res.Live.Retries)
+	}
 
 	if opt.csvPath != "" || opt.jsonlPath != "" {
 		sink, err := reclib.NewSink(opt.csvPath, opt.jsonlPath, stdout)
@@ -200,6 +208,10 @@ func runVirtual(opt options, out, stdout io.Writer) error {
 			Shards:             opt.shards,
 			Failovers:          res.Live.Failovers,
 			FailoverRecoveryMs: res.Live.FailoverRecoveryMs,
+			ChaosSchedule:      res.ChaosSchedule,
+			ChaosEvents:        res.Live.ChaosEvents,
+			ChaosRecoveryMs:    res.Live.ChaosRecoveryMs,
+			Retries:            res.Live.Retries,
 			ElapsedMs:          float64(elapsed.Microseconds()) / 1e3,
 		}); err != nil {
 			return err
@@ -299,6 +311,7 @@ func runMultiTenant(opt options, out, stdout io.Writer) error {
 			Shards:             opt.shards,
 			Failovers:          tn.Live.Failovers,
 			FailoverRecoveryMs: tn.Live.FailoverRecoveryMs,
+			Retries:            tn.Live.Retries,
 			Tenant:             i,
 			SLOClass:           tn.SLO.String(),
 			Admitted:           tn.Admitted,

@@ -1,0 +1,391 @@
+// Package chaos is the seeded, deterministic fault-injection subsystem:
+// it parses declarative chaos schedules — timestamped sequences of RP
+// crash/rejoin, membership shard restart, fabric-wide latency storm,
+// loss burst and partition/heal events — resolves any randomized
+// targets from a seed, and drives the resolved schedule against a live
+// cluster through the Cluster interface (implemented by the session
+// layer over the transport.VirtualNetwork seams and the crash hooks on
+// rp.Node and membership.Server).
+//
+// # Schedule grammar
+//
+// A schedule is a semicolon-joined list of events, each a colon-joined
+// field list beginning with the injection time in session milliseconds:
+//
+//	<atMs>:rp-crash:<site|rand>        crash the RP at a site
+//	<atMs>:rp-rejoin:<site|last>       rejoin a previously crashed RP
+//	<atMs>:membership-restart:<shard>  kill the shard's server; RPs fail
+//	                                   over to the next standby
+//	<atMs>:latency-storm:<mult>:<durMs>   multiply every link's latency
+//	<atMs>:loss-burst:<loss>:<durMs>      add loss to every link
+//	<atMs>:partition-heal:<durMs>         split the cluster, heal after dur
+//
+// Example: "300:rp-crash:rand;900:rp-rejoin:last;1200:latency-storm:5:400".
+//
+// Randomized targets (rand/last) are pinned by Resolve, which is a pure
+// function of the schedule, the seed and the cluster shape — the same
+// inputs always produce the byte-identical resolved schedule, which is
+// what makes chaos runs reproducible.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind names one chaos event type.
+type Kind string
+
+// The chaos event kinds the schedule grammar accepts.
+const (
+	// RPCrash tears one site's RP down ungracefully (rp.Node.Crash).
+	RPCrash Kind = "rp-crash"
+	// RPRejoin boots a fresh RP for a crashed site; it resyncs through
+	// the normal registration path.
+	RPRejoin Kind = "rp-rejoin"
+	// MembershipRestart kills one membership shard's live server
+	// (membership.Server.Kill); every RP fails over to the next standby
+	// in the replicated directory.
+	MembershipRestart Kind = "membership-restart"
+	// LatencyStorm multiplies every fabric link's latency for a window.
+	LatencyStorm Kind = "latency-storm"
+	// LossBurst adds loss probability to every fabric link for a window.
+	LossBurst Kind = "loss-burst"
+	// PartitionHeal severs the cluster at its median longitude for a
+	// window, then heals it.
+	PartitionHeal Kind = "partition-heal"
+)
+
+// Targets a site argument can take before resolution.
+const (
+	// TargetRandom marks a site to be drawn from the seed at Resolve.
+	TargetRandom = -1
+	// TargetLast marks a rejoin aimed at the most recently crashed site.
+	TargetLast = -2
+)
+
+// Event is one timed fault in a schedule. Which fields are meaningful
+// depends on Kind; String renders exactly the fields the grammar takes.
+type Event struct {
+	// AtMs is the injection time on the session clock.
+	AtMs float64
+	// Kind is the fault type.
+	Kind Kind
+	// Site targets rp-crash/rp-rejoin (TargetRandom/TargetLast before
+	// resolution).
+	Site int
+	// Shard targets membership-restart.
+	Shard int
+	// Multiplier is latency-storm's fabric-wide latency factor.
+	Multiplier float64
+	// Loss is loss-burst's added per-chunk loss probability.
+	Loss float64
+	// DurationMs bounds latency-storm, loss-burst and partition-heal.
+	DurationMs float64
+}
+
+// String renders the event in schedule grammar.
+func (e Event) String() string {
+	at := trimFloat(e.AtMs)
+	switch e.Kind {
+	case RPCrash, RPRejoin:
+		site := strconv.Itoa(e.Site)
+		if e.Site == TargetRandom {
+			site = "rand"
+		} else if e.Site == TargetLast {
+			site = "last"
+		}
+		return fmt.Sprintf("%s:%s:%s", at, e.Kind, site)
+	case MembershipRestart:
+		return fmt.Sprintf("%s:%s:%d", at, e.Kind, e.Shard)
+	case LatencyStorm:
+		return fmt.Sprintf("%s:%s:%s:%s", at, e.Kind, trimFloat(e.Multiplier), trimFloat(e.DurationMs))
+	case LossBurst:
+		return fmt.Sprintf("%s:%s:%s:%s", at, e.Kind, trimFloat(e.Loss), trimFloat(e.DurationMs))
+	case PartitionHeal:
+		return fmt.Sprintf("%s:%s:%s", at, e.Kind, trimFloat(e.DurationMs))
+	}
+	return fmt.Sprintf("%s:%s", at, e.Kind)
+}
+
+// trimFloat formats a float without a trailing ".0" so rendered
+// schedules round-trip through ParseSchedule byte-identically.
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'f', -1, 64)
+}
+
+// Schedule is an ordered list of chaos events.
+type Schedule struct {
+	// Events in injection order (sorted by AtMs, stable on input order).
+	Events []Event
+}
+
+// String renders the schedule in the grammar ParseSchedule accepts;
+// Parse(s.String()) reproduces s exactly.
+func (s Schedule) String() string {
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseSchedule parses the schedule grammar (see the package comment).
+// Events are sorted by injection time (stable, so equal-time events keep
+// their written order) and validated: times must be non-negative,
+// durations positive, loss within [0, 1], and every rp-rejoin must be
+// preceded by an rp-crash it can pair with.
+func ParseSchedule(text string) (Schedule, error) {
+	var s Schedule
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return s, fmt.Errorf("chaos: empty schedule")
+	}
+	for _, raw := range strings.Split(text, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		e, err := parseEvent(raw)
+		if err != nil {
+			return Schedule{}, err
+		}
+		s.Events = append(s.Events, e)
+	}
+	if len(s.Events) == 0 {
+		return s, fmt.Errorf("chaos: empty schedule")
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].AtMs < s.Events[j].AtMs })
+	if err := s.validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+// parseEvent parses one "<atMs>:<kind>[:<args>]" clause.
+func parseEvent(raw string) (Event, error) {
+	fields := strings.Split(raw, ":")
+	if len(fields) < 2 {
+		return Event{}, fmt.Errorf("chaos: event %q: want <atMs>:<kind>[:<args>]", raw)
+	}
+	at, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil || at < 0 {
+		return Event{}, fmt.Errorf("chaos: event %q: bad injection time %q", raw, fields[0])
+	}
+	e := Event{AtMs: at, Kind: Kind(fields[1])}
+	args := fields[2:]
+	argN := func(i int, name string) (float64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("chaos: event %q: missing %s", raw, name)
+		}
+		f, err := strconv.ParseFloat(args[i], 64)
+		if err != nil {
+			return 0, fmt.Errorf("chaos: event %q: bad %s %q", raw, name, args[i])
+		}
+		return f, nil
+	}
+	wantArgs := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("chaos: event %q: %s takes %d argument(s), got %d", raw, e.Kind, n, len(args))
+		}
+		return nil
+	}
+	switch e.Kind {
+	case RPCrash, RPRejoin:
+		if err := wantArgs(1); err != nil {
+			return Event{}, err
+		}
+		switch args[0] {
+		case "rand":
+			e.Site = TargetRandom
+		case "last":
+			if e.Kind != RPRejoin {
+				return Event{}, fmt.Errorf("chaos: event %q: target last is only valid for rp-rejoin", raw)
+			}
+			e.Site = TargetLast
+		default:
+			site, err := strconv.Atoi(args[0])
+			if err != nil || site < 0 {
+				return Event{}, fmt.Errorf("chaos: event %q: bad site %q", raw, args[0])
+			}
+			e.Site = site
+		}
+	case MembershipRestart:
+		if err := wantArgs(1); err != nil {
+			return Event{}, err
+		}
+		shard, err := strconv.Atoi(args[0])
+		if err != nil || shard < 0 {
+			return Event{}, fmt.Errorf("chaos: event %q: bad shard %q", raw, args[0])
+		}
+		e.Shard = shard
+	case LatencyStorm:
+		if err := wantArgs(2); err != nil {
+			return Event{}, err
+		}
+		if e.Multiplier, err = argN(0, "multiplier"); err != nil {
+			return Event{}, err
+		}
+		if e.Multiplier <= 0 {
+			return Event{}, fmt.Errorf("chaos: event %q: multiplier must be positive", raw)
+		}
+		if e.DurationMs, err = argN(1, "duration"); err != nil {
+			return Event{}, err
+		}
+	case LossBurst:
+		if err := wantArgs(2); err != nil {
+			return Event{}, err
+		}
+		if e.Loss, err = argN(0, "loss"); err != nil {
+			return Event{}, err
+		}
+		if e.Loss < 0 || e.Loss > 1 {
+			return Event{}, fmt.Errorf("chaos: event %q: loss must be in [0, 1]", raw)
+		}
+		if e.DurationMs, err = argN(1, "duration"); err != nil {
+			return Event{}, err
+		}
+	case PartitionHeal:
+		if err := wantArgs(1); err != nil {
+			return Event{}, err
+		}
+		if e.DurationMs, err = argN(0, "duration"); err != nil {
+			return Event{}, err
+		}
+	default:
+		return Event{}, fmt.Errorf("chaos: event %q: unknown kind %q", raw, fields[1])
+	}
+	switch e.Kind {
+	case LatencyStorm, LossBurst, PartitionHeal:
+		if e.DurationMs <= 0 {
+			return Event{}, fmt.Errorf("chaos: event %q: duration must be positive", raw)
+		}
+	}
+	return e, nil
+}
+
+// validate checks cross-event constraints on a time-sorted schedule.
+func (s Schedule) validate() error {
+	crashed := make(map[int]bool)
+	sawCrash := false
+	for _, e := range s.Events {
+		switch e.Kind {
+		case RPCrash:
+			if e.Site >= 0 {
+				if crashed[e.Site] {
+					return fmt.Errorf("chaos: site %d crashed twice without a rejoin", e.Site)
+				}
+				crashed[e.Site] = true
+			}
+			sawCrash = true
+		case RPRejoin:
+			if !sawCrash {
+				return fmt.Errorf("chaos: rp-rejoin at %gms has no preceding rp-crash", e.AtMs)
+			}
+			if e.Site >= 0 {
+				delete(crashed, e.Site)
+			}
+		}
+	}
+	return nil
+}
+
+// Resolve pins every randomized target to a concrete one: rand sites
+// are drawn (without replacement among outstanding crashes) from the
+// seed via the same xorshift generator the fabric uses, last rejoins
+// bind to the most recent unresolved crash, and shard indices are
+// folded into range. Resolution is a pure function of (schedule, seed,
+// sites, shards): the same inputs yield a byte-identical String().
+// Resolve does not mutate the receiver.
+func (s Schedule) Resolve(seed int64, sites, shards int) (Schedule, error) {
+	if sites <= 0 {
+		return Schedule{}, fmt.Errorf("chaos: resolve needs a positive site count")
+	}
+	if shards <= 0 {
+		shards = 1
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand64(uint64(seed)*2 + 1)
+	out := Schedule{Events: make([]Event, len(s.Events))}
+	copy(out.Events, s.Events)
+	crashedStack := []int{} // unresolved crashes, most recent last
+	isCrashed := make(map[int]bool)
+	for i := range out.Events {
+		e := &out.Events[i]
+		switch e.Kind {
+		case RPCrash:
+			if e.Site == TargetRandom {
+				// Draw a not-currently-crashed site deterministically.
+				for {
+					site := int(rng.next() % uint64(sites))
+					if !isCrashed[site] {
+						e.Site = site
+						break
+					}
+				}
+			}
+			if e.Site >= sites {
+				return Schedule{}, fmt.Errorf("chaos: rp-crash site %d out of range (%d sites)", e.Site, sites)
+			}
+			isCrashed[e.Site] = true
+			crashedStack = append(crashedStack, e.Site)
+		case RPRejoin:
+			if e.Site == TargetLast || e.Site == TargetRandom {
+				if len(crashedStack) == 0 {
+					return Schedule{}, fmt.Errorf("chaos: rp-rejoin at %gms has no crashed site to bind to", e.AtMs)
+				}
+				e.Site = crashedStack[len(crashedStack)-1]
+			}
+			if e.Site >= sites {
+				return Schedule{}, fmt.Errorf("chaos: rp-rejoin site %d out of range (%d sites)", e.Site, sites)
+			}
+			if !isCrashed[e.Site] {
+				return Schedule{}, fmt.Errorf("chaos: rp-rejoin site %d is not crashed at %gms", e.Site, e.AtMs)
+			}
+			delete(isCrashed, e.Site)
+			for j := len(crashedStack) - 1; j >= 0; j-- {
+				if crashedStack[j] == e.Site {
+					crashedStack = append(crashedStack[:j], crashedStack[j+1:]...)
+					break
+				}
+			}
+		case MembershipRestart:
+			e.Shard %= shards
+		}
+	}
+	return out, nil
+}
+
+// RestartsPerShard counts membership-restart events per shard index —
+// the session layer pre-boots one standby per scheduled restart so every
+// takeover has a live target.
+func (s Schedule) RestartsPerShard(shards int) []int {
+	if shards <= 0 {
+		shards = 1
+	}
+	counts := make([]int, shards)
+	for _, e := range s.Events {
+		if e.Kind == MembershipRestart {
+			counts[e.Shard%shards]++
+		}
+	}
+	return counts
+}
+
+// rand64 is a tiny xorshift64* generator for target resolution; chaos
+// must not pull in math/rand state that other layers share.
+type rand64 uint64
+
+// next advances the generator and returns the next draw.
+func (r *rand64) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rand64(x)
+	return x * 0x2545F4914F6CDD1D
+}

@@ -132,12 +132,22 @@ type Server struct {
 	// directory is the replicated session directory distributed to RPs
 	// inside every full Routes table (see transport.Routes.Directory).
 	directory [][]string
+	// pendingPeers holds mesh address changes (a site re-registered from
+	// a new listen address after a crash/rejoin) awaiting distribution:
+	// the next flush pushes them to every site as a Peers delta, since
+	// diffRoutes deliberately never compares the static mesh.
+	pendingPeers map[int]string
 
 	// Ready is closed once routing tables have been sent to every RP.
 	ready     chan struct{}
 	readyOnce sync.Once
 	errCh     chan error
 	wg        sync.WaitGroup
+
+	// kill is closed by Kill — the chaos crash hook — and tears the
+	// server down exactly like a context cancellation would.
+	kill     chan struct{}
+	killOnce sync.Once
 }
 
 type siteState struct {
@@ -188,16 +198,28 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("membership: listen: %w", err)
 	}
 	return &Server{
-		cfg:         cfg,
-		ln:          ln,
-		sites:       make(map[int]*siteState),
-		conns:       make(map[net.Conn]struct{}),
-		cur:         make(map[int]*transport.Routes),
-		lastResub:   make(map[int]uint64),
-		pendingAcks: make(map[int][]transport.Ack),
-		ready:       make(chan struct{}),
-		errCh:       make(chan error, cfg.N+1),
+		cfg:          cfg,
+		ln:           ln,
+		sites:        make(map[int]*siteState),
+		conns:        make(map[net.Conn]struct{}),
+		cur:          make(map[int]*transport.Routes),
+		lastResub:    make(map[int]uint64),
+		pendingAcks:  make(map[int][]transport.Ack),
+		pendingPeers: make(map[int]string),
+		ready:        make(chan struct{}),
+		errCh:        make(chan error, cfg.N+1),
+		kill:         make(chan struct{}),
 	}, nil
+}
+
+// Kill crashes the server ungracefully — the chaos subsystem's
+// membership crash hook: the listener and every control connection die
+// immediately, in-flight flushes are abandoned, and no state is handed
+// off. Recovery is the standby takeover path the failover design
+// already provides (RPs re-register with the next directory entry).
+// Idempotent; safe before or after Serve.
+func (s *Server) Kill() {
+	s.killOnce.Do(func() { close(s.kill) })
 }
 
 // Addr returns the server's dial address.
@@ -249,7 +271,7 @@ func (s *Server) Flush() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.computed {
-		s.flushLocked(-1)
+		s.flushLocked(-1, false)
 	}
 }
 
@@ -270,7 +292,10 @@ func (s *Server) Serve(ctx context.Context) error {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		<-ctx.Done()
+		select {
+		case <-ctx.Done():
+		case <-s.kill:
+		}
 		s.ln.Close()
 		s.connMu.Lock()
 		for conn := range s.conns {
@@ -287,6 +312,8 @@ func (s *Server) Serve(ctx context.Context) error {
 			for {
 				select {
 				case <-ctx.Done():
+					return
+				case <-s.kill:
 					return
 				case <-t.C:
 					s.Flush()
@@ -327,6 +354,8 @@ func (s *Server) Serve(ctx context.Context) error {
 	case err := <-s.errCh:
 		s.ln.Close()
 		return err
+	case <-s.kill:
+		return errors.New("membership: server killed")
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -398,6 +427,15 @@ func (s *Server) handle(conn net.Conn) {
 		// Re-registration on a live shard (the RP lost and re-dialed the
 		// control link): drop the stale connection and resynchronize.
 		old.conn.Close()
+		if hello.Addr != old.hello.Addr && s.meshPeers != nil {
+			// A crash-rejoin from a fresh listen address: patch the cached
+			// mesh (shared by every table this server builds) and queue the
+			// change for distribution — diffRoutes never compares the
+			// static mesh, so peers only learn the new address through an
+			// explicit delta.
+			s.meshPeers[hello.Site] = hello.Addr
+			s.pendingPeers[hello.Site] = hello.Addr
+		}
 		s.resyncLocked(st)
 	}
 	s.mu.Unlock()
@@ -553,7 +591,7 @@ func (s *Server) applyResubscribe(r *transport.Resubscribe) {
 	s.dirty = true
 	s.applied++
 	if s.cfg.FlushIntervalMs <= 0 {
-		s.flushLocked(-1)
+		s.flushLocked(-1, false)
 	}
 }
 
@@ -611,21 +649,33 @@ func (s *Server) resyncLocked(st *siteState) {
 	if st.hello.Epoch > s.epoch {
 		s.epoch = st.hello.Epoch
 	}
-	s.flushLocked(site)
+	// A standby-takeover re-registration (Epoch > 0) already holds the
+	// mesh; a crash-rejoin (Epoch == 0) is a fresh process that needs it.
+	s.flushLocked(site, st.hello.Epoch == 0)
 }
 
 // flushLocked distributes the batched routing state: one epoch bump,
 // one rebuilt table, and one coalesced delta per affected site carrying
 // the acknowledgements folded into it. fullFor >= 0 forces a full
 // MsgRoutes table (not a delta) to that site — the shard-sync a
-// re-registered site needs — and flushes even when nothing is dirty.
-// Callers hold s.mu.
-func (s *Server) flushLocked(fullFor int) {
+// re-registered site needs — and flushes even when nothing is dirty;
+// withMesh keeps the static mesh in that full table (a crash-rejoined
+// fresh process has none to reuse). Pending mesh address changes are
+// folded into every other site's delta. Callers hold s.mu.
+func (s *Server) flushLocked(fullFor int, withMesh bool) {
 	if !s.dirty && fullFor < 0 {
 		return
 	}
 	s.epoch++
 	next := s.buildRoutes(s.forest)
+	var peerPatch map[int]string
+	if len(s.pendingPeers) > 0 {
+		peerPatch = make(map[int]string, len(s.pendingPeers))
+		for site, addr := range s.pendingPeers {
+			peerPatch[site] = addr
+		}
+		s.pendingPeers = make(map[int]string)
+	}
 	// Deltas are cumulative per site, so they must hit each connection in
 	// epoch order: pushing under the lock serializes concurrent flushes
 	// end to end. Control messages are small and the RPs' control loops
@@ -636,25 +686,31 @@ func (s *Server) flushLocked(fullFor int) {
 			s.cur[i] = next[i]
 			delete(s.pendingAcks, i)
 			if st := s.sites[i]; st != nil {
-				// The resynced site re-registered, so it holds the mesh
-				// already (see stripMesh).
-				_ = st.write(&transport.Message{Type: transport.MsgRoutes, Routes: stripMesh(next[i])})
+				out := next[i]
+				if !withMesh {
+					// The resynced site re-registered with its old mesh
+					// intact (standby takeover), so omit it (see stripMesh).
+					out = stripMesh(out)
+				}
+				_ = st.write(&transport.Message{Type: transport.MsgRoutes, Routes: out})
 			}
 			continue
 		}
 		u := diffRoutes(s.cur[i], next[i])
 		acks := s.pendingAcks[i]
-		if u == nil && len(acks) == 0 {
+		if u == nil && len(acks) == 0 && peerPatch == nil {
 			continue
 		}
 		if u == nil {
 			// A requester always gets an acknowledgement, even when its
-			// own table is unchanged (e.g. every gain was rejected).
+			// own table is unchanged (e.g. every gain was rejected), and a
+			// mesh patch reaches every site regardless of forest changes.
 			u = &transport.RoutesUpdate{Site: i}
 		}
 		u.Epoch = s.epoch
 		u.Shard = s.cfg.Shard
 		u.Acks = acks
+		u.Peers = peerPatch
 		if len(acks) == 1 {
 			u.ReplyTo = acks[0].ID
 		}

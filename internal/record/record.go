@@ -53,6 +53,16 @@ type Record struct {
 	Shards             int     `json:"shards"`
 	Failovers          int     `json:"failovers"`
 	FailoverRecoveryMs float64 `json:"failover_recovery_ms"`
+	// ChaosSchedule is the fully resolved fault schedule a chaos run
+	// injected (empty when none) — replayable byte for byte with the
+	// row's seed. ChaosEvents counts the injected faults,
+	// ChaosRecoveryMs is the slowest per-fault recovery, and Retries is
+	// the run's total redial attempts through the shared transport
+	// backoff layer (crashed peers, killed membership servers).
+	ChaosSchedule   string  `json:"chaos_schedule,omitempty"`
+	ChaosEvents     int     `json:"chaos_events"`
+	ChaosRecoveryMs float64 `json:"chaos_recovery_ms"`
+	Retries         int64   `json:"retries"`
 	// Tenant and SLOClass identify the tenant a multi-tenant cluster
 	// row reports on (tenant 0 with an empty class for single-tenant
 	// records); Admitted counts the tenant's lifetime stream
@@ -75,6 +85,7 @@ var CSVHeader = []string{
 	"relay_fraction", "churn_rate", "churn_mix", "scenario", "churn_events",
 	"disruption_mean_ms", "disruption_max_ms", "delivered_fraction",
 	"shards", "failovers", "failover_recovery_ms",
+	"chaos_schedule", "chaos_events", "chaos_recovery_ms", "retries",
 	"tenant", "slo_class", "admitted", "rejections", "elapsed_ms",
 }
 
@@ -92,6 +103,8 @@ func (r Record) CSVRow() []string {
 		f(r.ChurnRate), f(r.ChurnMix), r.Scenario, f(r.ChurnEvents),
 		f(r.DisruptionMeanMs), f(r.DisruptionMaxMs), f(r.DeliveredFraction),
 		strconv.Itoa(r.Shards), strconv.Itoa(r.Failovers), f(r.FailoverRecoveryMs),
+		r.ChaosSchedule, strconv.Itoa(r.ChaosEvents), f(r.ChaosRecoveryMs),
+		strconv.FormatInt(r.Retries, 10),
 		strconv.Itoa(r.Tenant), r.SLOClass, strconv.Itoa(r.Admitted), strconv.Itoa(r.Rejections),
 		strconv.FormatFloat(r.ElapsedMs, 'f', 1, 64),
 	}

@@ -142,11 +142,14 @@ func TestSinkColumnsAgree(t *testing.T) {
 			t.Errorf("column %s: unhandled JSONL type %T", name, jv)
 		}
 	}
-	// Per-tenant columns must be present by name: the tenant smoke job
-	// greps for them in JSONL output.
-	for _, name := range []string{"tenant", "slo_class", "admitted", "rejections"} {
+	// Per-tenant and chaos columns must be present by name: the tenant
+	// and chaos smoke jobs grep for them in JSONL output.
+	for _, name := range []string{
+		"tenant", "slo_class", "admitted", "rejections",
+		"chaos_schedule", "chaos_events", "chaos_recovery_ms", "retries",
+	} {
 		if _, ok := fromJSON[name]; !ok {
-			t.Errorf("per-tenant column %s missing from JSONL output", name)
+			t.Errorf("column %s missing from JSONL output", name)
 		}
 	}
 }

@@ -111,6 +111,29 @@ type Config struct {
 	// plane. nil disables admission — the legacy single-session
 	// behaviour.
 	Admission *Admission
+
+	// Backoff is the retry policy for every dial the node performs
+	// (registration, control-plane failover, peer links). Zero fields
+	// take the transport package defaults; the jitter seed, when unset,
+	// is derived from Seed and Site so concurrent nodes decorrelate.
+	Backoff transport.Backoff
+
+	// RetryStats, when non-nil, is the shared counter dial retries are
+	// recorded into (the live session aggregates one across all its
+	// nodes); nil means a private counter readable via Retries.
+	RetryStats *transport.RetryStats
+
+	// ResubFloor seeds the node's resubscribe-ID high-water mark. A
+	// node rejoining after a crash must carry the crashed node's floor
+	// (LastResubID) so its fresh IDs are not suppressed as duplicates
+	// by servers that remember the old node's mark.
+	ResubFloor uint64
+
+	// SeqFloor fast-forwards the camera rig so the first published
+	// frame carries at least this sequence number. A rejoining node
+	// seeds it with the crashed node's NextSeq; otherwise receivers'
+	// duplicate watermarks would swallow every frame it publishes.
+	SeqFloor uint64
 }
 
 // Delivery is one frame handed to the local displays.
@@ -285,10 +308,14 @@ type Node struct {
 	shards  int
 	resubID atomic.Uint64
 
+	backoff transport.Backoff
+	retry   *transport.RetryStats
+
 	mu           sync.Mutex
 	dir          [][]string
 	desired      map[stream.ID]bool
 	peers        map[int]*peerLink
+	peerConn     map[int]*peerConnState
 	inbound      map[net.Conn]struct{}
 	stats        map[stream.ID]*StreamStats
 	pendingGain  map[stream.ID]gainMark
@@ -304,6 +331,16 @@ type Node struct {
 	ctx        context.Context
 	cancel     context.CancelFunc
 	wg         sync.WaitGroup
+	downOnce   sync.Once // guards teardown (Close, Crash, ctx watcher)
+}
+
+// peerConnState tracks the (re)connection state of one outgoing peer
+// link: single-flight for the background connector, and a dead marker
+// once the retry budget is exhausted so frames stop triggering dials.
+// A routing update that changes the peer's address revives it.
+type peerConnState struct {
+	connecting bool
+	dead       bool
 }
 
 // peerLink is an outgoing connection with WAN delay emulation.
@@ -340,26 +377,44 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	rig.AdvanceTo(cfg.SeqFloor)
 	desired := make(map[stream.ID]bool, len(cfg.Subscriptions))
 	for _, id := range cfg.Subscriptions {
 		desired[id] = true
 	}
-	return &Node{
+	backoff := cfg.Backoff
+	if backoff.Seed == 0 {
+		// Decorrelate concurrent nodes' jitter deterministically.
+		backoff.Seed = cfg.Seed + int64(cfg.Site)*7919 + 1
+	}
+	retry := cfg.RetryStats
+	if retry == nil {
+		retry = &transport.RetryStats{}
+	}
+	n := &Node{
 		cfg:         cfg,
 		rig:         rig,
 		ready:       make(chan struct{}),
+		backoff:     backoff,
+		retry:       retry,
 		desired:     desired,
 		peers:       make(map[int]*peerLink),
+		peerConn:    make(map[int]*peerConnState),
 		inbound:     make(map[net.Conn]struct{}),
 		stats:       make(map[stream.ID]*StreamStats),
 		pendingGain: make(map[stream.ID]gainMark),
 		inflight:    make(map[uint64]*inflightReq),
 		deliveries:  make(chan Delivery, cfg.DeliveryBuffer),
-	}, nil
+	}
+	n.resubID.Store(cfg.ResubFloor)
+	return n, nil
 }
 
 // Addr returns the node's peer-facing address (valid after Start).
 func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Site returns the site index the node serves.
+func (n *Node) Site() int { return n.cfg.Site }
 
 // Start listens for peers, registers with every membership shard, and
 // blocks until the initial routing tables arrive or ctx is cancelled.
@@ -374,6 +429,15 @@ func (n *Node) Start(ctx context.Context) error {
 	}
 	n.ln = ln
 	n.ctx, n.cancel = context.WithCancel(ctx)
+
+	// An ungraceful disconnect (session context cancelled without a
+	// graceful Close — a crash, from the fabric's point of view) must
+	// still return the node's uplink bookings to the admission pool:
+	// the watcher runs the same idempotent teardown Close and Crash use.
+	go func() {
+		<-n.ctx.Done()
+		n.teardown()
+	}()
 
 	// Admission gates the initial subscription set before registration:
 	// a denied stream never reaches the membership plane, so it cannot
@@ -407,7 +471,7 @@ func (n *Node) Start(ctx context.Context) error {
 	n.ctrls = make([]*ctrlLink, n.shards)
 	routes := make([]*transport.Routes, n.shards)
 	for k := range dir {
-		conn, r, err := n.register(ctx, k, dir[k][0], false)
+		conn, r, err := n.registerBoot(ctx, k, dir[k])
 		if err != nil {
 			n.Close()
 			return err
@@ -425,16 +489,55 @@ func (n *Node) Start(ctx context.Context) error {
 	return nil
 }
 
+// registerBoot performs a shard's initial registration. A single-entry
+// directory rides the full backoff schedule against the one server — the
+// legacy boot path, byte for byte. A failover-capable directory is swept
+// instead (single-attempt dials paced by the backoff policy, starting at
+// the primary): a node booting mid-session — a chaos rejoin — may find
+// the primary already restarted away, and the live server is then some
+// later directory entry. Dead entries fail the dial fast, so the sweep
+// converges on the live one within the same total patience budget.
+func (n *Node) registerBoot(ctx context.Context, shard int, addrs []string) (net.Conn, *transport.Routes, error) {
+	if len(addrs) == 1 {
+		return n.register(ctx, shard, addrs[0], false, n.backoff)
+	}
+	oneShot := n.backoff
+	oneShot.Attempts = -1
+	attempts := n.backoff.Attempts
+	if attempts <= 0 {
+		attempts = transport.DefaultBackoffAttempts
+	}
+	attempts *= len(addrs)
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if err := n.backoff.Sleep(ctx, a-1); err != nil {
+				return nil, nil, err
+			}
+			n.retry.Add(1)
+		}
+		conn, r, err := n.register(ctx, shard, addrs[a%len(addrs)], false, oneShot)
+		if err == nil {
+			return conn, r, nil
+		}
+		lastErr = err
+	}
+	return nil, nil, lastErr
+}
+
 // register dials one membership server, performs the Hello/Subscribe
 // handshake, and blocks until the shard's routing table arrives (or ctx
 // is cancelled). A re-registration after a control failure carries the
 // node's current desired subscription set, its last-seen epoch for the
 // shard, and its resubscribe-ID high-water mark, so the successor can
-// reconstruct shard state without double-applying retried diffs.
-func (n *Node) register(ctx context.Context, shard int, addr string, reregister bool) (net.Conn, *transport.Routes, error) {
+// reconstruct shard state without double-applying retried diffs. The
+// dial goes through the shared retry helper under the given policy
+// (initial registration rides the full backoff schedule; failover
+// passes a single-attempt policy and paces its own directory sweep).
+func (n *Node) register(ctx context.Context, shard int, addr string, reregister bool, b transport.Backoff) (net.Conn, *transport.Routes, error) {
 	// The fabric dialer honours ctx and its own timeout, so a dead
 	// membership server fails the handshake instead of hanging.
-	conn, err := n.cfg.Network.DialContext(ctx, addr)
+	conn, err := transport.DialWithRetry(ctx, n.cfg.Network, addr, b, n.retry)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rp: site %d dial membership shard %d: %w", n.cfg.Site, shard, err)
 	}
@@ -634,11 +737,23 @@ func (n *Node) dirFor(shard int) []string {
 
 // failover re-registers the shard with successive addresses from the
 // session directory until one delivers a shard table, then swaps the
-// control link and resynchronizes. Returns false when the node is
+// control link and resynchronizes. Each candidate gets a single fast
+// dial (a dead server must not hold up the sweep to the next standby);
+// the sweep itself is paced by the shared backoff policy, and every
+// paced round counts as a retry. Returns false when the node is
 // shutting down or every candidate failed.
 func (n *Node) failover(l *ctrlLink) bool {
 	detected := time.Now()
-	const attempts = 100
+	oneShot := n.backoff
+	oneShot.Attempts = -1
+	attempts := n.backoff.Attempts
+	if attempts <= 0 {
+		attempts = transport.DefaultBackoffAttempts
+	}
+	// Each directory candidate deserves the full schedule: the standby
+	// for a chaos restart may still be computing its first tables while
+	// the node sweeps.
+	attempts *= 3
 	for a := 0; a < attempts; a++ {
 		if n.ctx.Err() != nil {
 			return false
@@ -650,18 +765,17 @@ func (n *Node) failover(l *ctrlLink) bool {
 		// Start from the first standby; wrap through the whole list so a
 		// recovered primary is also a valid successor.
 		addr := addrs[(a+1)%len(addrs)]
-		conn, routes, err := n.register(n.ctx, l.shard, addr, true)
+		conn, routes, err := n.register(n.ctx, l.shard, addr, true, oneShot)
 		if err == nil {
 			l.set(conn)
 			n.applySync(routes)
 			n.recordFailover(FailoverEvent{Shard: l.shard, Detected: detected, Restored: time.Now()})
 			return true
 		}
-		select {
-		case <-n.ctx.Done():
+		if err := n.backoff.Sleep(n.ctx, a); err != nil {
 			return false
-		case <-time.After(50 * time.Millisecond):
 		}
+		n.retry.Add(1)
 	}
 	n.recordErr(fmt.Errorf("rp: site %d shard %d failover: no successor reachable", n.cfg.Site, l.shard))
 	return false
@@ -735,6 +849,17 @@ func (n *Node) applyUpdate(u *transport.RoutesUpdate) {
 			r.Peers[k] = v
 		}
 		for k, v := range u.Peers {
+			// A changed address means the peer restarted (crash/rejoin):
+			// drop any stale link and revive a dead-marked peer so the
+			// next frame redials the new address.
+			if old, ok := r.Peers[k]; ok && old != v {
+				if link := n.peers[k]; link != nil {
+					link.conn.Close()
+				}
+				if st := n.peerConn[k]; st != nil {
+					st.dead = false
+				}
+			}
 			r.Peers[k] = v
 		}
 	}
@@ -1129,35 +1254,62 @@ func (n *Node) PublishTick() error {
 }
 
 // dispatch forwards a frame (local or received) to the overlay children
-// its stream has under the given table snapshot.
+// its stream has under the given table snapshot. A child whose link is
+// down (connector still backing off, or retry budget exhausted) simply
+// misses the frame — video semantics, the same as a queue overflow —
+// so one crashed peer never stalls the whole fan-out.
 func (n *Node) dispatch(f *stream.Frame, tbl *routingTable) error {
 	for _, child := range tbl.forward[f.Stream] {
-		link, err := n.peer(child, tbl)
-		if err != nil {
-			return err
+		if link := n.peer(child, tbl); link != nil {
+			link.send(f)
 		}
-		link.send(f)
 	}
 	return nil
 }
 
-// peer returns (dialing on first use) the outgoing link to a site. The
+// peer returns the outgoing link to a site, dialing on first use. The
 // dial and handshake happen outside n.mu — a slow or unreachable peer
 // must not stall frame receipt or routing updates on this node — so two
 // dispatchers can race to create the same link; the loser's connection
-// is discarded.
-func (n *Node) peer(site int, tbl *routingTable) (*peerLink, error) {
+// is discarded. A failed dial hands the site to the background
+// reconnector (single-flight, shared backoff policy) and returns nil;
+// frames toward the site are dropped until it succeeds. A site whose
+// retry budget is exhausted is marked dead and surfaces through Err;
+// a routing update that moves the site's address revives it.
+func (n *Node) peer(site int, tbl *routingTable) *peerLink {
 	n.mu.Lock()
-	link, ok := n.peers[site]
-	n.mu.Unlock()
-	if ok {
-		return link, nil
+	if link, ok := n.peers[site]; ok {
+		n.mu.Unlock()
+		return link
 	}
+	st := n.peerConn[site]
+	if st == nil {
+		st = &peerConnState{}
+		n.peerConn[site] = st
+	}
+	if st.dead || st.connecting {
+		n.mu.Unlock()
+		return nil
+	}
+	n.mu.Unlock()
+	link, err := n.dialPeer(site, tbl)
+	if err != nil {
+		n.reconnectPeer(site, st)
+		return nil
+	}
+	return link
+}
+
+// dialPeer performs one dial + handshake toward a peer and installs the
+// resulting link (discarding it if a racing dispatcher won).
+func (n *Node) dialPeer(site int, tbl *routingTable) (*peerLink, error) {
 	addr, ok := tbl.routes.Peers[site]
 	if !ok {
 		return nil, fmt.Errorf("rp: site %d has no address for peer %d", n.cfg.Site, site)
 	}
-	conn, err := n.cfg.Network.DialContext(n.ctx, addr)
+	oneShot := n.backoff
+	oneShot.Attempts = -1
+	conn, err := transport.DialWithRetry(n.ctx, n.cfg.Network, addr, oneShot, n.retry)
 	if err != nil {
 		return nil, fmt.Errorf("rp: site %d dial peer %d: %w", n.cfg.Site, site, err)
 	}
@@ -1172,7 +1324,7 @@ func (n *Node) peer(site int, tbl *routingTable) (*peerLink, error) {
 	if n.cfg.Network.EmulatesWAN() {
 		delay = 0
 	}
-	link = &peerLink{
+	link := &peerLink{
 		conn:  conn,
 		delay: delay,
 		queue: make(chan timedFrame, 1024),
@@ -1189,11 +1341,81 @@ func (n *Node) peer(site int, tbl *routingTable) (*peerLink, error) {
 	go func() {
 		defer n.wg.Done()
 		link.run(n.ctx)
-		if err := link.err; err != nil {
-			n.recordErr(fmt.Errorf("rp: site %d link to peer %d: %w", n.cfg.Site, site, err))
+		n.mu.Lock()
+		if n.peers[site] == link {
+			delete(n.peers, site)
+		}
+		st := n.peerConn[site]
+		if st == nil {
+			st = &peerConnState{}
+			n.peerConn[site] = st
+		}
+		n.mu.Unlock()
+		if link.err != nil && n.ctx.Err() == nil {
+			// A severed write is not instantly fatal any more: the peer
+			// may be mid crash/rejoin, so hand the site to the
+			// reconnector and only surface an error if that exhausts.
+			n.reconnectPeer(site, st)
 		}
 	}()
 	return link, nil
+}
+
+// reconnectPeer runs the background redial loop for one peer site under
+// the shared backoff policy (single-flight per site). Each attempt
+// re-resolves the peer's address from the current routing table, so a
+// rejoined peer's new address — delivered by a membership Peers delta —
+// is picked up mid-loop. Exhausting the budget marks the site dead and
+// surfaces the node's first error, preserving the contract that a
+// permanently severed peer link fails the session.
+func (n *Node) reconnectPeer(site int, st *peerConnState) {
+	n.mu.Lock()
+	if st.dead || st.connecting {
+		n.mu.Unlock()
+		return
+	}
+	st.connecting = true
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		finish := func(dead bool) {
+			n.mu.Lock()
+			st.connecting = false
+			st.dead = dead
+			n.mu.Unlock()
+		}
+		attempts := n.backoff.Attempts
+		if attempts <= 0 {
+			attempts = transport.DefaultBackoffAttempts
+		}
+		var lastErr error
+		for a := 0; a < attempts; a++ {
+			if err := n.backoff.Sleep(n.ctx, a); err != nil {
+				finish(false)
+				return
+			}
+			n.retry.Add(1)
+			tbl := n.table()
+			if tbl == nil {
+				finish(false)
+				return
+			}
+			if _, err := n.dialPeer(site, tbl); err == nil {
+				finish(false)
+				return
+			} else {
+				lastErr = err
+			}
+			if n.ctx.Err() != nil {
+				finish(false)
+				return
+			}
+		}
+		finish(true)
+		n.recordErr(fmt.Errorf("rp: site %d link to peer %d: %d attempts exhausted: %w",
+			n.cfg.Site, site, attempts, lastErr))
+	}()
 }
 
 // recordErr keeps the first asynchronous failure (a severed peer link, a
@@ -1399,35 +1621,88 @@ func (n *Node) Err() error {
 	return n.firstErr
 }
 
+// teardown is the single shutdown path shared by Close, Crash and the
+// ungraceful-disconnect watcher: cancel, sever every connection, wait
+// for all goroutines, then release admission bookings. Idempotent —
+// whichever caller arrives first runs it; the rest block until it has
+// completed (sync.Once semantics), so Close still waits for a teardown
+// the context watcher started.
+func (n *Node) teardown() {
+	n.downOnce.Do(func() {
+		if n.cancel != nil {
+			n.cancel()
+		}
+		if n.ln != nil {
+			n.ln.Close()
+		}
+		for _, l := range n.ctrls {
+			if l != nil {
+				l.close()
+			}
+		}
+		n.mu.Lock()
+		for _, link := range n.peers {
+			link.conn.Close()
+		}
+		for conn := range n.inbound {
+			conn.Close()
+		}
+		n.mu.Unlock()
+		n.wg.Wait()
+		// Return the uplink bookings after every worker has drained so a
+		// late shed cannot re-book what the close already released.
+		if n.cfg.Admission != nil {
+			n.cfg.Admission.unbind(n.cfg.Tenant, n.cfg.Site)
+			n.cfg.Admission.Release(n.cfg.Uplink, n.cfg.Tenant, n.cfg.Site, n.desiredSnapshot())
+		}
+	})
+}
+
 // Close shuts the node down, waits for all goroutines, and returns the
 // first asynchronous failure observed during the session (nil on a clean
 // run).
 func (n *Node) Close() error {
-	if n.cancel != nil {
-		n.cancel()
-	}
-	if n.ln != nil {
-		n.ln.Close()
-	}
-	for _, l := range n.ctrls {
-		if l != nil {
-			l.close()
-		}
-	}
-	n.mu.Lock()
-	for _, link := range n.peers {
-		link.conn.Close()
-	}
-	for conn := range n.inbound {
-		conn.Close()
-	}
-	n.mu.Unlock()
-	n.wg.Wait()
-	// Return the uplink bookings after every worker has drained so a
-	// late shed cannot re-book what the close already released.
-	if n.cfg.Admission != nil {
-		n.cfg.Admission.unbind(n.cfg.Tenant, n.cfg.Site)
-		n.cfg.Admission.Release(n.cfg.Uplink, n.cfg.Tenant, n.cfg.Site, n.desiredSnapshot())
-	}
+	n.teardown()
 	return n.Err()
+}
+
+// Crash tears the node down ungracefully — the fault injector's view of
+// a process kill: the listener and every connection die immediately, no
+// goodbye reaches the membership plane or the peers, and any error the
+// abrupt teardown produced is deliberately not consulted. The admission
+// bookings are still returned to the uplink pool (the conn-teardown
+// release), which is exactly what a real supervisor reclaiming a dead
+// process's reservations would do. A crashed site rejoins as a fresh
+// Node carrying Desired() and LastResubID() from the corpse.
+func (n *Node) Crash() {
+	n.teardown()
+}
+
+// Desired snapshots the node's current desired subscription set, sorted
+// — the state a rejoining replacement registers with.
+func (n *Node) Desired() []stream.ID {
+	return n.desiredSnapshot()
+}
+
+// LastResubID returns the node's resubscribe-ID high-water mark; a
+// rejoining replacement passes it as Config.ResubFloor so the servers'
+// duplicate suppression does not eat the new node's fresh diffs.
+func (n *Node) LastResubID() uint64 {
+	return n.resubID.Load()
+}
+
+// NextSeq returns the sequence number the node's next published frame
+// will carry; a rejoining replacement passes it as Config.SeqFloor so
+// receivers' duplicate watermarks do not swallow its frames. Callers
+// must have stopped publishing (the node is crashed or closed).
+func (n *Node) NextSeq() uint64 {
+	return n.rig.NextSeq()
+}
+
+// Retries reports the dial retries this node performed (all paths:
+// registration, failover sweep, peer reconnects). When the node was
+// built with a shared Config.RetryStats the count includes every node
+// on that counter.
+func (n *Node) Retries() int64 {
+	return n.retry.Total()
 }

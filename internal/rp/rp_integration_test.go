@@ -18,6 +18,22 @@ func testProfile() stream.Profile {
 	return stream.Profile{Width: 64, Height: 48, FPS: 15, CompressionRatio: 10}
 }
 
+// pollUntil re-checks cond every few milliseconds until it holds or the
+// bound passes — the bounded replacement for fixed drain sleeps: the
+// test proceeds the moment the condition is met, and fails only if it
+// genuinely never holds within the bound.
+func pollUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
 // startSession boots a membership server and N RPs on loopback and waits
 // until every RP has its routing table.
 func startSession(t *testing.T, cost [][]float64, bcost float64, subs [][]stream.ID, cameras int) (*membership.Server, []*Node, context.CancelFunc) {
@@ -104,9 +120,20 @@ func TestThreeSiteSessionDeliversSubscribedStreams(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	// Allow in-flight frames (max edge delay 20ms, possibly 2 hops) to
-	// drain.
-	time.Sleep(300 * time.Millisecond)
+	// Wait for in-flight frames (max edge delay 20ms, possibly 2 hops)
+	// to drain: every subscription must reach the half-delivery floor the
+	// assertions below demand.
+	pollUntil(t, 5*time.Second, "subscribed frames to drain", func() bool {
+		for i, node := range nodes {
+			stats := node.Stats()
+			for _, want := range subs[i] {
+				if stats[want].Frames < ticks/2 {
+					return false
+				}
+			}
+		}
+		return true
+	})
 
 	for i, node := range nodes {
 		stats := node.Stats()
@@ -211,17 +238,24 @@ func TestRelayedDeliveryThroughIntermediateRP(t *testing.T) {
 		t.Fatalf("expected relayed tree with source out-degree 1, got dout=%d", f.OutDegree(0))
 	}
 
-	for k := 0; k < 8; k++ {
+	const relayTicks = 8
+	for k := 0; k < relayTicks; k++ {
 		if err := nodes[0].PublishTick(); err != nil {
 			t.Fatal(err)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	time.Sleep(300 * time.Millisecond)
 
-	// Identify the relay (source's single child) and the far node.
+	// Identify the relay (source's single child) and the far node, then
+	// wait until every published frame has crossed both hops — the mean
+	// latencies compared below need the full set.
 	relay := tr.Children(0)[0]
-	far := 3 - relay // the other subscriber of {1,2}
+	far := 3 - relay
+	id := stream.ID{Site: 0, Index: 0}
+	pollUntil(t, 5*time.Second, "relayed frames to drain", func() bool {
+		return nodes[relay].Stats()[id].Frames >= relayTicks &&
+			nodes[far].Stats()[id].Frames >= relayTicks
+	}) // the other subscriber of {1,2}
 	relayStats := nodes[relay].Stats()[stream.ID{Site: 0, Index: 0}]
 	farStats := nodes[far].Stats()[stream.ID{Site: 0, Index: 0}]
 	if relayStats.Frames == 0 || farStats.Frames == 0 {
@@ -389,15 +423,7 @@ func TestMidSessionReroute(t *testing.T) {
 	}()
 
 	waitFor := func(what string, cond func() bool) {
-		t.Helper()
-		deadline := time.Now().Add(5 * time.Second)
-		for time.Now().Before(deadline) {
-			if cond() {
-				return
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
-		t.Fatalf("timeout waiting for %s", what)
+		pollUntil(t, 5*time.Second, what, cond)
 	}
 	waitFor("frames at far before the swap", func() bool {
 		return nodes[far].Stats()[s00].Frames > 3
@@ -574,14 +600,20 @@ func TestSeveredPeerLinkSurfacesError(t *testing.T) {
 	_, nodes, cleanup := startSession(t, cost, 100, subs, 1)
 	defer cleanup()
 
-	// Prime the link, then sever the subscriber.
+	// Prime the link — wait for a frame to actually cross it — then
+	// sever the subscriber.
 	if err := nodes[0].PublishTick(); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(50 * time.Millisecond)
+	pollUntil(t, 5*time.Second, "priming frame at the subscriber", func() bool {
+		return nodes[1].Stats()[stream.ID{Site: 0, Index: 0}].Frames > 0
+	})
 	nodes[1].Close()
 
-	deadline := time.Now().Add(5 * time.Second)
+	// The writer rides the shared retry layer before giving the peer up
+	// (~3.6s of capped exponential backoff), so the surfacing deadline
+	// must sit well past retry exhaustion.
+	deadline := time.Now().Add(10 * time.Second)
 	for nodes[0].Err() == nil && time.Now().Before(deadline) {
 		if err := nodes[0].PublishTick(); err != nil {
 			break // dispatch errors are also acceptable surfacing

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/tele3d/tele3d/internal/chaos"
 	"github.com/tele3d/tele3d/internal/geo"
 	"github.com/tele3d/tele3d/internal/sim"
 	"github.com/tele3d/tele3d/internal/stream"
@@ -92,6 +93,13 @@ type ClusterConfig struct {
 	// FlushIntervalMs batches each membership server's route
 	// distribution; 0 distributes inline per event.
 	FlushIntervalMs float64
+	// ChaosSchedule is the declarative fault schedule injected on the
+	// session clock (chaos.ParseSchedule grammar, e.g.
+	// "300:rp-crash:rand;900:rp-rejoin:last;1200:latency-storm:5:400").
+	// Symbolic targets are resolved deterministically from the session
+	// seed. Required by ScenarioChaos, allowed alongside any other
+	// scenario; "" injects nothing.
+	ChaosSchedule string
 }
 
 // withDefaults fills the zero values.
@@ -120,6 +128,11 @@ type ClusterResult struct {
 	// applied over the wire; Impairments the fabric impairments applied.
 	Events      int
 	Impairments []string
+	// ChaosSchedule is the fully resolved fault schedule the run
+	// injected, in the grammar's canonical rendering ("" when none):
+	// the same schedule string and seed always reproduce it byte for
+	// byte.
+	ChaosSchedule string
 	// Live is the measured outcome; Sim the event-driven simulator's
 	// prediction for the same trace over the same forest. The simulator
 	// does not model fabric impairments, so under partition or slow-link
@@ -169,6 +182,28 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterResult, error) 
 		return nil, fmt.Errorf("session: scenario %s: %w", sc.Name, err)
 	}
 
+	// Resolve the chaos schedule before anything boots: parse errors and
+	// impossible targets fail fast, and the resolution is deterministic
+	// in (schedule, seed, N, shards) so reruns inject identical faults.
+	var chaosSchedule chaos.Schedule
+	if cfg.Scenario == ScenarioChaos && cfg.ChaosSchedule == "" {
+		return nil, fmt.Errorf("session: scenario %s requires a chaos schedule", ScenarioChaos)
+	}
+	if cfg.ChaosSchedule != "" {
+		parsed, err := chaos.ParseSchedule(cfg.ChaosSchedule)
+		if err != nil {
+			return nil, fmt.Errorf("session: chaos schedule: %w", err)
+		}
+		shards := cfg.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		chaosSchedule, err = parsed.Resolve(seed, s.Workload.N(), shards)
+		if err != nil {
+			return nil, fmt.Errorf("session: chaos schedule: %w", err)
+		}
+	}
+
 	fabric := transport.NewVirtualNetwork(transport.VirtualConfig{
 		Seed:  seed,
 		Links: transport.SiteLinks(s.Sites.Cost, cfg.Link),
@@ -186,6 +221,7 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterResult, error) 
 		Shards:          cfg.Shards,
 		FlushIntervalMs: cfg.FlushIntervalMs,
 		Failover:        plan.Failover,
+		Chaos:           chaosSchedule,
 		// The impairment scheduler starts on the session clock: AtMs is
 		// relative to the first published frame, like the trace's times.
 		OnStart: func() {
@@ -221,6 +257,9 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterResult, error) 
 		Events:   len(plan.Trace),
 		Live:     live,
 		Sim:      pred,
+	}
+	if len(chaosSchedule.Events) > 0 {
+		res.ChaosSchedule = chaosSchedule.String()
 	}
 	for _, imp := range plan.Impairments {
 		res.Impairments = append(res.Impairments, fmt.Sprintf("%.0fms: %s", imp.AtMs, imp.Note))

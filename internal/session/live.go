@@ -20,6 +20,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/tele3d/tele3d/internal/chaos"
 	"github.com/tele3d/tele3d/internal/membership"
 	"github.com/tele3d/tele3d/internal/overlay"
 	"github.com/tele3d/tele3d/internal/rp"
@@ -97,6 +98,13 @@ type LiveConfig struct {
 	// charged against (typically its PoP); consulted only when
 	// Admission is set. nil charges every site to one unnamed uplink.
 	Uplinks []string
+	// Chaos, when non-empty, is the resolved fault schedule injected on
+	// the session clock (see internal/chaos): RP crashes and rejoins,
+	// membership restarts through pre-booted standby chains, fabric
+	// storms, loss bursts and partitions. The schedule must be resolved
+	// (no symbolic targets); fabric events require a virtual fabric, and
+	// membership restarts cannot be combined with Failover.
+	Chaos chaos.Schedule
 }
 
 // FailoverSpec schedules a mid-session membership crash for one shard.
@@ -167,6 +175,18 @@ type LiveResult struct {
 	// admission controller denied across the session's RPs (0 without
 	// admission).
 	AdmissionRejections int
+	// ChaosEvents counts the chaos faults injected (0 on a chaos-free
+	// run); ChaosRecoveryMs is the worst per-fault recovery — the
+	// blocking span of rejoins and membership takeovers, the window
+	// length of storms and partitions. Chaos holds every fault's
+	// outcome in schedule order.
+	ChaosEvents     int
+	ChaosRecoveryMs float64
+	Chaos           []chaos.Outcome
+	// Retries totals the transport-level dial retries the cluster's
+	// nodes performed (registration, failover sweeps, peer reconnects)
+	// — 0 on a healthy run with an undisturbed fabric.
+	Retries int64
 }
 
 func (c LiveConfig) withDefaults() LiveConfig {
@@ -246,6 +266,13 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 	if cfg.Failover != nil && (cfg.Failover.Shard < 0 || cfg.Failover.Shard >= shards) {
 		return nil, fmt.Errorf("session: failover shard %d out of range [0, %d)", cfg.Failover.Shard, shards)
 	}
+	vnet, _ := cfg.Fabric.(*transport.VirtualNetwork)
+	chaosActive := len(cfg.Chaos.Events) > 0
+	if chaosActive {
+		if err := validateChaos(cfg.Chaos, n, shards, vnet != nil, cfg.Failover); err != nil {
+			return nil, err
+		}
+	}
 
 	// Every shard server receives the full registration workload and
 	// constructs the identical forest (same seed, same algorithm), but
@@ -289,6 +316,32 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 		}
 		directory[cfg.Failover.Shard] = append(directory[cfg.Failover.Shard], standby.Addr())
 	}
+	// Chaos membership restarts consume a pre-booted standby chain per
+	// shard: every chain server is listed in the shard's directory (in
+	// takeover order) and starts listening now, so a restart is purely
+	// the RPs' re-registration sweep finding the next live entry.
+	var chains [][]takeover
+	if chaosActive {
+		chains = make([][]takeover, shards)
+		for k, cnt := range cfg.Chaos.RestartsPerShard(shards) {
+			for j := 0; j < cnt; j++ {
+				srv, err := membership.New(membership.Config{
+					N: n, Cost: s.Sites.Cost, Bcost: s.Problem.Bcost,
+					Algorithm: cfg.Algorithm, Seed: cfg.Seed,
+					Network:         cfg.Fabric.Host(transport.TenantChaosStandbyHost(cfg.Tenant, k, j)),
+					Shards:          shards,
+					Shard:           k,
+					FlushIntervalMs: cfg.FlushIntervalMs,
+					Tenant:          cfg.Tenant,
+				})
+				if err != nil {
+					return nil, err
+				}
+				chains[k] = append(chains[k], takeover{srv: srv, done: make(chan error, 1)})
+				directory[k] = append(directory[k], srv.Addr())
+			}
+		}
+	}
 	srvErrs := make([]chan error, shards)
 	for k := 0; k < shards; k++ {
 		srvs[k].SetDirectory(directory)
@@ -305,14 +358,48 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 		// outcome is the failover itself, surfaced through the RPs.
 		go func() { _ = standby.Serve(ctx) }()
 	}
+	for k := range chains {
+		for _, to := range chains[k] {
+			to.srv.SetDirectory(directory)
+			to := to
+			// Serve returns once every RP has re-registered with this
+			// server — the takeover signal RestartMembership blocks on.
+			go func() { to.done <- to.srv.Serve(ctx) }()
+		}
+	}
 
-	nodes := make([]*rp.Node, n)
+	// One retry counter is shared by every node the run ever boots
+	// (including chaos rejoins), so the result's retry total covers all
+	// dial paths; mkNode is the single constructor both the initial
+	// fleet and crash-rejoin replacements go through.
+	retry := &transport.RetryStats{}
+	ns := newNodeSet(n)
+	mkNode := func(i int, subs []stream.ID, resubFloor, seqFloor uint64) (*rp.Node, error) {
+		var uplink string
+		if i < len(cfg.Uplinks) {
+			uplink = cfg.Uplinks[i]
+		}
+		return rp.New(rp.Config{
+			Site: i, Directory: directory,
+			In: s.Workload.Sites[i].In, Out: s.Workload.Sites[i].Out,
+			Cameras: s.Workload.Sites[i].NumStreams,
+			Profile: cfg.Profile, Seed: cfg.Seed*1000 + int64(i),
+			Subscriptions:  subs,
+			DeliveryBuffer: cfg.DeliveryBuffer,
+			Network:        cfg.Fabric.Host(transport.TenantSiteHost(cfg.Tenant, i)),
+			Tenant:         cfg.Tenant,
+			SLO:            cfg.SLO,
+			Uplink:         uplink,
+			Admission:      cfg.Admission,
+			RetryStats:     retry,
+			ResubFloor:     resubFloor,
+			SeqFloor:       seqFloor,
+		})
+	}
 	defer func() {
 		cancel()
-		for _, node := range nodes {
-			if node != nil {
-				node.Close()
-			}
+		for _, node := range ns.all() {
+			node.Close()
 		}
 		for _, srv := range srvs {
 			srv.Wait()
@@ -320,30 +407,19 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 		if standby != nil {
 			standby.Wait()
 		}
+		for k := range chains {
+			for _, to := range chains[k] {
+				to.srv.Wait()
+			}
+		}
 	}()
 	startErrs := make(chan error, n)
 	for i := 0; i < n; i++ {
-		var uplink string
-		if i < len(cfg.Uplinks) {
-			uplink = cfg.Uplinks[i]
-		}
-		node, err := rp.New(rp.Config{
-			Site: i, Directory: directory,
-			In: s.Workload.Sites[i].In, Out: s.Workload.Sites[i].Out,
-			Cameras: s.Workload.Sites[i].NumStreams,
-			Profile: cfg.Profile, Seed: cfg.Seed*1000 + int64(i),
-			Subscriptions:  s.Workload.Subs[i],
-			DeliveryBuffer: cfg.DeliveryBuffer,
-			Network:        cfg.Fabric.Host(transport.TenantSiteHost(cfg.Tenant, i)),
-			Tenant:         cfg.Tenant,
-			SLO:            cfg.SLO,
-			Uplink:         uplink,
-			Admission:      cfg.Admission,
-		})
+		node, err := mkNode(i, s.Workload.Subs[i], 0, 0)
 		if err != nil {
 			return nil, err
 		}
-		nodes[i] = node
+		ns.nodes[i] = node
 		go func() { startErrs <- node.Start(ctx) }()
 	}
 	// Collect every Start result before acting on a failure: returning
@@ -386,16 +462,33 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 			kill()
 		}()
 	}
+	var chaosDone chan []chaos.Outcome
+	if chaosActive {
+		ctl := &chaosCluster{
+			ns:     ns,
+			mkNode: mkNode,
+			cur:    append([]*membership.Server(nil), srvs...),
+			chains: append([][]takeover(nil), chains...),
+			vnet:   vnet,
+		}
+		if vnet != nil {
+			ctl.west, ctl.east = splitByLongitudeTenant(s, cfg.Tenant)
+		}
+		chaosDone = make(chan []chaos.Outcome, 1)
+		go func() { chaosDone <- chaos.Run(ctx, t0, cfg.Chaos, ctl) }()
+	}
 	pubDone := make(chan error, 1)
 	go func() {
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		for {
-			for _, node := range nodes {
-				if err := node.PublishTick(); err != nil {
-					pubDone <- err
-					return
-				}
+			// The read lock held across the sweep excludes crash-rejoin
+			// swaps mid-tick: a site is either published whole or skipped.
+			if err := ns.forEachUp(func(_ int, node *rp.Node) error {
+				return node.PublishTick()
+			}); err != nil {
+				pubDone <- err
+				return
 			}
 			select {
 			case <-ctx.Done():
@@ -443,9 +536,18 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 				return nil, ctx.Err()
 			}
 		}
+		node, down := ns.get(e.Node)
+		if down {
+			// The site is crashed right now; the event is skipped the
+			// same way a trace-drift event is (res stays nil).
+			continue
+		}
 		sentAt := time.Now()
-		res, err := nodes[e.Node].Resubscribe(ctx, e.Gained, e.Lost)
+		res, err := node.Resubscribe(ctx, e.Gained, e.Lost)
 		if err != nil {
+			if ns.isDown(e.Node) {
+				continue // crashed mid-request
+			}
 			return nil, fmt.Errorf("session: live event %d (node %d): %w", i, e.Node, err)
 		}
 		outcomes[i] = applied{sentAt: sentAt, res: res}
@@ -463,7 +565,26 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 		return nil, ctx.Err()
 	}
 
-	for i, node := range nodes {
+	// Wait out the injector before judging node health: a schedule's
+	// last rejoin may still be resyncing when the drain window closes.
+	var chaosOuts []chaos.Outcome
+	if chaosDone != nil {
+		select {
+		case chaosOuts = <-chaosDone:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		for _, o := range chaosOuts {
+			if o.Err != "" {
+				return nil, fmt.Errorf("session: chaos %s at %.0fms: %s", o.Event.Kind, o.Event.AtMs, o.Err)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		node, down := ns.get(i)
+		if down {
+			continue // crashed by schedule and (deliberately) not rejoined
+		}
 		if err := node.Err(); err != nil {
 			return nil, fmt.Errorf("session: site %d failed mid-run: %w", i, err)
 		}
@@ -479,9 +600,9 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 		id    stream.ID
 	}
 	firstFrame := make(map[gainKey]time.Time)
-	for i, node := range nodes {
+	for _, node := range ns.all() {
 		for _, d := range node.Disruptions() {
-			firstFrame[gainKey{node: i, epoch: d.Epoch, id: d.Stream}] = d.FirstFrame
+			firstFrame[gainKey{node: node.Site(), epoch: d.Epoch, id: d.Stream}] = d.FirstFrame
 		}
 	}
 
@@ -490,6 +611,11 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 	for i, e := range trace {
 		o := &res.Events[i]
 		o.Index, o.AtMs, o.Node = i, e.AtMs, e.Node
+		if outcomes[i].res == nil {
+			// The event landed in the site's crash window and was skipped.
+			o.Skipped = len(e.Gained)
+			continue
+		}
 		o.Epoch = outcomes[i].res.Epoch
 		o.GainedAccepted = len(outcomes[i].res.Accepted)
 		o.GainedRejected = len(outcomes[i].res.Rejected)
@@ -518,7 +644,7 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 		res.MeanDisruptionMs = sum / float64(res.DeliveredGained)
 	}
 	shardFailed := make(map[int]bool)
-	for _, node := range nodes {
+	for _, node := range ns.all() {
 		for _, st := range node.Stats() {
 			res.TotalFrames += st.Frames
 			res.TotalStale += st.Stale
@@ -535,5 +661,9 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 		res.AdmissionRejections += node.AdmissionRejections()
 	}
 	res.Failovers = len(shardFailed)
+	res.Chaos = chaosOuts
+	res.ChaosEvents = len(chaosOuts)
+	res.ChaosRecoveryMs = chaos.MaxRecoveryMs(chaosOuts)
+	res.Retries = retry.Total()
 	return res, nil
 }

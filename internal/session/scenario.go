@@ -44,6 +44,12 @@ const (
 	// shard's control connection and recovers through standby
 	// re-registration — the chaos drill for the sharded control plane.
 	ScenarioFailover = "failover"
+	// ScenarioChaos runs the configured churn while a declarative fault
+	// schedule (ClusterConfig.ChaosSchedule, see internal/chaos) is
+	// injected on the session clock: RP crashes and rejoins, membership
+	// restarts, latency storms, loss bursts and partitions, composed
+	// freely and resolved deterministically from the session seed.
+	ScenarioChaos = "chaos"
 )
 
 // Impairment is one scheduled mutation of the virtual fabric.
@@ -118,6 +124,11 @@ func Scenarios() []Scenario {
 			Name:    ScenarioFailover,
 			Summary: "one membership shard's primary is killed mid-flash-crowd; RPs recover via standby re-registration",
 			plan:    planFailover,
+		},
+		{
+			Name:    ScenarioChaos,
+			Summary: "steady churn while a declarative fault schedule (-chaos) injects crashes, restarts, storms and partitions",
+			plan:    planSteadyChurn,
 		},
 	}
 }
@@ -205,6 +216,12 @@ func planPartition(s *Session, cfg ClusterConfig, rng *rand.Rand) (ScenarioPlan,
 // longitude. Sites exactly at the median go east, so both groups are
 // non-empty whenever the cluster spans at least two longitudes.
 func splitByLongitude(s *Session) (west, east []string) {
+	return splitByLongitudeTenant(s, 0)
+}
+
+// splitByLongitudeTenant is splitByLongitude under a tenant's scoped
+// host names (tenant 0 keeps the legacy names).
+func splitByLongitudeTenant(s *Session, tenant int) (west, east []string) {
 	lons := make([]float64, len(s.Sites.Nodes))
 	for i, nd := range s.Sites.Nodes {
 		lons[i] = nd.City.Coordinate.Lon
@@ -214,9 +231,9 @@ func splitByLongitude(s *Session) (west, east []string) {
 	median := sorted[len(sorted)/2]
 	for i, lon := range lons {
 		if lon < median {
-			west = append(west, transport.SiteHost(i))
+			west = append(west, transport.TenantSiteHost(tenant, i))
 		} else {
-			east = append(east, transport.SiteHost(i))
+			east = append(east, transport.TenantSiteHost(tenant, i))
 		}
 	}
 	return west, east

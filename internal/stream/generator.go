@@ -111,6 +111,23 @@ func (r *Rig) Streams() []ID {
 	return out
 }
 
+// NextSeq returns the sequence number the next Tick will stamp (all
+// cameras advance in lockstep).
+func (r *Rig) NextSeq() uint64 { return r.generators[0].seq }
+
+// AdvanceTo fast-forwards every camera so the next frame carries at
+// least seq. A node rejoining after a crash resumes above its
+// predecessor's sequence numbers; otherwise receivers' duplicate
+// watermarks — already at the crashed node's high-water mark — would
+// silently swallow every fresh frame.
+func (r *Rig) AdvanceTo(seq uint64) {
+	for _, g := range r.generators {
+		if g.seq < seq {
+			g.seq = seq
+		}
+	}
+}
+
 // Tick captures one frame from every camera, in camera order.
 func (r *Rig) Tick() []*Frame {
 	out := make([]*Frame, len(r.generators))

@@ -120,6 +120,14 @@ func TenantStandbyServerHost(t, k int) string {
 	return fmt.Sprintf("t%d-%s", t, StandbyServerHost(k))
 }
 
+// TenantChaosStandbyHost returns the fabric host name of the idx-th
+// chaos-chain standby for tenant t's shard k. Chaos membership-restart
+// chains live on their own names so they never collide with the
+// failover scenario's single standby.
+func TenantChaosStandbyHost(t, k, idx int) string {
+	return fmt.Sprintf("%s-c%d", TenantStandbyServerHost(t, k), idx)
+}
+
 // TenantSiteHost returns the fabric host name of tenant t's site-i
 // rendezvous point ("t<t>-site-<i>"). Tenant 0 keeps the legacy
 // SiteHost names so a single-tenant session is byte-identical to the

@@ -1,0 +1,171 @@
+package transport
+
+// retry.go is the one shared retry/backoff policy for every production
+// dial in the networked plane. RP registration, control-plane failover
+// redial and peer-link (re)connection all go through DialWithRetry, so a
+// transient fault — a crashed membership shard mid-takeover, a peer RP
+// riding out a crash/rejoin window, a storm-degraded control link — is
+// ridden out with bounded, jittered exponential backoff instead of
+// failing the session on the first refused connection. A test in
+// retry_test.go pins that no production package dials around this
+// helper.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Default backoff parameters. The schedule 25, 50, 100, 200, 400, 800,
+// 1000, 1000 ms (±20% jitter) totals ~3.6s across the default 8
+// attempts: long enough to ride out an RP crash/rejoin window or a
+// standby takeover, short enough that a permanently dead peer surfaces
+// as an error while the session is still watching.
+const (
+	// DefaultBackoffBase is the delay before the first retry.
+	DefaultBackoffBase = 25 * time.Millisecond
+	// DefaultBackoffMax caps the exponential growth of the delay.
+	DefaultBackoffMax = time.Second
+	// DefaultBackoffAttempts is the total number of dial attempts
+	// (the first try plus retries).
+	DefaultBackoffAttempts = 8
+	// DefaultBackoffJitter is the ± fraction of each delay drawn as
+	// jitter, decorrelating retry herds after a shard kill.
+	DefaultBackoffJitter = 0.2
+)
+
+// Backoff is a capped, jittered exponential backoff policy. The zero
+// value means the package defaults; set a field to override just it
+// (Attempts < 0 means exactly one attempt, i.e. no retries).
+type Backoff struct {
+	// Base is the delay before the first retry; it doubles per attempt.
+	Base time.Duration
+	// Max caps the per-retry delay.
+	Max time.Duration
+	// Attempts is the total number of tries. 0 means
+	// DefaultBackoffAttempts; negative means a single attempt.
+	Attempts int
+	// Jitter is the ± fraction of each delay drawn uniformly at random.
+	// 0 means DefaultBackoffJitter; negative means no jitter.
+	Jitter float64
+	// Seed drives the jitter draws deterministically. 0 means 1.
+	Seed int64
+}
+
+// withDefaults resolves zero fields to the package defaults.
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = DefaultBackoffBase
+	}
+	if b.Max <= 0 {
+		b.Max = DefaultBackoffMax
+	}
+	if b.Attempts == 0 {
+		b.Attempts = DefaultBackoffAttempts
+	}
+	if b.Attempts < 0 {
+		b.Attempts = 1
+	}
+	if b.Jitter == 0 {
+		b.Jitter = DefaultBackoffJitter
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	}
+	if b.Seed == 0 {
+		b.Seed = 1
+	}
+	return b
+}
+
+// Delay returns the backoff delay after failed attempt number `attempt`
+// (0-based): Base doubled per attempt, capped at Max, with the policy's
+// jitter applied deterministically from Seed and the attempt number —
+// the same Backoff value always produces the same schedule.
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	d := b.Base
+	for i := 0; i < attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter > 0 {
+		rng := prng(b.Seed+int64(attempt))*2 + 1
+		frac := rng.float64()*2 - 1 // uniform in [-1, 1)
+		d += time.Duration(frac * b.Jitter * float64(d))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Sleep blocks for the backoff delay after failed attempt `attempt`,
+// returning early with the context's error if it is cancelled first.
+func (b Backoff) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(b.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// RetryStats counts retries (not first attempts) across any number of
+// concurrent DialWithRetry calls; the live session aggregates one shared
+// counter across all its nodes into the record schema's retries column.
+// The zero value is ready to use; nil receivers are safe no-ops.
+type RetryStats struct {
+	retries atomic.Int64
+}
+
+// Add records n retries.
+func (s *RetryStats) Add(n int64) {
+	if s != nil {
+		s.retries.Add(n)
+	}
+}
+
+// Total returns the number of retries recorded so far.
+func (s *RetryStats) Total() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.retries.Load()
+}
+
+// DialWithRetry dials addr through the network, retrying refused or
+// failed dials under the backoff policy until an attempt succeeds, the
+// policy's attempts are exhausted (the last error is returned, wrapped
+// with the attempt count), or the context is cancelled. Each retry —
+// never the first attempt — is counted into stats (nil is allowed).
+func DialWithRetry(ctx context.Context, nw Network, addr string, b Backoff, stats *RetryStats) (net.Conn, error) {
+	b = b.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < b.Attempts; attempt++ {
+		if attempt > 0 {
+			if err := b.Sleep(ctx, attempt-1); err != nil {
+				return nil, err
+			}
+			stats.Add(1)
+		}
+		conn, err := nw.DialContext(ctx, addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	if b.Attempts == 1 {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("dial %s: %d attempts exhausted: %w", addr, b.Attempts, lastErr)
+}

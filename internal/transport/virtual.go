@@ -176,6 +176,14 @@ type VirtualNetwork struct {
 	// pipes tracks live connection directions per undirected pair so
 	// SetLink can wake readers blocked on a stalled link.
 	pipes map[linkKey]map[*halfPipe]struct{}
+	// storm, when active, degrades every link in the fabric at once;
+	// resolved at write time like overrides, so O(1) to flip regardless
+	// of cluster size.
+	storm struct {
+		active     bool
+		latencyMul float64
+		extraLoss  float64
+	}
 }
 
 // linkKey is an unordered host pair.
@@ -272,15 +280,53 @@ func (v *VirtualNetwork) ClearLinkProfile(a, b string) {
 	v.mu.Unlock()
 }
 
-// profileFor resolves the directed profile from -> to under overrides.
+// SetStorm installs a fabric-wide impairment: every link's latency is
+// multiplied by latencyMul (values <= 0 mean 1) and extraLoss is added
+// to every link's loss probability (clamped to 1). Unlike per-pair
+// SetLinkProfile calls, a storm is O(1) to raise or clear regardless of
+// cluster size — the transform is resolved at write time on top of the
+// static matrix and any per-link overrides. Chunks already in flight
+// keep their original due times; FIFO order is preserved by the same
+// monotonic clamps as every other impairment.
+func (v *VirtualNetwork) SetStorm(latencyMul, extraLoss float64) {
+	if latencyMul <= 0 {
+		latencyMul = 1
+	}
+	if extraLoss < 0 {
+		extraLoss = 0
+	}
+	v.mu.Lock()
+	v.storm.active = true
+	v.storm.latencyMul = latencyMul
+	v.storm.extraLoss = extraLoss
+	v.mu.Unlock()
+}
+
+// ClearStorm removes the fabric-wide impairment installed by SetStorm.
+func (v *VirtualNetwork) ClearStorm() {
+	v.mu.Lock()
+	v.storm.active = false
+	v.mu.Unlock()
+}
+
+// profileFor resolves the directed profile from -> to under overrides
+// and any active fabric-wide storm.
 func (v *VirtualNetwork) profileFor(from, to string) LinkProfile {
 	v.mu.Lock()
 	p, ok := v.overrides[keyFor(from, to)]
+	storm := v.storm
 	v.mu.Unlock()
-	if ok {
-		return p
+	if !ok {
+		p = v.links(from, to)
 	}
-	return v.links(from, to)
+	if storm.active {
+		p.LatencyMs *= storm.latencyMul
+		p.Loss += storm.extraLoss
+		if p.Loss > 1 {
+			p.Loss = 1
+		}
+	}
+	return p
 }
 
 // linkDown reports whether the undirected link is currently severed.

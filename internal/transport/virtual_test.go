@@ -436,3 +436,150 @@ func TestVirtualManyHosts(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestVirtualStormIntensityImpairments hammers a live connection with
+// rapid mid-flow impairment changes — SetLink down/up, SetLinkProfile /
+// ClearLinkProfile, and fabric-wide SetStorm / ClearStorm — at storm
+// intensity while data flows, and checks the byte stream stays intact
+// and in order and every byte is eventually delivered once the final
+// heal lands. This is the FIFO-safety / no-deadlock contract the chaos
+// subsystem's latency-storm and loss-burst events lean on.
+func TestVirtualStormIntensityImpairments(t *testing.T) {
+	v := NewVirtualNetwork(VirtualConfig{Seed: 99})
+	dialer, acceptor := pair(t, v, "site-0", "site-1")
+
+	const chunks = 400
+	const chunkSize = 64
+	total := chunks * chunkSize
+
+	// Writer: sequenced bytes so any reorder or corruption is detected.
+	go func() {
+		buf := make([]byte, chunkSize)
+		n := 0
+		for c := 0; c < chunks; c++ {
+			for i := range buf {
+				buf[i] = byte(n % 251)
+				n++
+			}
+			if _, err := dialer.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Chaos: flip every impairment class as fast as possible while the
+	// stream is in flight.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				// Final heal: everything up, no storm, no overrides.
+				v.SetLink("site-0", "site-1", true)
+				v.ClearLinkProfile("site-0", "site-1")
+				v.ClearStorm()
+				return
+			default:
+			}
+			switch i % 6 {
+			case 0:
+				v.SetLink("site-0", "site-1", false)
+			case 1:
+				v.SetLink("site-0", "site-1", true)
+			case 2:
+				v.SetLinkProfile("site-0", "site-1", LinkProfile{LatencyMs: 0.2, JitterMs: 0.1, Loss: 0.3})
+			case 3:
+				v.ClearLinkProfile("site-0", "site-1")
+			case 4:
+				v.SetStorm(5, 0.3)
+			case 5:
+				v.ClearStorm()
+			}
+			i++
+		}
+	}()
+
+	// Reader: verify the sequence while the chaos goroutine churns.
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		n := 0
+		for n < total {
+			acceptor.SetReadDeadline(time.Now().Add(20 * time.Second))
+			r, err := acceptor.Read(buf)
+			if err != nil {
+				done <- err
+				return
+			}
+			for _, b := range buf[:r] {
+				if b != byte(n%251) {
+					done <- errors.New("byte stream corrupted or reordered under storm impairments")
+					return
+				}
+				n++
+			}
+			if n > total/2 {
+				// Half-way through, stop the churn so the tail drains
+				// through a healed link.
+				select {
+				case <-stop:
+				default:
+					close(stop)
+				}
+			}
+		}
+		done <- nil
+	}()
+
+	select {
+	case err := <-done:
+		select {
+		case <-stop:
+		default:
+			close(stop)
+		}
+		wg.Wait()
+		if err != nil {
+			t.Fatalf("storm-intensity read failed: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock: storm-intensity impairment churn wedged the stream")
+	}
+}
+
+// TestVirtualStormDegradesAllLinks pins the SetStorm transform: latency
+// is multiplied fabric-wide on top of the static matrix, and ClearStorm
+// restores it, without touching per-pair overrides.
+func TestVirtualStormDegradesAllLinks(t *testing.T) {
+	cost := [][]float64{{0, 10}, {10, 0}}
+	v := NewVirtualNetwork(VirtualConfig{Seed: 1, Links: SiteLinks(cost, LinkProfile{})})
+	if got := v.profileFor("site-0", "site-1").LatencyMs; got != 10 {
+		t.Fatalf("base latency = %v, want 10", got)
+	}
+	v.SetStorm(4, 0.5)
+	p := v.profileFor("site-0", "site-1")
+	if p.LatencyMs != 40 {
+		t.Fatalf("storm latency = %v, want 40", p.LatencyMs)
+	}
+	if p.Loss != 0.5 {
+		t.Fatalf("storm loss = %v, want 0.5", p.Loss)
+	}
+	// Storm composes with (applies on top of) a per-pair override.
+	v.SetLinkProfile("site-0", "site-1", LinkProfile{LatencyMs: 3, Loss: 0.8})
+	p = v.profileFor("site-0", "site-1")
+	if p.LatencyMs != 12 {
+		t.Fatalf("storm-over-override latency = %v, want 12", p.LatencyMs)
+	}
+	if p.Loss != 1 {
+		t.Fatalf("storm-over-override loss = %v, want clamp at 1", p.Loss)
+	}
+	v.ClearStorm()
+	v.ClearLinkProfile("site-0", "site-1")
+	if got := v.profileFor("site-0", "site-1").LatencyMs; got != 10 {
+		t.Fatalf("post-clear latency = %v, want 10", got)
+	}
+}
