@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet test race live-race bench bench-smoke bench-compare sweep-smoke fuzz-smoke cluster-smoke failover-smoke tenant-smoke chaos-smoke lint-docs cover profile ci
+.PHONY: build fmt-check vet test race live-race bench bench-smoke bench-compare sweep-smoke fuzz-smoke cluster-smoke failover-smoke tenant-smoke chaos-smoke batch-smoke lint-docs cover profile ci
 
 build:
 	$(GO) build ./...
@@ -149,6 +149,24 @@ chaos-smoke:
 	grep -E -q '"retries":[1-9]' "$$jsonl" || { echo "record missing retry total:"; cat "$$jsonl"; exit 1; }; \
 	echo "chaos-smoke OK"
 
+# batch-smoke is the amortized-maintenance drill: a 100-node virtual
+# cluster runs the flash-crowd scenario with membership delta batching
+# enabled (-flush 40 ms windows) under the race detector. The emitted
+# record must carry the per-phase maintenance columns — non-zero
+# construct and batch-apply wall-clock, plus the route-rebuild and
+# heap-delta columns — proving the observability plumbing flows from
+# the membership servers through the session result into the sink.
+batch-smoke:
+	@jsonl="$$(mktemp /tmp/tele3d-batch.XXXXXX)"; trap 'rm -f "$$jsonl"' EXIT; \
+	$(GO) run -race ./cmd/ticluster -virtual -nodes 100 -scenario flash-crowd \
+		-flush 40 -cameras 2 -displays 1 -duration 1500ms -churnrate 4 -seed 7 \
+		-jsonl "$$jsonl" || exit 1; \
+	grep -E -q '"construct_ms":[0-9]*\.?[0-9]*[1-9]' "$$jsonl" || { echo "record missing construct phase:"; cat "$$jsonl"; exit 1; }; \
+	grep -E -q '"batch_apply_ms":[0-9]*\.?[0-9]*[1-9]' "$$jsonl" || { echo "record missing batch-apply phase:"; cat "$$jsonl"; exit 1; }; \
+	grep -q '"route_rebuild_ms":' "$$jsonl" || { echo "record missing route-rebuild column:"; cat "$$jsonl"; exit 1; }; \
+	grep -q '"heap_delta_bytes":' "$$jsonl" || { echo "record missing heap-delta column:"; cat "$$jsonl"; exit 1; }; \
+	echo "batch-smoke OK"
+
 # lint-docs enforces the documentation contracts with the in-repo
 # doccheck tool: every exported identifier in the networked-plane
 # packages carries a doc comment (the revive/golint `exported` rule),
@@ -169,6 +187,7 @@ lint-docs:
 # time, hence one invocation per target.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDynamicChurn$$' -fuzztime 20s ./internal/overlay
+	$(GO) test -run '^$$' -fuzz '^FuzzBatchChurn$$' -fuzztime 20s ./internal/overlay
 	$(GO) test -run '^$$' -fuzz '^FuzzSimEvents$$' -fuzztime 20s ./internal/sim
 	$(GO) test -run '^$$' -fuzz '^FuzzAdmission$$' -fuzztime 20s ./internal/rp
 
@@ -177,4 +196,4 @@ fuzz-smoke:
 cover:
 	$(GO) test -cover ./internal/...
 
-ci: build fmt-check vet race live-race lint-docs bench-smoke sweep-smoke cluster-smoke failover-smoke tenant-smoke chaos-smoke fuzz-smoke
+ci: build fmt-check vet race live-race lint-docs bench-smoke sweep-smoke cluster-smoke failover-smoke tenant-smoke chaos-smoke batch-smoke fuzz-smoke

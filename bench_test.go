@@ -339,6 +339,7 @@ func BenchmarkChurn(b *testing.B) {
 	r := newRunner(b)
 	var res experiments.ChurnResult
 	var err error
+	var constructMs, batchApplyMs float64
 	for i := 0; i < b.N; i++ {
 		res, err = r.ChurnExperiment(experiments.ChurnPoint{
 			N: 8, RatePerSec: 4, ViewChangeMix: 0.7,
@@ -346,9 +347,19 @@ func BenchmarkChurn(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		constructMs += res.ConstructMs
+		batchApplyMs += res.BatchApplyMs
 	}
 	b.ReportMetric(res.MeanDisruptionMs, "disruption_ms")
 	b.ReportMetric(res.FinalRejection, "rejection")
+	// Per-phase maintenance cost — construction (session assembly) vs
+	// batched churn application — averaged over all b.N iterations so the
+	// reported figure gets the same smoothing ns/op does. These feed the
+	// BENCH_*.json trajectory and are gated by bench-compare alongside
+	// ns/op, so a regression in either phase fails CI even when the
+	// other phase masks it in the aggregate.
+	b.ReportMetric(constructMs/float64(b.N), "construct_ms")
+	b.ReportMetric(batchApplyMs/float64(b.N), "batch_apply_ms")
 }
 
 // benchMultiTenant measures the multi-tenant build path — spec

@@ -10,9 +10,11 @@
 // In emit mode (default) the parsed benchmarks are written as JSON:
 // benchmark name → ns/op, B/op, allocs/op and any custom b.ReportMetric
 // headline metrics. In compare mode (-compare) the current run's ns/op
-// is checked against the baseline file and the process exits non-zero if
-// any shared benchmark regressed by more than the threshold — the CI
-// bench-compare gate.
+// and any custom metrics shared with the baseline (the per-phase
+// construct_ms/batch_apply_ms columns, disruption latency, rejection
+// ratios) are checked against the baseline file and the process exits
+// non-zero if any shared row regressed by more than the threshold — the
+// CI bench-compare gate.
 package main
 
 import (
@@ -120,9 +122,12 @@ func parseBench(r io.Reader) (File, error) {
 }
 
 // compare checks the current run against a baseline: every benchmark
-// present in both must not regress its ns/op by more than threshold.
-// The returned report always lists the shared benchmarks; failed is true
-// if any regressed past the threshold.
+// present in both must not regress its ns/op — or any custom metric the
+// two runs share, such as the per-phase construct_ms/batch_apply_ms
+// columns — by more than threshold. Metrics absent from the baseline
+// (or zero there) are reported but ungated, so new columns phase in
+// without a flag day. The returned report always lists the shared
+// rows; failed is true if any regressed past the threshold.
 func compare(baseline, current File, threshold float64) (report string, failed bool) {
 	names := make([]string, 0, len(current.Benchmarks))
 	for name := range current.Benchmarks {
@@ -132,20 +137,39 @@ func compare(baseline, current File, threshold float64) (report string, failed b
 	}
 	sort.Strings(names)
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-28s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	fmt.Fprintf(&b, "%-30s %14s %14s %8s\n", "benchmark", "baseline", "current", "delta")
 	for _, name := range names {
-		base := baseline.Benchmarks[name].NsPerOp
-		cur := current.Benchmarks[name].NsPerOp
-		if base <= 0 {
-			continue
+		baseRes := baseline.Benchmarks[name]
+		curRes := current.Benchmarks[name]
+		rows := []struct {
+			label     string
+			base, cur float64
+		}{{name, baseRes.NsPerOp, curRes.NsPerOp}}
+		metricNames := make([]string, 0, len(curRes.Metrics))
+		for m := range curRes.Metrics {
+			if _, ok := baseRes.Metrics[m]; ok {
+				metricNames = append(metricNames, m)
+			}
 		}
-		delta := (cur - base) / base
-		status := ""
-		if delta > threshold {
-			status = "  REGRESSION"
-			failed = true
+		sort.Strings(metricNames)
+		for _, m := range metricNames {
+			rows = append(rows, struct {
+				label     string
+				base, cur float64
+			}{name + "/" + m, baseRes.Metrics[m], curRes.Metrics[m]})
 		}
-		fmt.Fprintf(&b, "%-28s %14.0f %14.0f %+7.1f%%%s\n", name, base, cur, delta*100, status)
+		for _, row := range rows {
+			if row.base <= 0 {
+				continue
+			}
+			delta := (row.cur - row.base) / row.base
+			status := ""
+			if delta > threshold {
+				status = "  REGRESSION"
+				failed = true
+			}
+			fmt.Fprintf(&b, "%-30s %14.2f %14.2f %+7.1f%%%s\n", row.label, row.base, row.cur, delta*100, status)
+		}
 	}
 	if len(names) == 0 {
 		// An empty intersection means the gate checked nothing — e.g.

@@ -80,6 +80,37 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+func TestCompareGatesMetrics(t *testing.T) {
+	base := File{Benchmarks: map[string]Result{
+		"Churn": {NsPerOp: 100, Metrics: map[string]float64{
+			"construct_ms":   10,
+			"batch_apply_ms": 5,
+			"zero_col":       0, // zero baseline: reported as skipped, not gated
+		}},
+	}}
+	cur := File{Benchmarks: map[string]Result{
+		"Churn": {NsPerOp: 100, Metrics: map[string]float64{
+			"construct_ms":   14, // +40%: regression
+			"batch_apply_ms": 5.2,
+			"zero_col":       3,
+			"fresh_col":      7, // absent from baseline: ungated
+		}},
+	}}
+	report, failed := compare(base, cur, 0.20)
+	if !failed {
+		t.Errorf("+40%% construct_ms not flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "Churn/construct_ms") {
+		t.Errorf("report missing per-metric row:\n%s", report)
+	}
+	if strings.Count(report, "REGRESSION") != 1 {
+		t.Errorf("want exactly one regression (batch_apply within budget, zero/absent baselines ungated):\n%s", report)
+	}
+	if strings.Contains(report, "zero_col") || strings.Contains(report, "fresh_col") {
+		t.Errorf("ungated columns should be omitted from the report:\n%s", report)
+	}
+}
+
 func TestRunEmitAndCompareRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_test.json")

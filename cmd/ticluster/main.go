@@ -28,6 +28,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -160,10 +161,14 @@ func runVirtual(opt options, out, stdout io.Writer) error {
 	fmt.Fprintf(out, "ticluster: virtual cluster, %d sites, %d membership shard(s), scenario %s, %v\n",
 		nodes, opt.shards, opt.scenario, opt.duration)
 	start := time.Now()
+	var memBefore, memAfter runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	res, err := session.RunCluster(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
+	runtime.ReadMemStats(&memAfter)
+	heapDelta := int64(memAfter.HeapAlloc) - int64(memBefore.HeapAlloc)
 	elapsed := time.Since(start)
 
 	fmt.Fprintf(out, "  %d control events over the wire, final epoch %d\n",
@@ -178,6 +183,8 @@ func runVirtual(opt options, out, stdout io.Writer) error {
 		res.Sim.MeanDisruptionMs, res.Sim.MaxDisruptionMs, res.Sim.DeliveredGained)
 	fmt.Fprintf(out, "  frames: %d delivered, %d stale, %d duplicate, %d dropped\n",
 		res.Live.TotalFrames, res.Live.TotalStale, res.Live.TotalDuplicates, res.Live.TotalDropped)
+	fmt.Fprintf(out, "  maintenance phases: construct %.1f ms, batch-apply %.1f ms, route-rebuild %.1f ms\n",
+		res.Live.Phases.ConstructMs, res.Live.Phases.BatchApplyMs, res.Live.Phases.RouteRebuildMs)
 	if res.Live.Failovers > 0 {
 		fmt.Fprintf(out, "  failover: %d membership shard(s) recovered, slowest in %.1f ms\n",
 			res.Live.Failovers, res.Live.FailoverRecoveryMs)
@@ -212,6 +219,10 @@ func runVirtual(opt options, out, stdout io.Writer) error {
 			ChaosEvents:        res.Live.ChaosEvents,
 			ChaosRecoveryMs:    res.Live.ChaosRecoveryMs,
 			Retries:            res.Live.Retries,
+			ConstructMs:        res.Live.Phases.ConstructMs,
+			BatchApplyMs:       res.Live.Phases.BatchApplyMs,
+			RouteRebuildMs:     res.Live.Phases.RouteRebuildMs,
+			HeapDeltaBytes:     heapDelta,
 			ElapsedMs:          float64(elapsed.Microseconds()) / 1e3,
 		}); err != nil {
 			return err
@@ -267,10 +278,14 @@ func runMultiTenant(opt options, out, stdout io.Writer) error {
 	fmt.Fprintf(out, "ticluster: multi-tenant virtual cluster, %d tenants over %d sites, uplink capacity %d, %d membership shard(s), %v\n",
 		spec.NumTenants(), spec.TotalSites(), opt.uplinkCap, opt.shards, opt.duration)
 	start := time.Now()
+	var memBefore, memAfter runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	res, err := session.RunMultiCluster(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
+	runtime.ReadMemStats(&memAfter)
+	heapDelta := int64(memAfter.HeapAlloc) - int64(memBefore.HeapAlloc)
 	elapsed := time.Since(start)
 
 	var sink *reclib.Sink
@@ -316,6 +331,10 @@ func runMultiTenant(opt options, out, stdout io.Writer) error {
 			SLOClass:           tn.SLO.String(),
 			Admitted:           tn.Admitted,
 			Rejections:         tn.Rejections,
+			ConstructMs:        tn.Live.Phases.ConstructMs,
+			BatchApplyMs:       tn.Live.Phases.BatchApplyMs,
+			RouteRebuildMs:     tn.Live.Phases.RouteRebuildMs,
+			HeapDeltaBytes:     heapDelta,
 			ElapsedMs:          float64(elapsed.Microseconds()) / 1e3,
 		}); err != nil {
 			return err

@@ -30,6 +30,10 @@
 //	churn_events       mean applied churn events per sample (churn cells)
 //	disruption_mean_ms, disruption_max_ms    disruption latency (churn cells)
 //	delivered_fraction mean fraction of gained streams served before session end
+//	construct_ms       wall-clock forest-construction total of the cell
+//	batch_apply_ms     wall-clock churn-application total (churn cells)
+//	route_rebuild_ms   routing-table rebuild total (cluster runs; 0 for sweeps)
+//	heap_delta_bytes   live-heap growth across the cell's evaluation
 //	elapsed_ms         wall-clock cost of the cell
 //
 // A cell with churn_rate 0 is a static construction sweep (the original
@@ -169,6 +173,8 @@ func evalCell(r *experiments.Runner, sp cellSpec) (record, error) {
 		rec.DisruptionMeanMs = res.MeanDisruptionMs
 		rec.DisruptionMaxMs = res.MaxDisruptionMs
 		rec.DeliveredFraction = res.DeliveredFraction
+		rec.ConstructMs = res.ConstructMs
+		rec.BatchApplyMs = res.BatchApplyMs
 		return rec, nil
 	}
 	res, err := r.RunPoint(experiments.Point{
@@ -185,6 +191,7 @@ func evalCell(r *experiments.Runner, sp cellSpec) (record, error) {
 	rec.UtilMean = res.Utilization.MeanOut
 	rec.UtilStdDev = res.Utilization.StdDevOut
 	rec.RelayFraction = res.Utilization.RelayFraction
+	rec.ConstructMs = res.ConstructMs
 	return rec, nil
 }
 
@@ -327,13 +334,17 @@ func runSweep(cfg sweepConfig, stdout, stderr io.Writer) error {
 	for cell, sp := range cells {
 		for t := 0; t < cfg.trials; t++ {
 			cellStart := time.Now()
+			var memBefore, memAfter runtime.MemStats
+			runtime.ReadMemStats(&memBefore)
 			rec, err := evalCell(runners[t], sp)
 			if err != nil {
 				return fmt.Errorf("cell %d (n=%d alg=%s churn=%g trial=%d): %w",
 					cell, sp.n, sp.alg.Name(), sp.churnRate, t, err)
 			}
+			runtime.ReadMemStats(&memAfter)
 			rec.Cell, rec.Trial = cell, t
 			rec.Samples, rec.Seed, rec.Parallelism = cfg.samples, seeds[t], parallel
+			rec.HeapDeltaBytes = int64(memAfter.HeapAlloc) - int64(memBefore.HeapAlloc)
 			rec.ElapsedMs = float64(time.Since(cellStart).Microseconds()) / 1e3
 			if err := sink.Write(rec); err != nil {
 				return err

@@ -88,6 +88,9 @@ func TestRunSweepEndToEnd(t *testing.T) {
 		if rec.Samples != 4 {
 			t.Errorf("cell %d: samples = %d, want 4", rec.Cell, rec.Samples)
 		}
+		if rec.ConstructMs <= 0 {
+			t.Errorf("cell %d trial %d: construct phase not timed: %v", rec.Cell, rec.Trial, rec.ConstructMs)
+		}
 		if seen[[2]int{rec.Cell, rec.Trial}] {
 			t.Errorf("duplicate record for cell %d trial %d", rec.Cell, rec.Trial)
 		}
@@ -134,8 +137,12 @@ func readFirstTwoTrialSeeds(path string, rec0, rec1 *record) error {
 }
 
 // TestRunSweepDeterministic runs the same sweep twice and expects
-// byte-identical CSV output modulo the elapsed_ms column.
+// byte-identical CSV output modulo the wall-clock observability tail
+// (construct_ms, batch_apply_ms, route_rebuild_ms, heap_delta_bytes,
+// elapsed_ms — the columns documented outside the determinism
+// contract).
 func TestRunSweepDeterministic(t *testing.T) {
+	const wallClockCols = 5
 	stripElapsed := func(path string) []string {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -144,7 +151,7 @@ func TestRunSweepDeterministic(t *testing.T) {
 		var out []string
 		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
 			cols := strings.Split(line, ",")
-			out = append(out, strings.Join(cols[:len(cols)-1], ","))
+			out = append(out, strings.Join(cols[:len(cols)-wallClockCols], ","))
 		}
 		return out
 	}
@@ -278,6 +285,19 @@ func TestRunSweepChurnCells(t *testing.T) {
 	}
 	if churn.UtilMean != 0 {
 		t.Errorf("churn cell carries static utilization: %+v", churn)
+	}
+	// Per-phase accounting: both families time construction, churn cells
+	// additionally time the simulator's batch application; route rebuilds
+	// are a control-plane phase, so sweep records leave that column 0.
+	if static.ConstructMs <= 0 || churn.ConstructMs <= 0 {
+		t.Errorf("construct phase not timed: static %v, churn %v", static.ConstructMs, churn.ConstructMs)
+	}
+	if churn.BatchApplyMs <= 0 {
+		t.Errorf("churn cell batch-apply phase not timed: %v", churn.BatchApplyMs)
+	}
+	if static.RouteRebuildMs != 0 || churn.RouteRebuildMs != 0 {
+		t.Errorf("sweep records should leave route_rebuild_ms 0: static %v, churn %v",
+			static.RouteRebuildMs, churn.RouteRebuildMs)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"github.com/tele3d/tele3d/internal/metrics"
 	"github.com/tele3d/tele3d/internal/overlay"
@@ -80,6 +81,13 @@ type ChurnResult struct {
 	// FinalRejection is the mean rejection ratio of the post-churn forest
 	// (rejected / (accepted + rejected)).
 	FinalRejection float64
+	// ConstructMs and BatchApplyMs are the per-phase wall-clock totals of
+	// the cell, summed over the sample batch: ConstructMs covers session
+	// assembly including the initial forest construction, BatchApplyMs the
+	// mid-session churn mutations the simulator applied to the live
+	// forest. Wall-clock measurements, outside the determinism contract.
+	ConstructMs  float64
+	BatchApplyMs float64
 }
 
 // churnObs is the observation one churn sample contributes.
@@ -89,6 +97,7 @@ type churnObs struct {
 	meanDisruption, maxDisruption  float64
 	deliveredFraction              float64
 	finalRejection                 float64
+	constructMs, batchApplyMs      float64
 	hasDisruption, hasDelivered    bool
 }
 
@@ -97,6 +106,7 @@ type churnObs struct {
 func (r *Runner) churnSample(pt ChurnPoint, s int) (churnObs, error) {
 	var obs churnObs
 	seed := r.cfg.Seed + int64(s)*1_000_003 + int64(pt.N)*7919
+	constructStart := time.Now()
 	sess, err := session.Build(session.Spec{
 		N:               pt.N,
 		CamerasPerSite:  pt.CamerasPerSite,
@@ -109,6 +119,7 @@ func (r *Runner) churnSample(pt ChurnPoint, s int) (churnObs, error) {
 	if err != nil {
 		return obs, err
 	}
+	obs.constructMs = float64(time.Since(constructStart)) / float64(time.Millisecond)
 	trace, err := sess.ChurnTrace(workload.ChurnProfile{
 		RatePerSec:    pt.RatePerSec,
 		ViewChangeMix: pt.ViewChangeMix,
@@ -127,6 +138,7 @@ func (r *Runner) churnSample(pt ChurnPoint, s int) (churnObs, error) {
 	if err := sess.Forest.Validate(); err != nil {
 		return obs, fmt.Errorf("experiments: churned forest invalid: %w", err)
 	}
+	obs.batchApplyMs = res.BatchApplyMs
 	obs.events = float64(len(res.Events))
 	var accepted, rejected int
 	for _, out := range res.Events {
@@ -180,13 +192,15 @@ func (r *Runner) ChurnExperiment(pt ChurnPoint) (ChurnResult, error) {
 		return ChurnResult{}, err
 	}
 	var events, viewChanges, gainedAcc, gainedRej, meanDis, delivered, rejection metrics.Accumulator
-	var maxDis float64
+	var maxDis, constructMs, batchApplyMs float64
 	for _, o := range obs {
 		events.Observe(o.events)
 		viewChanges.Observe(o.viewChanges)
 		gainedAcc.Observe(o.gainedAccepted)
 		gainedRej.Observe(o.gainedRejected)
 		rejection.Observe(o.finalRejection)
+		constructMs += o.constructMs
+		batchApplyMs += o.batchApplyMs
 		if o.hasDisruption {
 			meanDis.Observe(o.meanDisruption)
 			maxDis = math.Max(maxDis, o.maxDisruption)
@@ -204,6 +218,8 @@ func (r *Runner) ChurnExperiment(pt ChurnPoint) (ChurnResult, error) {
 		MaxDisruptionMs:   maxDis,
 		DeliveredFraction: delivered.Mean(),
 		FinalRejection:    rejection.Mean(),
+		ConstructMs:       constructMs,
+		BatchApplyMs:      batchApplyMs,
 	}, nil
 }
 

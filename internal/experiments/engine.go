@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/tele3d/tele3d/internal/metrics"
 	"github.com/tele3d/tele3d/internal/overlay"
@@ -75,6 +76,12 @@ type PointResult struct {
 	WeightedNorm float64
 	// Utilization is the mean out-degree utilization (Figure 10).
 	Utilization metrics.Utilization
+	// ConstructMs is the total wall-clock time the cell spent in forest
+	// construction, summed over the sample batch — the construct phase of
+	// the maintenance pipeline's per-phase observability. Unlike every
+	// other field it is a wall-clock measurement and therefore outside the
+	// engine's bit-identical determinism contract.
+	ConstructMs float64
 }
 
 // sampleObs is the observation one runSample call contributes.
@@ -83,6 +90,7 @@ type sampleObs struct {
 	weightedRaw  float64
 	weightedNorm float64
 	util         metrics.Utilization
+	constructMs  float64
 }
 
 // sampleScratch is the per-worker reusable state behind runSample: the
@@ -124,22 +132,17 @@ func fillProblem(p *overlay.Problem, w *workload.Workload, cost [][]float64, bco
 	}
 }
 
-// runSample evaluates one Monte-Carlo sample of a cell. It is pure up to
-// its deterministic per-sample RNGs — both derived from Config.Seed and
-// the sample index exactly as the historical serial loop derived them —
-// so any assignment of samples to workers reproduces the serial results.
-func (r *Runner) runSample(pt Point, alg overlay.Algorithm, s int) (sampleObs, error) {
-	var obs sampleObs
-	sc := r.scratch.Get().(*sampleScratch)
-	defer r.scratch.Put(sc)
-	// One deterministic sub-seed per sample; the same instance is
-	// presented to every algorithm (paired comparison, as in the paper's
-	// averaging over 200 fixed samples).
+// sampleInstance fills sc with sample s's site set and generates its
+// workload. The instance rng is derived from (Config.Seed, sample index,
+// pt.N) exactly as the historical serial loop derived it, and never
+// depends on the algorithm under test — which is what lets one instance
+// be shared by several algorithms as a paired comparison.
+func (r *Runner) sampleInstance(sc *sampleScratch, pt Point, s int) (*workload.Workload, error) {
 	rng := rand.New(rand.NewSource(r.cfg.Seed + int64(s)*1_000_003 + int64(pt.N)*7919))
 	if err := r.backbone.SelectSitesInto(&sc.sites, r.allCost, pt.N, rng); err != nil {
-		return obs, err
+		return nil, err
 	}
-	w, err := workload.Generate(workload.Config{
+	return workload.Generate(workload.Config{
 		N:                 pt.N,
 		Capacity:          pt.Capacity,
 		Popularity:        pt.Popularity,
@@ -150,25 +153,56 @@ func (r *Runner) runSample(pt Point, alg overlay.Algorithm, s int) (sampleObs, e
 		StreamsPerSite:    pt.StreamsPerSite,
 		Bandwidth:         pt.Bandwidth,
 	}, rng)
+}
+
+// runSampleMulti evaluates one Monte-Carlo sample of a cell for every
+// algorithm in algs, generating the instance once. Each algorithm gets a
+// fresh construction rng seeded Config.Seed+s — the same source a solo
+// run would use — so observations are bit-identical to evaluating the
+// algorithms in separate RunPoint calls, at a fraction of the workload-
+// generation cost. Observations are delivered through emit(ai, obs) in
+// algs order.
+func (r *Runner) runSampleMulti(pt Point, algs []overlay.Algorithm, s int, emit func(ai int, o sampleObs)) error {
+	sc := r.scratch.Get().(*sampleScratch)
+	defer r.scratch.Put(sc)
+	w, err := r.sampleInstance(sc, pt, s)
 	if err != nil {
-		return obs, err
+		return err
 	}
-	p := &sc.problem
-	fillProblem(p, w, sc.sites.Cost, sc.sites.MedianCost()*pt.BcostMultiplier)
-	p.Reservation = pt.Reservation
-	p.JoinPolicy = pt.JoinPolicy
-	f, err := overlay.ConstructWith(&sc.ws, alg, p, rand.New(rand.NewSource(r.cfg.Seed+int64(s))))
-	if err != nil {
-		return obs, err
+	bcost := sc.sites.MedianCost() * pt.BcostMultiplier
+	for ai, alg := range algs {
+		p := &sc.problem
+		fillProblem(p, w, sc.sites.Cost, bcost)
+		p.Reservation = pt.Reservation
+		p.JoinPolicy = pt.JoinPolicy
+		constructStart := time.Now()
+		f, err := overlay.ConstructWith(&sc.ws, alg, p, rand.New(rand.NewSource(r.cfg.Seed+int64(s))))
+		if err != nil {
+			return err
+		}
+		constructMs := float64(time.Since(constructStart)) / float64(time.Millisecond)
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("experiments: %s produced invalid forest: %w", alg.Name(), err)
+		}
+		emit(ai, sampleObs{
+			rejection:    metrics.Rejection(f),
+			weightedRaw:  metrics.WeightedRejectionRaw(f),
+			weightedNorm: metrics.WeightedRejection(f),
+			util:         metrics.MeasureUtilization(f),
+			constructMs:  constructMs,
+		})
 	}
-	if err := f.Validate(); err != nil {
-		return obs, fmt.Errorf("experiments: %s produced invalid forest: %w", alg.Name(), err)
-	}
-	obs.rejection = metrics.Rejection(f)
-	obs.weightedRaw = metrics.WeightedRejectionRaw(f)
-	obs.weightedNorm = metrics.WeightedRejection(f)
-	obs.util = metrics.MeasureUtilization(f)
-	return obs, nil
+	return nil
+}
+
+// runSample evaluates one Monte-Carlo sample of a cell. It is pure up to
+// its deterministic per-sample RNGs — both derived from Config.Seed and
+// the sample index exactly as the historical serial loop derived them —
+// so any assignment of samples to workers reproduces the serial results.
+func (r *Runner) runSample(pt Point, alg overlay.Algorithm, s int) (sampleObs, error) {
+	var obs sampleObs
+	err := r.runSampleMulti(pt, []overlay.Algorithm{alg}, s, func(_ int, o sampleObs) { obs = o })
+	return obs, err
 }
 
 // RunPoint evaluates a cell over the full sample batch, fanning samples
@@ -191,18 +225,65 @@ func (r *Runner) RunPoint(pt Point, alg overlay.Algorithm) (PointResult, error) 
 	// order the workers finished in.
 	var rej, wraw, wnorm metrics.Accumulator
 	var util metrics.UtilizationAccumulator
+	var constructMs float64
 	for _, o := range obs {
 		rej.Observe(o.rejection)
 		wraw.Observe(o.weightedRaw)
 		wnorm.Observe(o.weightedNorm)
 		util.Observe(o.util)
+		constructMs += o.constructMs
 	}
 	return PointResult{
 		Rejection:    rej.Mean(),
 		WeightedRaw:  wraw.Mean(),
 		WeightedNorm: wnorm.Mean(),
 		Utilization:  util.Mean(),
+		ConstructMs:  constructMs,
 	}, nil
+}
+
+// RunPointMulti evaluates a cell for several algorithms over the same
+// sample batch. Each sample's site set and workload are generated once
+// and presented to every algorithm (the paired comparison the paper's
+// figures rely on), so a four-algorithm sweep pays the workload cost
+// once instead of four times. Results are returned in algs order and are
+// bit-identical to len(algs) separate RunPoint calls.
+func (r *Runner) RunPointMulti(pt Point, algs []overlay.Algorithm) ([]PointResult, error) {
+	pt = pt.withDefaults(r.cfg)
+	if len(algs) == 0 {
+		return nil, nil
+	}
+	obs := make([][]sampleObs, len(algs))
+	for i := range obs {
+		obs[i] = make([]sampleObs, r.cfg.Samples)
+	}
+	err := forEachSample(r.cfg.Samples, r.cfg.Parallelism, func(s int) error {
+		return r.runSampleMulti(pt, algs, s, func(ai int, o sampleObs) { obs[ai][s] = o })
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PointResult, len(algs))
+	for i := range algs {
+		var rej, wraw, wnorm metrics.Accumulator
+		var util metrics.UtilizationAccumulator
+		var constructMs float64
+		for _, o := range obs[i] {
+			rej.Observe(o.rejection)
+			wraw.Observe(o.weightedRaw)
+			wnorm.Observe(o.weightedNorm)
+			util.Observe(o.util)
+			constructMs += o.constructMs
+		}
+		out[i] = PointResult{
+			Rejection:    rej.Mean(),
+			WeightedRaw:  wraw.Mean(),
+			WeightedNorm: wnorm.Mean(),
+			Utilization:  util.Mean(),
+			ConstructMs:  constructMs,
+		}
+	}
+	return out, nil
 }
 
 // forEachSample invokes fn for every sample index in [0, samples) from a

@@ -45,6 +45,12 @@ func TestRunPointDeterministicAcrossParallelism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// ConstructMs is wall clock — documented as outside the determinism
+		// contract — so it is checked for presence and then zeroed.
+		if res.ConstructMs <= 0 {
+			t.Errorf("parallelism %d: construct phase not timed", par)
+		}
+		res.ConstructMs = 0
 		got = append(got, res)
 	}
 	for i := 1; i < len(got); i++ {

@@ -127,17 +127,22 @@ func (r *Runner) Fig8(v Fig8Variant) ([]metrics.Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []metrics.Series
-	for _, alg := range overlay.Algorithms() {
-		s := metrics.Series{Label: alg.Name()}
-		for n := 3; n <= 10; n++ {
-			res, err := r.RunPoint(Point{N: n, Capacity: capk, Popularity: popk}, alg)
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(n), res.Rejection)
+	algs := overlay.Algorithms()
+	out := make([]metrics.Series, len(algs))
+	for i, alg := range algs {
+		out[i] = metrics.Series{Label: alg.Name()}
+	}
+	// One instance batch per N, shared by all four algorithms: the same
+	// paired comparison as running them separately, at a quarter of the
+	// workload-generation cost.
+	for n := 3; n <= 10; n++ {
+		results, err := r.RunPointMulti(Point{N: n, Capacity: capk, Popularity: popk}, algs)
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, s)
+		for i, res := range results {
+			out[i].Add(float64(n), res.Rejection)
+		}
 	}
 	return out, nil
 }
@@ -147,13 +152,20 @@ func (r *Runner) Fig8(v Fig8Variant) ([]metrics.Series, error) {
 // the granularity g sweeps from 1 (LTF) toward F (RJ).
 func (r *Runner) Fig9() (metrics.Series, error) {
 	s := metrics.Series{Label: "Gran-LTF"}
-	for _, g := range []int{1, 2, 5, 10, 20, 40, 70, 100, 150, 200} {
-		res, err := r.RunPoint(Point{N: 10, Capacity: workload.CapacityUniform,
-			Popularity: workload.PopularityRandom}, overlay.GranLTF{G: g})
-		if err != nil {
-			return s, err
-		}
-		s.Add(float64(g), res.Rejection)
+	// All ten granularities evaluate the identical cell, so they share
+	// one instance batch as a ten-way multi-algorithm run.
+	grans := []int{1, 2, 5, 10, 20, 40, 70, 100, 150, 200}
+	algs := make([]overlay.Algorithm, len(grans))
+	for i, g := range grans {
+		algs[i] = overlay.GranLTF{G: g}
+	}
+	results, err := r.RunPointMulti(Point{N: 10, Capacity: workload.CapacityUniform,
+		Popularity: workload.PopularityRandom}, algs)
+	if err != nil {
+		return s, err
+	}
+	for i, g := range grans {
+		s.Add(float64(g), results[i].Rejection)
 	}
 	return s, nil
 }
@@ -189,18 +201,20 @@ func (r *Runner) Fig10() ([]metrics.Series, error) {
 func (r *Runner) Fig11() ([]metrics.Series, error) {
 	// Denser fill than Fig. 8 so criticality classes are well populated.
 	frac := r.cfg.SubscribeFraction + 0.08
-	var out []metrics.Series
-	for _, alg := range []overlay.Algorithm{overlay.RJ{}, overlay.CORJ{}} {
-		s := metrics.Series{Label: alg.Name()}
-		for n := 3; n <= 10; n++ {
-			res, err := r.RunPoint(Point{N: n, Capacity: workload.CapacityHeterogeneous,
-				Popularity: workload.PopularityZipfSites, ZipfExponent: 1.6, SubscribeFraction: frac}, alg)
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(n), res.WeightedRaw)
+	algs := []overlay.Algorithm{overlay.RJ{}, overlay.CORJ{}}
+	out := make([]metrics.Series, len(algs))
+	for i, alg := range algs {
+		out[i] = metrics.Series{Label: alg.Name()}
+	}
+	for n := 3; n <= 10; n++ {
+		results, err := r.RunPointMulti(Point{N: n, Capacity: workload.CapacityHeterogeneous,
+			Popularity: workload.PopularityZipfSites, ZipfExponent: 1.6, SubscribeFraction: frac}, algs)
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, s)
+		for i, res := range results {
+			out[i].Add(float64(n), res.WeightedRaw)
+		}
 	}
 	return out, nil
 }

@@ -17,6 +17,7 @@ package fov
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"github.com/tele3d/tele3d/internal/stream"
@@ -63,6 +64,10 @@ func (s SiteLayout) CameraAngle(q int) (float64, error) {
 // circle, each with its camera layout.
 type Cyberspace struct {
 	layouts []SiteLayout
+	// camAlign[site][q] caches Cos(AngularDistance(camera axis, viewing
+	// ray)) — a pure function of the room geometry, so it is computed once
+	// instead of on every Contributing call.
+	camAlign [][]float64
 }
 
 // NewCyberspace builds a cyber-space for the given per-site camera counts.
@@ -77,6 +82,22 @@ func NewCyberspace(cameras []int) (*Cyberspace, error) {
 			return nil, fmt.Errorf("fov: site %d has %d cameras", i, q)
 		}
 		cs.layouts = append(cs.layouts, SiteLayout{Site: i, NumCameras: q})
+	}
+	cs.camAlign = make([][]float64, len(cs.layouts))
+	for i, lay := range cs.layouts {
+		siteAz, err := cs.SiteAngle(i)
+		if err != nil {
+			return nil, err
+		}
+		facing := NormalizeAngle(siteAz + math.Pi)
+		cs.camAlign[i] = make([]float64, lay.NumCameras)
+		for q := 0; q < lay.NumCameras; q++ {
+			camAz, err := lay.CameraAngle(q)
+			if err != nil {
+				return nil, err
+			}
+			cs.camAlign[i][q] = math.Cos(AngularDistance(camAz, facing))
+		}
 	}
 	return cs, nil
 }
@@ -157,15 +178,10 @@ func (c *Cyberspace) Contributing(f FOV) ([]Contribution, error) {
 			continue
 		}
 		siteWeight := 1 - sep/half
-		// Viewing ray from the observer toward this site; the cameras
-		// facing back along that ray see the front of the subject.
-		facing := NormalizeAngle(siteAz + math.Pi)
+		// The cameras facing back along the viewing ray see the front of
+		// the subject; their alignment is precomputed in camAlign.
 		for q := 0; q < lay.NumCameras; q++ {
-			camAz, err := lay.CameraAngle(q)
-			if err != nil {
-				return nil, err
-			}
-			align := math.Cos(AngularDistance(camAz, facing))
+			align := c.camAlign[lay.Site][q]
 			if align <= 1e-9 {
 				continue // camera edge-on or seeing the back of the subject
 			}
@@ -175,12 +191,38 @@ func (c *Cyberspace) Contributing(f FOV) ([]Contribution, error) {
 			})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	// Order by score descending, stream ascending. Candidates are
+	// generated in ascending stream order, so the append index doubles as
+	// the stream tie-break; scores are positive finite floats, so their
+	// inverted IEEE bits sort descending under integer comparison. The
+	// resulting order is exactly the historical comparator's, without the
+	// reflect-based sort in what is the view-change hot path.
+	type scoreKey struct {
+		k   uint64
+		idx int32
+	}
+	keys := make([]scoreKey, len(out))
+	for i := range out {
+		keys[i] = scoreKey{k: ^math.Float64bits(out[i].Score), idx: int32(i)}
+	}
+	slices.SortFunc(keys, func(a, b scoreKey) int {
+		switch {
+		case a.k < b.k:
+			return -1
+		case a.k > b.k:
+			return 1
+		case a.idx < b.idx:
+			return -1
+		case a.idx > b.idx:
+			return 1
 		}
-		return out[i].Stream.Less(out[j].Stream)
+		return 0
 	})
+	sorted := make([]Contribution, len(out))
+	for i, sk := range keys {
+		sorted[i] = out[sk.idx]
+	}
+	out = sorted
 	if len(out) > f.Budget {
 		out = out[:f.Budget]
 	}
@@ -210,19 +252,52 @@ type Subscription struct {
 }
 
 // Aggregate merges the contributing stream sets of all displays at one
-// site into its RP subscription.
+// site into its RP subscription. For the realistic domain (nonnegative
+// 32-bit sites and indexes) each ID packs into one uint64 whose numeric
+// order is exactly ID order, so the union is one integer sort plus an
+// adjacent-duplicate skip; other inputs take the map-and-comparator path.
 func Aggregate(site int, perDisplay ...[]stream.ID) Subscription {
-	seen := make(map[stream.ID]bool)
-	var ids []stream.ID
+	packable := true
+	total := 0
 	for _, d := range perDisplay {
+		total += len(d)
 		for _, id := range d {
-			if id.Site == site || seen[id] {
-				continue
+			if id.Site < 0 || int64(id.Site) > math.MaxInt32 || id.Index < 0 || int64(id.Index) > math.MaxInt32 {
+				packable = false
 			}
-			seen[id] = true
-			ids = append(ids, id)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	if !packable {
+		seen := make(map[stream.ID]bool)
+		var ids []stream.ID
+		for _, d := range perDisplay {
+			for _, id := range d {
+				if id.Site == site || seen[id] {
+					continue
+				}
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+		return Subscription{Site: site, Streams: ids}
+	}
+	keys := make([]uint64, 0, total)
+	for _, d := range perDisplay {
+		for _, id := range d {
+			if id.Site == site {
+				continue
+			}
+			keys = append(keys, uint64(uint32(id.Site))<<32|uint64(uint32(id.Index)))
+		}
+	}
+	slices.Sort(keys)
+	var ids []stream.ID
+	for i, k := range keys {
+		if i > 0 && k == keys[i-1] {
+			continue
+		}
+		ids = append(ids, stream.ID{Site: int(k >> 32), Index: int(uint32(k))})
+	}
 	return Subscription{Site: site, Streams: ids}
 }

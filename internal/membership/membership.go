@@ -74,10 +74,17 @@ type Config struct {
 	// applies diffs and pushes deltas only for streams s with
 	// transport.StreamShard(s, Shards) == Shard.
 	Shard int
-	// FlushIntervalMs batches route distribution: applied diffs are
-	// coalesced and flushed as one epoch bump per interval. 0 flushes
-	// inline after every event (legacy behaviour, one epoch per diff).
+	// FlushIntervalMs batches route distribution: received diffs are
+	// queued and each flush applies the whole window as one overlay batch
+	// plus one route rebuild, with one epoch bump per interval. 0 flushes
+	// inline after every event (legacy behaviour, one epoch per diff —
+	// internally a single-event batch with an immediate flush).
 	FlushIntervalMs float64
+	// ConstructWorkers sizes the worker pool for the initial forest
+	// construction; 0 or 1 constructs serially. Parallel construction
+	// partitions independent trees across workers and is bit-identical to
+	// serial output at any worker count.
+	ConstructWorkers int
 	// Tenant is the session's tenant index in a multi-tenant plane; 0
 	// (the default) keeps the legacy shard keying bit for bit. It must
 	// match the RP nodes' configured tenant — ownership hashing
@@ -129,6 +136,17 @@ type Server struct {
 	pendingAcks map[int][]transport.Ack
 	dirty       bool
 	applied     uint64
+	// pendingResubs queues accepted diffs awaiting the next flush, which
+	// applies the whole window through one overlay batch (batch and
+	// opCounts are its reusable scratch). Everything that reads the live
+	// forest (flush, resync, Forest) drains the queue first.
+	pendingResubs []*transport.Resubscribe
+	batch         overlay.Batch
+	opCounts      []int
+	// Per-phase maintenance timings (see PhaseStats).
+	phaseConstructNs  int64
+	phaseBatchApplyNs int64
+	phaseRebuildNs    int64
 	// directory is the replicated session directory distributed to RPs
 	// inside every full Routes table (see transport.Routes.Directory).
 	directory [][]string
@@ -240,11 +258,37 @@ func (s *Server) SetDirectory(dir [][]string) {
 }
 
 // Forest returns the live overlay forest (nil before Ready). It is
-// mutated by mid-session resubscriptions.
+// mutated by mid-session resubscriptions; queued-but-unflushed diffs are
+// applied first so the returned forest reflects every received event.
 func (s *Server) Forest() *overlay.Forest {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.forest != nil {
+		s.applyPendingLocked()
+	}
 	return s.forest
+}
+
+// PhaseStats breaks the server's cumulative forest-maintenance time into
+// phases: initial construction, dynamic batch application, and routing
+// table rebuilds. The split is what the batching work optimizes — fewer,
+// larger batch applies and one rebuild per flush window — so it is
+// exported for the observability pipeline.
+type PhaseStats struct {
+	ConstructMs    float64
+	BatchApplyMs   float64
+	RouteRebuildMs float64
+}
+
+// PhaseStats returns the server's per-phase maintenance timings so far.
+func (s *Server) PhaseStats() PhaseStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return PhaseStats{
+		ConstructMs:    float64(s.phaseConstructNs) / 1e6,
+		BatchApplyMs:   float64(s.phaseBatchApplyNs) / 1e6,
+		RouteRebuildMs: float64(s.phaseRebuildNs) / 1e6,
+	}
 }
 
 // Epoch returns the current routing-table version of this shard (1
@@ -497,17 +541,30 @@ func (s *Server) computeAndDistribute() error {
 	if err != nil {
 		return err
 	}
-	f, err := s.cfg.Algorithm.Construct(p, rand.New(rand.NewSource(s.cfg.Seed)))
+	start := time.Now()
+	var f *overlay.Forest
+	if s.cfg.ConstructWorkers > 1 {
+		// Parallel construction partitions independent trees across the
+		// pool; the merged forest is bit-identical to serial output.
+		b := overlay.NewParallelBuilder(s.cfg.ConstructWorkers)
+		f, err = b.Construct(nil, s.cfg.Algorithm, p, rand.New(rand.NewSource(s.cfg.Seed)))
+		b.Close()
+	} else {
+		f, err = s.cfg.Algorithm.Construct(p, rand.New(rand.NewSource(s.cfg.Seed)))
+	}
 	if err != nil {
 		return err
 	}
+	s.phaseConstructNs += time.Since(start).Nanoseconds()
 	if err := f.Validate(); err != nil {
 		return fmt.Errorf("membership: constructed forest invalid: %w", err)
 	}
 	s.forest = f
 	s.epoch = s.epochFloor + 1
 
+	start = time.Now()
 	routes := s.buildRoutes(f)
+	s.phaseRebuildNs += time.Since(start).Nanoseconds()
 	for i, st := range s.sites {
 		out := routes[i]
 		if st.hello.Epoch > 0 {
@@ -535,14 +592,14 @@ func stripMesh(r *transport.Routes) *transport.Routes {
 	return &c
 }
 
-// applyResubscribe applies one RP's subscription diff to the live forest
-// through the overlay's dynamic operations, restricted to the streams
-// this shard owns, and records the per-request acknowledgement. With no
-// flush interval the change is distributed inline (one epoch per diff,
-// the legacy behaviour); otherwise it waits for the next flush, which
-// coalesces the burst into one delta per site. A request ID at or below
-// the site's high-water mark is a retry racing a failover: it is
-// re-acknowledged at the current epoch without touching the forest.
+// applyResubscribe accepts one RP's subscription diff: it is queued for
+// the next flush, which applies the whole window to the live forest as
+// one overlay batch (one incremental update, one route rebuild) instead
+// of a rebuild per event. With no flush interval the queue is flushed
+// inline, so the diff still lands as a single-event batch with exactly
+// the legacy per-event behaviour. A request ID at or below the site's
+// high-water mark is a retry racing a failover: it is re-acknowledged at
+// the current epoch without touching the forest.
 func (s *Server) applyResubscribe(r *transport.Resubscribe) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -556,43 +613,69 @@ func (s *Server) applyResubscribe(r *transport.Resubscribe) {
 	if r.ID > s.lastResub[r.Site] {
 		s.lastResub[r.Site] = r.ID
 	}
-	ack := transport.Ack{ID: r.ID}
-	for _, id := range r.Lost {
-		if !s.owns(id) {
-			continue
-		}
-		// Unknown requests (trace drift) are skipped; the forest is
-		// authoritative.
-		_ = s.forest.Unsubscribe(overlay.Request{Node: r.Site, Stream: id})
-	}
-	for _, id := range r.Gained {
-		if !s.owns(id) {
-			continue
-		}
-		res, err := s.forest.Subscribe(overlay.Request{Node: r.Site, Stream: id})
-		if err != nil {
-			// The request already exists (a replay after failover):
-			// acknowledge from the forest's current admission state.
-			if t := s.forest.Tree(id); t != nil && t.Contains(r.Site) {
-				ack.Accepted = append(ack.Accepted, id)
-			} else {
-				ack.Rejected = append(ack.Rejected, id)
-			}
-			continue
-		}
-		switch res {
-		case overlay.Joined, overlay.AlreadyMember:
-			ack.Accepted = append(ack.Accepted, id)
-		default:
-			ack.Rejected = append(ack.Rejected, id)
-		}
-	}
-	s.pendingAcks[r.Site] = append(s.pendingAcks[r.Site], ack)
+	s.pendingResubs = append(s.pendingResubs, r)
 	s.dirty = true
 	s.applied++
 	if s.cfg.FlushIntervalMs <= 0 {
 		s.flushLocked(-1, false)
 	}
+}
+
+// applyPendingLocked drains the queued resubscriptions into the forest
+// through one coalesced overlay batch, restricted to the streams this
+// shard owns, and records each diff's acknowledgement from the batch
+// outcomes. Unknown lost requests (trace drift) are no-ops; the forest
+// is authoritative. Callers hold s.mu with a live forest.
+func (s *Server) applyPendingLocked() {
+	if len(s.pendingResubs) == 0 {
+		return
+	}
+	start := time.Now()
+	s.batch.Reset()
+	s.opCounts = s.opCounts[:0]
+	for _, r := range s.pendingResubs {
+		before := s.batch.Len()
+		for _, id := range r.Lost {
+			if s.owns(id) {
+				s.batch.Unsubscribe(overlay.Request{Node: r.Site, Stream: id})
+			}
+		}
+		for _, id := range r.Gained {
+			if s.owns(id) {
+				s.batch.Subscribe(overlay.Request{Node: r.Site, Stream: id})
+			}
+		}
+		s.opCounts = append(s.opCounts, s.batch.Len()-before)
+	}
+	outs := s.forest.ApplyBatch(&s.batch)
+	off := 0
+	for di, r := range s.pendingResubs {
+		ack := transport.Ack{ID: r.ID}
+		for _, o := range outs[off : off+s.opCounts[di]] {
+			if !o.Sub {
+				continue
+			}
+			accepted := false
+			switch {
+			case o.Err != nil:
+				// The request already exists (a replay after failover):
+				// acknowledge from the forest's current admission state.
+				t := s.forest.Tree(o.Req.Stream)
+				accepted = t != nil && t.Contains(o.Req.Node)
+			case o.Result == overlay.Joined || o.Result == overlay.AlreadyMember:
+				accepted = true
+			}
+			if accepted {
+				ack.Accepted = append(ack.Accepted, o.Req.Stream)
+			} else {
+				ack.Rejected = append(ack.Rejected, o.Req.Stream)
+			}
+		}
+		off += s.opCounts[di]
+		s.pendingAcks[r.Site] = append(s.pendingAcks[r.Site], ack)
+	}
+	s.pendingResubs = s.pendingResubs[:0]
+	s.phaseBatchApplyNs += time.Since(start).Nanoseconds()
 }
 
 // reackLocked re-acknowledges a suppressed duplicate resubscribe at the
@@ -616,6 +699,9 @@ func (s *Server) reackLocked(site int, id uint64) {
 // arbitrarily stale — and every other affected site a delta. Callers
 // hold s.mu with s.computed true.
 func (s *Server) resyncLocked(st *siteState) {
+	// The reconciliation below reads the forest's admission state, so any
+	// queued-but-unapplied diffs must land first.
+	s.applyPendingLocked()
 	site := st.hello.Site
 	have := make(map[stream.ID]bool)
 	for _, r := range s.forest.Accepted() {
@@ -666,8 +752,12 @@ func (s *Server) flushLocked(fullFor int, withMesh bool) {
 	if !s.dirty && fullFor < 0 {
 		return
 	}
+	// One batch apply and one route rebuild cover the whole window.
+	s.applyPendingLocked()
 	s.epoch++
+	start := time.Now()
 	next := s.buildRoutes(s.forest)
+	s.phaseRebuildNs += time.Since(start).Nanoseconds()
 	var peerPatch map[int]string
 	if len(s.pendingPeers) > 0 {
 		peerPatch = make(map[int]string, len(s.pendingPeers))

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 )
 
@@ -39,40 +40,67 @@ const (
 // Callers shuffle the groups with their seeded rng before sorting, which
 // keeps runs reproducible per seed while randomizing ties as the paper's
 // randomized processing does.
-func sortGroups(p *Problem, groups []Group, order groupOrder) {
+//
+// The sort itself packs (criterion rank, input position) into one uint64
+// per group and sorts the integers: the position suffix reproduces the
+// stable tie-break while the sort runs without the reflect-based swapper.
+// Inputs outside the packable range take the comparator fallback.
+func sortGroups(ws *Workspace, p *Problem, groups []Group, order groupOrder) {
+	if len(groups) < 2 {
+		return
+	}
 	var fc []int
 	if order == orderMinCapacityFirst {
 		fc = p.ForwardingCapacity()
 	}
-	aggregate := func(g Group) int {
-		// Aggregate forwarding capacity of the tree: sum over the nodes
-		// of the multicast group G(s) (§4.3.2). G(s) is the set of
-		// requesting RPs (§4.1), so the source is not included.
-		total := 0
-		for _, m := range g.Members {
-			total += fc[m]
-		}
-		return total
-	}
-	sort.SliceStable(groups, func(i, j int) bool {
-		a, b := groups[i], groups[j]
+	// rank maps a group to the signed value the criterion sorts ascending.
+	rank := func(g Group) int64 {
 		switch order {
 		case orderLargestFirst:
-			if a.Size() != b.Size() {
-				return a.Size() > b.Size()
-			}
+			return -int64(g.Size())
 		case orderSmallestFirst:
-			if a.Size() != b.Size() {
-				return a.Size() < b.Size()
+			return int64(g.Size())
+		default:
+			// Aggregate forwarding capacity of the tree: sum over the
+			// nodes of the multicast group G(s) (§4.3.2). G(s) is the set
+			// of requesting RPs (§4.1), so the source is not included.
+			total := int64(0)
+			for _, m := range g.Members {
+				total += int64(fc[m])
 			}
-		case orderMinCapacityFirst:
-			ca, cb := aggregate(a), aggregate(b)
-			if ca != cb {
-				return ca < cb
-			}
+			return total
 		}
-		return false // ties keep the (shuffled) input order
-	})
+	}
+	const posBits = 24
+	const rankBias = int64(1) << 38
+	var keys []uint64
+	var scratch []Group
+	if ws != nil {
+		keys, scratch = ws.keys[:0], ws.gsort[:0]
+	}
+	packable := len(groups) <= 1<<posBits
+	if packable {
+		for i, g := range groups {
+			v := rank(g)
+			if v <= -rankBias || v >= rankBias {
+				packable = false
+				break
+			}
+			keys = append(keys, uint64(v+rankBias)<<posBits|uint64(i))
+		}
+	}
+	if !packable {
+		sort.SliceStable(groups, func(i, j int) bool { return rank(groups[i]) < rank(groups[j]) })
+		return
+	}
+	slices.Sort(keys)
+	scratch = append(scratch, groups...)
+	for i, k := range keys {
+		groups[i] = scratch[k&(1<<posBits-1)]
+	}
+	if ws != nil {
+		ws.keys, ws.gsort = keys[:0], scratch[:0]
+	}
 }
 
 // constructOrdered is the shared engine behind the tree-based orderings:
@@ -85,7 +113,7 @@ func constructOrdered(ws *Workspace, p *Problem, rng *rand.Rand, order groupOrde
 	}
 	groups := ws.groupsFor(p)
 	rng.Shuffle(len(groups), func(i, j int) { groups[i], groups[j] = groups[j], groups[i] })
-	sortGroups(p, groups, order)
+	sortGroups(ws, p, groups, order)
 	return constructBatchedWS(ws, p, rng, groups, granularity)
 }
 

@@ -336,7 +336,7 @@ func TestMCTFOrdersByAggregateCapacity(t *testing.T) {
 		},
 	}
 	groups := p.Groups()
-	sortGroups(p, groups, orderMinCapacityFirst)
+	sortGroups(nil, p, groups, orderMinCapacityFirst)
 	if groups[0].Stream != s0 {
 		t.Errorf("MCTF order starts with %v, want %v (least aggregate capacity)", groups[0].Stream, s0)
 	}

@@ -91,6 +91,62 @@ func TestSubscribeSteadyStateZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestBatchApplySteadyStateZeroAllocs cycles a full churn window through
+// ApplyBatch — position-index rebuild, tombstoning, the dynamic
+// subscribe path, and the final compaction — and requires zero
+// allocations per window once the batch's scratch has grown.
+func TestBatchApplySteadyStateZeroAllocs(t *testing.T) {
+	f, r := steadyForest(t)
+	var b Batch
+	cycle := func() {
+		b.Reset()
+		b.Unsubscribe(r)
+		b.Subscribe(r)
+		outs := f.ApplyBatch(&b)
+		for i := range outs {
+			if outs[i].Err != nil {
+				t.Fatal(outs[i].Err)
+			}
+		}
+	}
+	for i := 0; i < 64; i++ { // grow the batch scratch and position index
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Errorf("ApplyBatch steady state allocates %.1f times per window, want 0", allocs)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelConstructSteadyStateZeroAllocs pins the construction hot
+// path the experiment engines and the parallel builder share: repeated
+// constructions of the same problem over recycled workspaces must not
+// allocate once every lease has reached working size. Both the inline
+// single-worker path and the cross-worker dispatch path are pinned.
+func TestParallelConstructSteadyStateZeroAllocs(t *testing.T) {
+	p := simpleProblem(t, 6, 5, 3, 20, 20, 50)
+	for _, workers := range []int{1, 2} {
+		b := NewParallelBuilder(workers)
+		defer b.Close()
+		var ws Workspace
+		rng := rand.New(rand.NewSource(99))
+		cycle := func() {
+			rng.Seed(99)
+			if _, err := b.Construct(&ws, RJ{}, p, rng); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 16; i++ { // grow workspace leases and builder scratch
+			cycle()
+		}
+		if allocs := testing.AllocsPerRun(50, cycle); allocs != 0 {
+			t.Errorf("workers=%d: parallel construct steady state allocates %.1f times per run, want 0", workers, allocs)
+		}
+	}
+}
+
 // TestMembershipIterationMatchesSortedNodes rebuilds each tree's member
 // set from the tree structure itself (child links walked from the
 // source), sorts it, and requires ForEachNode and Nodes() to visit

@@ -1,0 +1,144 @@
+package overlay
+
+// batch.go coalesces a burst of dynamic operations into one incremental
+// forest update. Sequential Subscribe/Unsubscribe calls are correct but
+// pay one O(R) request-slice splice per withdrawal; a churn window at
+// cluster scale issues hundreds of them. A Batch replays the same
+// operations against the same forest state in the same order — so the
+// resulting forest is identical, operation for operation, to the
+// sequential path — but defers every slice removal behind a tombstone and
+// compacts the request slice once at the end. The batch equivalence test
+// pins the "identical" claim byte for byte.
+//
+// A Batch is caller-owned scratch: Reset and refill it per window, and
+// its maps and slices are recycled so steady-state batch application
+// allocates nothing.
+
+import "fmt"
+
+type batchOpKind uint8
+
+const (
+	opSubscribe batchOpKind = iota
+	opUnsubscribe
+)
+
+type batchOp struct {
+	kind batchOpKind
+	req  Request
+}
+
+// BatchOutcome records what one batched operation did, in op order.
+type BatchOutcome struct {
+	Req    Request
+	Sub    bool       // true for subscribe ops, false for unsubscribes
+	Result JoinResult // join outcome of a successful subscribe
+	Err    error      // per-op validation error; the op was a no-op
+}
+
+// Batch accumulates subscribe/unsubscribe operations (a view change is a
+// run of unsubscribes followed by subscribes) for one ApplyBatch call.
+// The zero value is ready to use.
+type Batch struct {
+	ops      []batchOp
+	outcomes []BatchOutcome
+	pos      map[Request]int32 // request -> index in problem.Requests
+	removed  []bool            // tombstones, parallel to problem.Requests
+}
+
+// Reset clears the batch for reuse, keeping its storage.
+func (b *Batch) Reset() {
+	b.ops = b.ops[:0]
+	b.outcomes = b.outcomes[:0]
+}
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Subscribe queues an admission of r.
+func (b *Batch) Subscribe(r Request) {
+	b.ops = append(b.ops, batchOp{kind: opSubscribe, req: r})
+}
+
+// Unsubscribe queues a withdrawal of r.
+func (b *Batch) Unsubscribe(r Request) {
+	b.ops = append(b.ops, batchOp{kind: opUnsubscribe, req: r})
+}
+
+// ApplyBatch applies the batch's operations to the forest in queue order
+// and returns the per-operation outcomes (owned by the batch, valid until
+// its next use). Each operation behaves exactly like the corresponding
+// Subscribe/Unsubscribe call at that point in the sequence; an operation
+// that would have returned an error is recorded as such and leaves the
+// forest untouched, and later operations still run — mirroring a caller
+// looping over the ops and ignoring per-op failures. Only the request
+// slice bookkeeping differs: withdrawals tombstone their slot and one
+// order-preserving compaction runs at the end, which is what makes a
+// large batch cheap.
+func (f *Forest) ApplyBatch(b *Batch) []BatchOutcome {
+	b.outcomes = b.outcomes[:0]
+	if len(b.ops) == 0 {
+		return b.outcomes
+	}
+	idx := f.requestIndex()
+
+	// Position index and tombstones over the current request slice.
+	if b.pos == nil {
+		b.pos = make(map[Request]int32, len(f.problem.Requests))
+	} else {
+		clear(b.pos)
+	}
+	for i, r := range f.problem.Requests {
+		b.pos[r] = int32(i)
+	}
+	if cap(b.removed) >= len(f.problem.Requests) {
+		b.removed = b.removed[:len(f.problem.Requests)]
+		for i := range b.removed {
+			b.removed[i] = false
+		}
+	} else {
+		b.removed = make([]bool, len(f.problem.Requests))
+	}
+
+	for _, op := range b.ops {
+		r := op.req
+		out := BatchOutcome{Req: r, Sub: op.kind == opSubscribe}
+		switch op.kind {
+		case opSubscribe:
+			// Subscribe appends to problem.Requests; extend the tombstone
+			// and position bookkeeping to cover the new slot.
+			res, err := f.Subscribe(r)
+			if err != nil {
+				out.Err = err
+				break
+			}
+			out.Result = res
+			b.pos[r] = int32(len(f.problem.Requests) - 1)
+			b.removed = append(b.removed, false)
+		default:
+			if _, known := idx[r]; !known {
+				out.Err = fmt.Errorf("overlay: unsubscribe of unknown request %v", r)
+				break
+			}
+			b.removed[b.pos[r]] = true
+			delete(idx, r)
+			delete(b.pos, r)
+			f.slot(r.Stream).reqs--
+			f.withdraw(r)
+		}
+		b.outcomes = append(b.outcomes, out)
+	}
+
+	// One order-preserving compaction replaces every deferred splice.
+	reqs := f.problem.Requests
+	w := 0
+	for i := range reqs {
+		if b.removed[i] {
+			continue
+		}
+		reqs[w] = reqs[i]
+		w++
+	}
+	f.problem.Requests = reqs[:w]
+	return b.outcomes
+}

@@ -1,0 +1,239 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tele3d/tele3d/internal/stream"
+	"github.com/tele3d/tele3d/internal/workload"
+)
+
+// batchScript is one randomized churn window: a mix of subscribes (some
+// fresh, some duplicates) and unsubscribes (some known, some unknown),
+// including subscribe-then-unsubscribe and unsubscribe-then-resubscribe
+// of the same request inside one window — the orderings that stress the
+// tombstone bookkeeping.
+type scriptOp struct {
+	sub bool
+	req Request
+}
+
+func randomScript(f *Forest, rng *rand.Rand, n, ops int) []scriptOp {
+	var script []scriptOp
+	live := append([]Request(nil), f.Problem().Requests...)
+	for len(script) < ops {
+		switch {
+		case rng.Intn(3) == 0 && len(live) > 0:
+			i := rng.Intn(len(live))
+			script = append(script, scriptOp{sub: false, req: live[i]})
+			live = append(live[:i], live[i+1:]...)
+		case rng.Intn(5) == 0 && len(live) > 0:
+			// Duplicate subscribe or repeated unsubscribe: no-ops that must
+			// stay no-ops in a batch.
+			r := live[rng.Intn(len(live))]
+			script = append(script, scriptOp{sub: rng.Intn(2) == 0, req: r})
+			if !script[len(script)-1].sub {
+				for i, l := range live {
+					if l == r {
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+			}
+		default:
+			r := Request{
+				Node:   rng.Intn(n),
+				Stream: stream.ID{Site: rng.Intn(n), Index: rng.Intn(20)},
+			}
+			if r.Node == r.Stream.Site {
+				continue
+			}
+			script = append(script, scriptOp{sub: true, req: r})
+			dup := false
+			for _, l := range live {
+				if l == r {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				live = append(live, r)
+			}
+		}
+	}
+	return script
+}
+
+// applySequential is the reference semantics: one Subscribe/Unsubscribe
+// call per op, per-op failures ignored.
+func applySequential(f *Forest, script []scriptOp) []BatchOutcome {
+	var outs []BatchOutcome
+	for _, op := range script {
+		out := BatchOutcome{Req: op.req, Sub: op.sub}
+		if op.sub {
+			out.Result, out.Err = f.Subscribe(op.req)
+		} else {
+			out.Err = f.Unsubscribe(op.req)
+		}
+		outs = append(outs, out)
+	}
+	return outs
+}
+
+func requireRequestsIdentical(t *testing.T, want, got *Forest) {
+	t.Helper()
+	wr, gr := want.Problem().Requests, got.Problem().Requests
+	if len(wr) != len(gr) {
+		t.Fatalf("request slice length: want %d, got %d", len(wr), len(gr))
+	}
+	for i := range wr {
+		if wr[i] != gr[i] {
+			t.Fatalf("request[%d]: want %v, got %v", i, wr[i], gr[i])
+		}
+	}
+}
+
+// TestBatchMatchesSequential is the batch equivalence guarantee: applying
+// a coalesced Batch produces a forest byte-identical — topology, counters,
+// acceptance order, and the problem's request slice order — to applying
+// the same operations one by one through Subscribe/Unsubscribe, with the
+// same per-op outcomes. Every golden-pinned output derives from the state
+// this test compares, so batched maintenance can never drift a golden.
+func TestBatchMatchesSequential(t *testing.T) {
+	const n = 6
+	for seed := int64(0); seed < 6; seed++ {
+		p1 := coverageProblem(t, n, workload.CapacityUniform, workload.PopularityRandom, 400+seed)
+		p2 := coverageProblem(t, n, workload.CapacityUniform, workload.PopularityRandom, 400+seed)
+		seq, err := RJ{}.Construct(p1, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := RJ{}.Construct(p2, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rng := rand.New(rand.NewSource(seed*13 + 7))
+		var batch Batch
+		// Several windows per seed: later windows run over a forest already
+		// mutated by batches, and the batch's recycled scratch is reused.
+		for window := 0; window < 4; window++ {
+			script := randomScript(seq, rng, n, 40)
+			wantOuts := applySequential(seq, script)
+			batch.Reset()
+			for _, op := range script {
+				if op.sub {
+					batch.Subscribe(op.req)
+				} else {
+					batch.Unsubscribe(op.req)
+				}
+			}
+			gotOuts := bat.ApplyBatch(&batch)
+
+			if len(wantOuts) != len(gotOuts) {
+				t.Fatalf("seed %d window %d: %d outcomes, want %d", seed, window, len(gotOuts), len(wantOuts))
+			}
+			for i := range wantOuts {
+				w, g := wantOuts[i], gotOuts[i]
+				if w.Req != g.Req || w.Sub != g.Sub || w.Result != g.Result || (w.Err == nil) != (g.Err == nil) {
+					t.Fatalf("seed %d window %d op %d: outcome %+v, want %+v", seed, window, i, g, w)
+				}
+			}
+			if err := bat.Validate(); err != nil {
+				t.Fatalf("seed %d window %d: batched forest invalid: %v", seed, window, err)
+			}
+			requireForestsIdentical(t, seq, bat)
+			requireRequestsIdentical(t, seq, bat)
+		}
+	}
+}
+
+// TestBatchWithinWindowOrderings pins the tricky intra-window sequences
+// explicitly: subscribe-then-unsubscribe leaves no trace, and
+// unsubscribe-then-resubscribe moves the request to the end of the
+// problem's request slice — exactly as sequential application would.
+func TestBatchWithinWindowOrderings(t *testing.T) {
+	p := simpleProblem(t, 4, 5, 2, 20, 20, 50)
+	f, err := RJ{}.Construct(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	existing := p.Requests[0]
+	fresh := Request{Node: 0, Stream: stream.ID{Site: 1, Index: 4}}
+	nBefore := len(p.Requests)
+
+	var b Batch
+	b.Subscribe(fresh)
+	b.Unsubscribe(fresh)
+	b.Unsubscribe(existing)
+	b.Subscribe(existing)
+	outs := f.ApplyBatch(&b)
+	for i, out := range outs {
+		if out.Err != nil {
+			t.Fatalf("op %d: %v", i, out.Err)
+		}
+	}
+	if len(p.Requests) != nBefore {
+		t.Fatalf("request count %d, want %d", len(p.Requests), nBefore)
+	}
+	if got := p.Requests[len(p.Requests)-1]; got != existing {
+		t.Errorf("resubscribed request at %v, want it re-appended last", got)
+	}
+	for _, r := range p.Requests {
+		if r == fresh {
+			t.Errorf("transient request %v survived the window", fresh)
+		}
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchErrorsAreNoOps checks per-op validation failures are recorded
+// and skipped without poisoning the rest of the batch.
+func TestBatchErrorsAreNoOps(t *testing.T) {
+	p := simpleProblem(t, 4, 5, 2, 20, 20, 50)
+	f, err := RJ{}.Construct(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	b.Subscribe(p.Requests[0])                                            // duplicate
+	b.Unsubscribe(Request{Node: 0, Stream: stream.ID{Site: 2, Index: 9}}) // unknown
+	b.Subscribe(Request{Node: 9, Stream: stream.ID{Site: 1, Index: 0}})   // bad node
+	b.Subscribe(Request{Node: 0, Stream: stream.ID{Site: 1, Index: 4}})   // valid
+	outs := f.ApplyBatch(&b)
+	if len(outs) != 4 {
+		t.Fatalf("%d outcomes, want 4", len(outs))
+	}
+	for i := 0; i < 3; i++ {
+		if outs[i].Err == nil {
+			t.Errorf("op %d: expected error", i)
+		}
+	}
+	if outs[3].Err != nil || outs[3].Result != Joined {
+		t.Errorf("valid op: %+v", outs[3])
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchEmpty checks the trivial cases.
+func TestBatchEmpty(t *testing.T) {
+	p := simpleProblem(t, 3, 5, 1, 20, 20, 50)
+	f, err := RJ{}.Construct(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	if outs := f.ApplyBatch(&b); len(outs) != 0 {
+		t.Fatalf("empty batch produced %d outcomes", len(outs))
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

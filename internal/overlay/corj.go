@@ -82,6 +82,7 @@ func (f *Forest) trySwap(r Request, u [][]int) bool {
 		return false
 	}
 	qTarget := Criticality(u, i, j)
+	f.ensureNodeTrees()
 
 	var victim stream.ID
 	var victimParent int
@@ -167,6 +168,7 @@ func (f *Forest) trySwapInbound(r Request, u [][]int) bool {
 		return false
 	}
 	qTarget := Criticality(u, i, j)
+	f.ensureNodeTrees()
 
 	// Collect all victim candidates satisfying conditions (1) and (2),
 	// least critical first.

@@ -84,14 +84,21 @@ func (f *Forest) Unsubscribe(r Request) error {
 	f.problem.Requests = append(f.problem.Requests[:idx], f.problem.Requests[idx+1:]...)
 	delete(reqIdx, r)
 	f.slot(r.Stream).reqs--
+	f.withdraw(r)
+	return nil
+}
 
+// withdraw prunes r's node from its stream's tree after the request has
+// already been removed from the request accounting (slice splice or batch
+// tombstone). It is the shared tail of Unsubscribe and ApplyBatch.
+func (f *Forest) withdraw(r Request) {
 	t := f.Tree(r.Stream)
 	wasAccepted := t != nil && t.Contains(r.Node)
 	if !wasAccepted {
 		// The request had been rejected; just drop the rejection record.
 		f.unreject(r)
 		f.releaseReservationIfOrphan(r.Stream)
-		return nil
+		return
 	}
 	f.unaccept(r)
 
@@ -115,7 +122,6 @@ func (f *Forest) Unsubscribe(r Request) error {
 		}
 	}
 	f.releaseReservationIfOrphan(r.Stream)
-	return nil
 }
 
 // detachSubtree removes every edge under root (excluding root's own

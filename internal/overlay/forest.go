@@ -124,6 +124,15 @@ func (t *Tree) Children(node int) []int {
 	return out
 }
 
+// ChildrenRef returns the node's children in join order as the tree's
+// internal slice, without copying. Callers must treat the slice as
+// read-only and must not hold it across tree mutations; it exists for
+// hot paths (the event simulator's forwarding loop) where the Children
+// copy or the ForEachChild callback would dominate.
+func (t *Tree) ChildrenRef(node int) []int32 {
+	return t.childrenOf(node)
+}
+
 // childrenOf returns the node's children in join order without copying;
 // callers must not mutate the slice or the tree while holding it.
 func (t *Tree) childrenOf(node int) []int32 {
@@ -260,14 +269,22 @@ type Forest struct {
 	// highest stream index seen.
 	slots    [][]streamSlot
 	numTrees int
-	// treeList caches the trees in ascending stream order; it is updated
-	// incrementally on tree creation/deletion so Trees() and the
-	// construction loops never re-sort.
-	treeList []*Tree
+	// treeList caches the trees in ascending stream order. During static
+	// construction new trees are appended and treeSorted tracks whether
+	// the append order happens to be sorted; every ordered reader calls
+	// ensureTreeList first, so a construction that creates F trees pays
+	// one O(F log F) sort instead of F sorted inserts (each an O(F)
+	// pointer-slice shift through the write barrier).
+	treeList   []*Tree
+	treeSorted bool
 	// nodeTrees[i] lists the trees containing node i, in ascending stream
 	// order — the CO-RJ victim scans touch only these instead of every
-	// tree in the forest.
+	// tree in the forest. The index is built lazily (idxBuilt): static
+	// construction never consults it, so the per-attach sorted inserts
+	// are skipped entirely until the first reader materializes it, after
+	// which every mutation maintains it incrementally as before.
 	nodeTrees [][]*Tree
+	idxBuilt  bool
 	// treePool recycles Tree structures freed by Reset.
 	treePool []*Tree
 
@@ -287,21 +304,26 @@ type Forest struct {
 	// the processing-order sequence number of each entry and accPos/rejPos
 	// map a request to its backing index, so unaccept/unreject are O(1)
 	// swap-removes while the public accessors reconstruct processing
-	// order from the sequence numbers.
+	// order from the sequence numbers. The position maps are built lazily
+	// (posBuilt): only unaccept/unreject consult them, so a forest that is
+	// never swapped or churned skips the per-request map fills.
 	accepted []Request
 	accSeq   []uint64
 	accPos   map[Request]int
 	rejected []Request
 	rejSeq   []uint64
 	rejPos   map[Request]int
+	posBuilt bool
 	seq      uint64
 
 	// rej[i][j] counts rejected requests from node i for site j streams
 	// (the paper's û_{i→j}).
 	rej [][]int
 
-	// scratch buffers reused by dynamic operations (detachSubtree).
+	// scratch buffers reused by dynamic operations (detachSubtree) and
+	// the per-Reset problem validation (valKeys).
 	scratchOrphans []int
+	valKeys        []uint64
 }
 
 // NewForest prepares an empty forest for the problem: degree counters at
@@ -320,7 +342,9 @@ func NewForest(p *Problem) (*Forest, error) {
 // workspace path behind repeated Monte-Carlo constructions; NewForest is
 // Reset on a zero Forest.
 func (f *Forest) Reset(p *Problem) error {
-	if err := p.Validate(); err != nil {
+	keys, err := p.validateScratch(f.valKeys)
+	f.valKeys = keys
+	if err != nil {
 		return err
 	}
 	n := p.N()
@@ -333,10 +357,13 @@ func (f *Forest) Reset(p *Problem) error {
 		clear(f.rejPos)
 	}
 	f.reqSet = nil // rebuilt lazily by the first dynamic operation
+	f.posBuilt = false
+	f.idxBuilt = false
 	for _, t := range f.treeList {
 		f.treePool = append(f.treePool, t)
 	}
 	f.treeList = f.treeList[:0]
+	f.treeSorted = true
 	f.numTrees = 0
 	// Reset the per-stream slots we previously touched, then grow the
 	// site dimension to the new problem.
@@ -447,6 +474,7 @@ func (f *Forest) Tree(id stream.ID) *Tree {
 
 // Trees returns all trees, sorted by stream ID.
 func (f *Forest) Trees() []*Tree {
+	f.ensureTreeList()
 	out := make([]*Tree, len(f.treeList))
 	copy(out, f.treeList)
 	return out
@@ -455,6 +483,7 @@ func (f *Forest) Trees() []*Tree {
 // ForEachTree calls fn for every tree in ascending stream order without
 // copying. fn must not create or delete trees.
 func (f *Forest) ForEachTree(fn func(*Tree)) {
+	f.ensureTreeList()
 	for _, t := range f.treeList {
 		fn(t)
 	}
@@ -525,8 +554,13 @@ func (f *Forest) tree(id stream.ID) *Tree {
 		}
 		s.tree = t
 		f.numTrees++
-		insertTreeSorted(&f.treeList, t)
-		insertTreeSorted(&f.nodeTrees[t.Source], t)
+		if n := len(f.treeList); f.treeSorted && n > 0 && f.treeList[n-1].skey > t.skey {
+			f.treeSorted = false
+		}
+		f.treeList = append(f.treeList, t)
+		if f.idxBuilt {
+			insertTreeSorted(&f.nodeTrees[t.Source], t)
+		}
 	}
 	return t
 }
@@ -536,8 +570,11 @@ func (f *Forest) tree(id stream.ID) *Tree {
 func (f *Forest) dropTree(t *Tree) {
 	f.slot(t.Stream).tree = nil
 	f.numTrees--
+	f.ensureTreeList()
 	removeTreeSorted(&f.treeList, t)
-	removeTreeSorted(&f.nodeTrees[t.Source], t)
+	if f.idxBuilt {
+		removeTreeSorted(&f.nodeTrees[t.Source], t)
+	}
 	f.treePool = append(f.treePool, t)
 }
 
@@ -545,7 +582,9 @@ func (f *Forest) dropTree(t *Tree) {
 // membership; degree accounting stays with the callers.
 func (f *Forest) attachEdge(t *Tree, parent, child int, edgeCost float64) {
 	t.addEdge(parent, child, edgeCost)
-	insertTreeSorted(&f.nodeTrees[child], t)
+	if f.idxBuilt {
+		insertTreeSorted(&f.nodeTrees[child], t)
+	}
 }
 
 // detachLeaf removes the leaf's edge from tree t and de-indexes the
@@ -555,9 +594,64 @@ func (f *Forest) detachLeaf(t *Tree, child int) {
 		return
 	}
 	t.removeLeaf(child)
-	if !t.Contains(child) {
+	if f.idxBuilt && !t.Contains(child) {
 		removeTreeSorted(&f.nodeTrees[child], t)
 	}
+}
+
+// ensureTreeList restores the tree list's ascending stream order if
+// appends have left it unsorted. Rather than sorting, it rebuilds the
+// list from the slot table: iterating sites then indexes visits streams
+// in exactly ascending order, so one linear scan re-derives the sorted
+// list without comparator calls or pointer shuffling.
+func (f *Forest) ensureTreeList() {
+	if f.treeSorted {
+		return
+	}
+	f.treeList = f.treeList[:0]
+	for site := range f.slots {
+		row := f.slots[site]
+		for i := range row {
+			if t := row[i].tree; t != nil {
+				f.treeList = append(f.treeList, t)
+			}
+		}
+	}
+	f.treeSorted = true
+}
+
+// ensureNodeTrees materializes the per-node tree index. Trees are visited
+// in ascending stream order, so each node's list comes out in exactly the
+// order the incremental inserts historically maintained.
+func (f *Forest) ensureNodeTrees() {
+	if f.idxBuilt {
+		return
+	}
+	f.ensureTreeList()
+	for i := range f.nodeTrees {
+		f.nodeTrees[i] = f.nodeTrees[i][:0]
+	}
+	for _, t := range f.treeList {
+		for _, m := range t.members {
+			f.nodeTrees[m] = append(f.nodeTrees[m], t)
+		}
+	}
+	f.idxBuilt = true
+}
+
+// ensurePos materializes the accepted/rejected position maps from the
+// backing stores; after the build every mark/unmark maintains them.
+func (f *Forest) ensurePos() {
+	if f.posBuilt {
+		return
+	}
+	for i, r := range f.accepted {
+		f.accPos[r] = i
+	}
+	for i, r := range f.rejected {
+		f.rejPos[r] = i
+	}
+	f.posBuilt = true
 }
 
 // searchTree returns the insertion index for key in the stream-ordered
@@ -599,14 +693,18 @@ func removeTreeSorted(list *[]*Tree, t *Tree) {
 }
 
 func (f *Forest) markAccepted(r Request) {
-	f.accPos[r] = len(f.accepted)
+	if f.posBuilt {
+		f.accPos[r] = len(f.accepted)
+	}
 	f.accepted = append(f.accepted, r)
 	f.accSeq = append(f.accSeq, f.seq)
 	f.seq++
 }
 
 func (f *Forest) markRejected(r Request) {
-	f.rejPos[r] = len(f.rejected)
+	if f.posBuilt {
+		f.rejPos[r] = len(f.rejected)
+	}
 	f.rejected = append(f.rejected, r)
 	f.rejSeq = append(f.rejSeq, f.seq)
 	f.seq++
@@ -616,6 +714,7 @@ func (f *Forest) markRejected(r Request) {
 // unreject moves a previously rejected request back to pending state; used
 // by CO-RJ when a saturated request is satisfied via a victim swap.
 func (f *Forest) unreject(r Request) {
+	f.ensurePos()
 	i, ok := f.rejPos[r]
 	if !ok {
 		return
@@ -636,6 +735,7 @@ func (f *Forest) unreject(r Request) {
 // unaccept removes a request from the accepted list; used by CO-RJ when an
 // accepted request becomes the swap victim.
 func (f *Forest) unaccept(r Request) {
+	f.ensurePos()
 	i, ok := f.accPos[r]
 	if !ok {
 		return

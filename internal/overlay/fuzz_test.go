@@ -44,6 +44,74 @@ func fuzzProblem() *Problem {
 	return p
 }
 
+// FuzzBatchChurn replays fuzzer-chosen churn both ways — one
+// Subscribe/Unsubscribe call per op against one forest, coalesced
+// ApplyBatch windows against another — and requires the two forests to
+// stay bit-identical (and valid) at every window boundary. The window
+// length is fuzzer-chosen too, so single-op batches, whole-sequence
+// batches and everything between are all explored.
+func FuzzBatchChurn(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 1, 1, 2, 0}, int64(1), uint8(2))
+	f.Add([]byte{0, 0, 4, 5, 0, 2, 4, 5, 1, 0, 4, 5, 1, 2, 4, 5}, int64(7), uint8(1))
+	f.Add([]byte{2, 3, 1, 9, 0, 3, 1, 9, 2, 3, 1, 9}, int64(42), uint8(8))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64, window uint8) {
+		seq, err := RJ{}.Construct(fuzzProblem(), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := RJ{}.Construct(fuzzProblem(), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		win := int(window%8) + 1
+		var batch Batch
+		const n = 5
+		check := func(op int) {
+			if batch.Len() == 0 {
+				return
+			}
+			bat.ApplyBatch(&batch)
+			batch.Reset()
+			if err := bat.Validate(); err != nil {
+				t.Fatalf("op %d: batched forest invalid: %v", op, err)
+			}
+			requireForestsIdentical(t, seq, bat)
+			requireRequestsIdentical(t, seq, bat)
+		}
+		for i := 0; i+3 < len(data); i += 4 {
+			op, a, b, c := data[i], data[i+1], data[i+2], data[i+3]
+			var r Request
+			sub := false
+			switch op % 3 {
+			case 0: // subscribe a decoded request
+				r = Request{Node: int(a) % n, Stream: stream.ID{Site: int(b) % n, Index: int(c) % 6}}
+				sub = true
+			case 1: // unsubscribe a decoded request (often unknown)
+				r = Request{Node: int(a) % n, Stream: stream.ID{Site: int(b) % n, Index: int(c) % 6}}
+			case 2: // unsubscribe a live request by position
+				reqs := seq.Problem().Requests
+				if len(reqs) == 0 {
+					continue
+				}
+				r = reqs[(int(a)<<8|int(b))%len(reqs)]
+			}
+			// Apply to the sequential reference immediately, queue for the
+			// batched twin; per-op failures are legal no-ops on both sides.
+			if sub {
+				_, _ = seq.Subscribe(r)
+				batch.Subscribe(r)
+			} else {
+				_ = seq.Unsubscribe(r)
+				batch.Unsubscribe(r)
+			}
+			if (i/4+1)%win == 0 {
+				check(i / 4)
+			}
+		}
+		check(len(data) / 4)
+	})
+}
+
 // FuzzDynamicChurn decodes the fuzz input as a sequence of churn
 // operations (4 bytes each: op, node, site, index) applied to a live
 // RJ-constructed forest, validating the full invariant set along the way.

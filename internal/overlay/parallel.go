@@ -1,0 +1,311 @@
+package overlay
+
+// parallel.go parallelizes static forest construction. The key structural
+// fact is that the basic node join algorithm only reads and writes state
+// of nodes that hold or request the tree's stream: the degree counters,
+// reservation counters and slot flags a join touches all belong to the
+// tree's source or members. Trees whose node sets are disjoint therefore
+// commute — executing their joins in any interleaving yields the same
+// outcomes — so the construction schedule partitions into connected
+// components (union of {source} ∪ members over each multicast group) that
+// independent workers can build concurrently.
+//
+// Determinism is recovered in two steps. First, the schedule: every
+// algorithm's randomized request order is materialized up front
+// (scheduleInto), consuming the rng exactly as serial construction does.
+// Second, the merge: workers record per-request outcomes (joined under
+// which parent, or rejected), and the master forest replays the outcomes
+// in schedule order through the same attach/reject paths serial execution
+// uses. Tree creation order, child append order, acceptance sequence
+// numbers — every order-sensitive piece of forest state is produced by
+// the in-order replay, so the result is bit-identical to serial
+// construction at any worker count.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+var errNilRNG = errors.New("overlay: nil rng")
+
+func errBadGranularity(g int) error { return fmt.Errorf("overlay: granularity %d < 1", g) }
+
+func resizeInt32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+// scheduler is implemented by algorithms whose construction reduces to a
+// precomputable randomized request schedule. CO-RJ does not implement it:
+// its victim swaps depend on cross-tree state, so it falls back to serial
+// construction. AllToAll's unicast bookkeeping bypasses Join and falls
+// back as well.
+type scheduler interface {
+	schedule(ws *Workspace, p *Problem, rng *rand.Rand, dst []Request) ([]Request, error)
+}
+
+// scheduleOrdered reproduces constructOrdered's request order without
+// executing any join.
+func scheduleOrdered(ws *Workspace, p *Problem, rng *rand.Rand, dst []Request, order groupOrder, granularity int) ([]Request, error) {
+	if rng == nil {
+		return nil, errNilRNG
+	}
+	if granularity < 1 {
+		return nil, errBadGranularity(granularity)
+	}
+	groups := ws.groupsFor(p)
+	rng.Shuffle(len(groups), func(i, j int) { groups[i], groups[j] = groups[j], groups[i] })
+	sortGroups(ws, p, groups, order)
+	return scheduleInto(dst, rng, groups, granularity), nil
+}
+
+func (LTF) schedule(ws *Workspace, p *Problem, rng *rand.Rand, dst []Request) ([]Request, error) {
+	return scheduleOrdered(ws, p, rng, dst, orderLargestFirst, 1)
+}
+
+func (STF) schedule(ws *Workspace, p *Problem, rng *rand.Rand, dst []Request) ([]Request, error) {
+	return scheduleOrdered(ws, p, rng, dst, orderSmallestFirst, 1)
+}
+
+func (MCTF) schedule(ws *Workspace, p *Problem, rng *rand.Rand, dst []Request) ([]Request, error) {
+	return scheduleOrdered(ws, p, rng, dst, orderMinCapacityFirst, 1)
+}
+
+func (a GranLTF) schedule(ws *Workspace, p *Problem, rng *rand.Rand, dst []Request) ([]Request, error) {
+	return scheduleOrdered(ws, p, rng, dst, orderLargestFirst, a.G)
+}
+
+func (RJ) schedule(ws *Workspace, p *Problem, rng *rand.Rand, dst []Request) ([]Request, error) {
+	if rng == nil {
+		return nil, errNilRNG
+	}
+	groups := ws.groupsFor(p)
+	g := len(groups)
+	if g == 0 {
+		g = 1
+	}
+	return scheduleInto(dst, rng, groups, g), nil
+}
+
+// joinOutcome records what one scheduled join did in a worker's forest.
+type joinOutcome struct {
+	parent int32
+	result int32 // JoinResult
+}
+
+// parWork is one worker's share of a construction: the schedule indices
+// of its components, to execute against its leased workspace.
+type parWork struct {
+	p     *Problem
+	sched []Request
+	idxs  []int32
+	out   []joinOutcome
+}
+
+// ParallelBuilder constructs forests with a persistent pool of workers,
+// each owning a private Workspace lease. Construct is bit-identical to
+// ConstructWith for every worker count; a builder with one worker (or an
+// algorithm that cannot be scheduled) executes serially. The builder
+// reuses all of its scratch state, so steady-state constructions of
+// same-shaped problems allocate nothing.
+//
+// A builder is NOT safe for concurrent Construct calls; its workers only
+// parallelize the inside of one construction. Close releases the worker
+// goroutines; the builder must not be used afterwards.
+type ParallelBuilder struct {
+	workers int
+	leases  []*Workspace
+	work    []chan parWork
+	errs    []error
+	wg      sync.WaitGroup
+
+	sched    []Request
+	outcomes []joinOutcome
+	uf       []int32   // union-find over nodes
+	compW    []int32   // component root -> assigned worker
+	widx     [][]int32 // per worker: owned schedule indices
+}
+
+// NewParallelBuilder returns a builder with the given worker count
+// (values below 1 are treated as 1).
+func NewParallelBuilder(workers int) *ParallelBuilder {
+	if workers < 1 {
+		workers = 1
+	}
+	b := &ParallelBuilder{
+		workers: workers,
+		leases:  make([]*Workspace, workers),
+		work:    make([]chan parWork, workers),
+		errs:    make([]error, workers),
+		widx:    make([][]int32, workers),
+	}
+	for w := 0; w < workers; w++ {
+		b.leases[w] = &Workspace{}
+		b.work[w] = make(chan parWork, 1)
+		go b.runWorker(w, b.work[w])
+	}
+	return b
+}
+
+// Workers returns the pool size.
+func (b *ParallelBuilder) Workers() int { return b.workers }
+
+// Close shuts the worker pool down.
+func (b *ParallelBuilder) Close() {
+	for _, ch := range b.work {
+		close(ch)
+	}
+}
+
+func (b *ParallelBuilder) runWorker(w int, ch chan parWork) {
+	for job := range ch {
+		b.errs[w] = b.leases[w].execute(job)
+		b.wg.Done()
+	}
+}
+
+// execute runs one worker's schedule slice against its leased forest and
+// records the outcome of every owned index.
+func (ws *Workspace) execute(job parWork) error {
+	f, err := ws.forestFor(job.p)
+	if err != nil {
+		return err
+	}
+	for _, i := range job.idxs {
+		r := job.sched[i]
+		res := f.Join(r)
+		o := joinOutcome{result: int32(res)}
+		if res == Joined {
+			parent, _ := f.tree(r.Stream).Parent(r.Node)
+			o.parent = int32(parent)
+		}
+		job.out[i] = o
+	}
+	return nil
+}
+
+func ufFind(uf []int32, x int32) int32 {
+	for uf[x] != x {
+		uf[x] = uf[uf[x]] // path halving
+		x = uf[x]
+	}
+	return x
+}
+
+// Construct builds the forest for the problem, partitioning independent
+// trees across the pool. The result — owned by ws when non-nil, exactly
+// as ConstructWith — is bit-identical to serial construction.
+func (b *ParallelBuilder) Construct(ws *Workspace, alg Algorithm, p *Problem, rng *rand.Rand) (*Forest, error) {
+	s, ok := alg.(scheduler)
+	if !ok {
+		return ConstructWith(ws, alg, p, rng)
+	}
+	sched, err := s.schedule(ws, p, rng, b.sched[:0])
+	if sched != nil {
+		b.sched = sched[:0]
+	}
+	if err != nil {
+		return nil, err
+	}
+	f, err := ws.newForest(p)
+	if err != nil {
+		return nil, err
+	}
+	if b.workers == 1 || len(sched) == 0 {
+		for _, r := range sched {
+			f.Join(r)
+		}
+		return f, nil
+	}
+
+	// Connected components over union(source, member) per request.
+	n := p.N()
+	uf := resizeInt32(b.uf, n)
+	b.uf = uf
+	for i := range uf {
+		uf[i] = int32(i)
+	}
+	for _, r := range sched {
+		ra, rb := ufFind(uf, int32(r.Node)), ufFind(uf, int32(r.Stream.Site))
+		if ra != rb {
+			if ra < rb {
+				uf[rb] = ra
+			} else {
+				uf[ra] = rb
+			}
+		}
+	}
+
+	// Assign components to workers round-robin by first appearance in the
+	// schedule, and give each worker its owned indexes in schedule order.
+	// The assignment only affects load balance, never the result.
+	compW := resizeInt32(b.compW, n)
+	b.compW = compW
+	for i := range compW {
+		compW[i] = -1
+	}
+	for w := range b.widx {
+		b.widx[w] = b.widx[w][:0]
+	}
+	next := 0
+	for i, r := range sched {
+		root := ufFind(uf, int32(r.Stream.Site))
+		w := compW[root]
+		if w < 0 {
+			w = int32(next % b.workers)
+			next++
+			compW[root] = w
+		}
+		b.widx[w] = append(b.widx[w], int32(i))
+	}
+
+	if cap(b.outcomes) >= len(sched) {
+		b.outcomes = b.outcomes[:len(sched)]
+	} else {
+		b.outcomes = make([]joinOutcome, len(sched))
+	}
+	out := b.outcomes
+
+	active := 0
+	for w := 0; w < b.workers; w++ {
+		b.errs[w] = nil
+		if len(b.widx[w]) > 0 {
+			active++
+		}
+	}
+	b.wg.Add(active)
+	for w := 0; w < b.workers; w++ {
+		if len(b.widx[w]) > 0 {
+			b.work[w] <- parWork{p: p, sched: sched, idxs: b.widx[w], out: out}
+		}
+	}
+	b.wg.Wait()
+	for _, werr := range b.errs {
+		if werr != nil {
+			return nil, werr
+		}
+	}
+
+	// Deterministic merge: replay the recorded outcomes in schedule order
+	// through the serial code paths. Within a component the requests keep
+	// their serial relative order, and cross-component joins commute, so
+	// this reproduces serial construction's forest state exactly —
+	// including tree creation order and acceptance sequence numbers.
+	b.sched = sched
+	for i, r := range sched {
+		t := f.tree(r.Stream)
+		switch JoinResult(out[i].result) {
+		case Joined:
+			f.attach(r, t, int(out[i].parent))
+		case AlreadyMember:
+			// Impossible for deduplicated static requests; kept for safety.
+		default:
+			f.markRejected(r)
+		}
+	}
+	return f, nil
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"github.com/tele3d/tele3d/internal/stream"
 	"github.com/tele3d/tele3d/internal/workload"
@@ -127,60 +128,96 @@ func (p *Problem) N() int { return len(p.In) }
 
 // Validate checks structural consistency.
 func (p *Problem) Validate() error {
+	_, err := p.validateScratch(nil)
+	return err
+}
+
+// validateScratch is Validate with caller-owned duplicate-check scratch:
+// the (possibly grown) buffer is returned for reuse, so per-construction
+// validation — Forest.Reset runs it on every Monte-Carlo sample — stays
+// allocation-free. The problem itself is only read, so concurrent
+// validation of one problem from several workers remains safe as long as
+// each worker passes its own scratch.
+func (p *Problem) validateScratch(keys []uint64) ([]uint64, error) {
 	n := p.N()
 	if n < 2 {
-		return fmt.Errorf("overlay: %d nodes < 2", n)
+		return keys, fmt.Errorf("overlay: %d nodes < 2", n)
 	}
 	if len(p.Out) != n {
-		return fmt.Errorf("overlay: len(Out)=%d != len(In)=%d", len(p.Out), n)
+		return keys, fmt.Errorf("overlay: len(Out)=%d != len(In)=%d", len(p.Out), n)
 	}
 	if len(p.Cost) != n {
-		return fmt.Errorf("overlay: cost matrix has %d rows, want %d", len(p.Cost), n)
+		return keys, fmt.Errorf("overlay: cost matrix has %d rows, want %d", len(p.Cost), n)
 	}
 	for i := range p.Cost {
 		if len(p.Cost[i]) != n {
-			return fmt.Errorf("overlay: cost row %d has %d cols, want %d", i, len(p.Cost[i]), n)
+			return keys, fmt.Errorf("overlay: cost row %d has %d cols, want %d", i, len(p.Cost[i]), n)
 		}
 		for j, c := range p.Cost[i] {
 			if i == j {
 				if c != 0 {
-					return fmt.Errorf("overlay: Cost[%d][%d]=%v, want 0", i, j, c)
+					return keys, fmt.Errorf("overlay: Cost[%d][%d]=%v, want 0", i, j, c)
 				}
 				continue
 			}
 			if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
-				return fmt.Errorf("overlay: Cost[%d][%d]=%v not a positive finite cost", i, j, c)
+				return keys, fmt.Errorf("overlay: Cost[%d][%d]=%v not a positive finite cost", i, j, c)
 			}
 		}
 	}
 	for i, v := range p.In {
 		if v < 0 || p.Out[i] < 0 {
-			return fmt.Errorf("overlay: node %d has negative capacity (I=%d, O=%d)", i, v, p.Out[i])
+			return keys, fmt.Errorf("overlay: node %d has negative capacity (I=%d, O=%d)", i, v, p.Out[i])
 		}
 	}
 	if p.Bcost <= 0 {
-		return fmt.Errorf("overlay: Bcost=%v <= 0", p.Bcost)
+		return keys, fmt.Errorf("overlay: Bcost=%v <= 0", p.Bcost)
+	}
+	for _, r := range p.Requests {
+		if r.Node < 0 || r.Node >= n {
+			return keys, fmt.Errorf("overlay: request %v from nonexistent node", r)
+		}
+		if r.Stream.Site < 0 || r.Stream.Site >= n {
+			return keys, fmt.Errorf("overlay: request %v for stream of nonexistent site", r)
+		}
+		if r.Stream.Index < 0 || r.Stream.Index >= maxStreamIndex {
+			return keys, fmt.Errorf("overlay: request %v has stream index out of range", r)
+		}
+		if r.Stream.Site == r.Node {
+			return keys, fmt.Errorf("overlay: request %v is for the node's own stream", r)
+		}
+	}
+	// Duplicate detection: with the field bounds established above, every
+	// request packs into one uint64, and a sorted scan finds duplicates
+	// without the bucket allocations of the historical map fill — Validate
+	// runs on every Forest.Reset, so this is a Monte-Carlo hot path.
+	if n <= 1<<packSiteBits {
+		keys = keys[:0]
+		for _, r := range p.Requests {
+			keys = append(keys, uint64(r.Stream.Site)<<(packIdxBits+packNodeBits)|
+				uint64(r.Stream.Index)<<packNodeBits|uint64(r.Node))
+		}
+		slices.Sort(keys)
+		for i := 1; i < len(keys); i++ {
+			if keys[i] == keys[i-1] {
+				k := keys[i]
+				r := Request{
+					Node:   int(k & (1<<packNodeBits - 1)),
+					Stream: stream.ID{Site: int(k >> (packIdxBits + packNodeBits)), Index: int(k >> packNodeBits & (1<<packIdxBits - 1))},
+				}
+				return keys, fmt.Errorf("overlay: duplicate request %v", r)
+			}
+		}
+		return keys, nil
 	}
 	seen := make(map[Request]bool, len(p.Requests))
 	for _, r := range p.Requests {
-		if r.Node < 0 || r.Node >= n {
-			return fmt.Errorf("overlay: request %v from nonexistent node", r)
-		}
-		if r.Stream.Site < 0 || r.Stream.Site >= n {
-			return fmt.Errorf("overlay: request %v for stream of nonexistent site", r)
-		}
-		if r.Stream.Index < 0 || r.Stream.Index >= maxStreamIndex {
-			return fmt.Errorf("overlay: request %v has stream index out of range", r)
-		}
-		if r.Stream.Site == r.Node {
-			return fmt.Errorf("overlay: request %v is for the node's own stream", r)
-		}
 		if seen[r] {
-			return fmt.Errorf("overlay: duplicate request %v", r)
+			return keys, fmt.Errorf("overlay: duplicate request %v", r)
 		}
 		seen[r] = true
 	}
-	return nil
+	return keys, nil
 }
 
 // FromWorkload assembles a Problem from a workload sample, a pairwise cost
@@ -226,9 +263,7 @@ func (g Group) Size() int { return len(g.Members) }
 // Groups partitions the problem's requests into multicast groups, sorted
 // by stream ID for determinism.
 func (p *Problem) Groups() []Group {
-	scratch := make([]Request, len(p.Requests))
-	copy(scratch, p.Requests)
-	groups, _ := splitGroups(scratch, nil, nil)
+	groups, _, _ := splitGroups(p.Requests, nil, nil, nil)
 	return groups
 }
 

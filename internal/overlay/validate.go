@@ -26,6 +26,7 @@ import (
 func (f *Forest) Validate() error {
 	p := f.problem
 	n := p.N()
+	f.ensureTreeList()
 
 	din := make([]int, n)
 	dout := make([]int, n)
@@ -160,7 +161,11 @@ func (f *Forest) Validate() error {
 }
 
 // validateIndexes cross-checks the forest's incremental indexes against
-// the ground-truth tree map and outcome lists.
+// the ground-truth tree map and outcome lists. Lazy indexes are validated
+// only once materialized: before that the invariant is simply that they
+// are empty, so a freshly constructed forest does not pay to build
+// indexes solely for validation, while an incrementally maintained one
+// has every live index checked.
 func (f *Forest) validateIndexes() error {
 	if len(f.treeList) != f.numTrees {
 		return fmt.Errorf("overlay: tree list holds %d trees, slots %d", len(f.treeList), f.numTrees)
@@ -189,6 +194,9 @@ func (f *Forest) validateIndexes() error {
 	}
 	counted := 0
 	for node, list := range f.nodeTrees {
+		if !f.idxBuilt && len(list) != 0 {
+			return fmt.Errorf("overlay: node %d has tree index entries before materialization", node)
+		}
 		for i, t := range list {
 			if f.Tree(t.Stream) != t {
 				return fmt.Errorf("overlay: node %d indexed in dead tree %s", node, t.Stream)
@@ -202,14 +210,28 @@ func (f *Forest) validateIndexes() error {
 			counted++
 		}
 	}
-	members := 0
-	for _, t := range f.treeList {
-		members += t.Size()
+	if f.idxBuilt {
+		members := 0
+		for _, t := range f.treeList {
+			members += t.Size()
+		}
+		if counted != members {
+			return fmt.Errorf("overlay: node-tree index holds %d memberships, trees hold %d", counted, members)
+		}
 	}
-	if counted != members {
-		return fmt.Errorf("overlay: node-tree index holds %d memberships, trees hold %d", counted, members)
+	if len(f.accSeq) != len(f.accepted) {
+		return fmt.Errorf("overlay: accepted sequence index holds %d entries for %d requests", len(f.accSeq), len(f.accepted))
 	}
-	if len(f.accPos) != len(f.accepted) || len(f.accSeq) != len(f.accepted) {
+	if len(f.rejSeq) != len(f.rejected) {
+		return fmt.Errorf("overlay: rejected sequence index holds %d entries for %d requests", len(f.rejSeq), len(f.rejected))
+	}
+	if !f.posBuilt {
+		if len(f.accPos) != 0 || len(f.rejPos) != 0 {
+			return fmt.Errorf("overlay: position indexes hold %d+%d entries before materialization", len(f.accPos), len(f.rejPos))
+		}
+		return nil
+	}
+	if len(f.accPos) != len(f.accepted) {
 		return fmt.Errorf("overlay: accepted position index holds %d entries for %d requests", len(f.accPos), len(f.accepted))
 	}
 	for i, r := range f.accepted {
@@ -217,7 +239,7 @@ func (f *Forest) validateIndexes() error {
 			return fmt.Errorf("overlay: accepted index maps %v to %d, want %d", r, f.accPos[r], i)
 		}
 	}
-	if len(f.rejPos) != len(f.rejected) || len(f.rejSeq) != len(f.rejected) {
+	if len(f.rejPos) != len(f.rejected) {
 		return fmt.Errorf("overlay: rejected position index holds %d entries for %d requests", len(f.rejPos), len(f.rejected))
 	}
 	for i, r := range f.rejected {

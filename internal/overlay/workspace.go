@@ -11,7 +11,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
+
+	"github.com/tele3d/tele3d/internal/stream"
 )
 
 // Workspace holds reusable storage for repeated forest constructions.
@@ -24,7 +27,9 @@ type Workspace struct {
 	members []int // shared backing array for group member slices
 	batch   []Request
 	reqs    []Request
-	u       [][]int // CO-RJ request matrix
+	u       [][]int  // CO-RJ request matrix
+	keys    []uint64 // packed sort keys (splitGroups, sortGroups)
+	gsort   []Group  // group permutation scratch (sortGroups)
 }
 
 // forestFor resets the workspace's forest for the problem.
@@ -45,14 +50,13 @@ func (ws *Workspace) newForest(p *Problem) (*Forest, error) {
 }
 
 // groupsFor returns the problem's multicast groups, reusing the
-// workspace's group, member and request-copy storage when ws is non-nil.
-// The result is identical to Problem.Groups.
+// workspace's group, member and key storage when ws is non-nil. The
+// result is identical to Problem.Groups.
 func (ws *Workspace) groupsFor(p *Problem) []Group {
 	if ws == nil {
 		return p.Groups()
 	}
-	ws.reqs = append(ws.reqs[:0], p.Requests...)
-	ws.groups, ws.members = splitGroups(ws.reqs, ws.groups[:0], ws.members[:0])
+	ws.groups, ws.members, ws.keys = splitGroups(p.Requests, ws.groups[:0], ws.members[:0], ws.keys[:0])
 	return ws.groups
 }
 
@@ -108,7 +112,11 @@ func ConstructWith(ws *Workspace, alg Algorithm, p *Problem, rng *rand.Rand) (*F
 	return r.constructWith(ws, p, rng)
 }
 
-// constructBatchedWS is constructBatched with optional storage reuse.
+// constructBatchedWS is constructBatched with optional storage reuse: it
+// materializes the full randomized join schedule, then executes it. Joins
+// consume no randomness, so hoisting every batch shuffle ahead of every
+// join leaves the rng stream — and therefore the constructed forest —
+// exactly as the historical shuffle-join interleaving produced.
 func constructBatchedWS(ws *Workspace, p *Problem, rng *rand.Rand, groups []Group, granularity int) (*Forest, error) {
 	if rng == nil {
 		return nil, errors.New("overlay: nil rng")
@@ -120,41 +128,96 @@ func constructBatchedWS(ws *Workspace, p *Problem, rng *rand.Rand, groups []Grou
 	if err != nil {
 		return nil, err
 	}
-	var batch []Request
+	var buf []Request
 	if ws != nil {
-		batch = ws.batch[:0]
+		buf = ws.batch[:0]
 	}
+	sched := scheduleInto(buf, rng, groups, granularity)
+	if ws != nil {
+		ws.batch = sched
+	}
+	for _, r := range sched {
+		f.Join(r)
+	}
+	return f, nil
+}
+
+// scheduleInto appends the batched construction's randomized join order to
+// dst: the requests of each granularity-sized run of groups, shuffled
+// within the run. This is the exact request sequence constructBatchedWS
+// executes — the schedule is the unit the parallel builder partitions.
+func scheduleInto(dst []Request, rng *rand.Rand, groups []Group, granularity int) []Request {
 	for start := 0; start < len(groups); start += granularity {
 		end := start + granularity
 		if end > len(groups) {
 			end = len(groups)
 		}
-		batch = batch[:0]
+		bstart := len(dst)
 		for _, g := range groups[start:end] {
 			for _, m := range g.Members {
-				batch = append(batch, Request{Node: m, Stream: g.Stream})
+				dst = append(dst, Request{Node: m, Stream: g.Stream})
 			}
 		}
-		rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
-		for _, r := range batch {
-			f.Join(r)
-		}
+		b := dst[bstart:]
+		rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
 	}
-	if ws != nil {
-		ws.batch = batch
-	}
-	return f, nil
+	return dst
 }
 
-// splitGroups sorts the request scratch by (stream, node) in place and
-// splits it into multicast groups, appending to the provided buffers:
-// groups collects the Group headers, members is the shared backing array
-// their Members slices point into. The result is identical to the
-// historical map-based grouping — streams ascending, members ascending —
-// but needs no map and, with retained buffers, no steady-state
-// allocation. Requests are unique, so the sort order is total and any
-// sort implementation yields the same result.
-func splitGroups(scratch []Request, groups []Group, members []int) ([]Group, []int) {
+// Packed request-key layout for splitGroups: (site, index, node) packed
+// into one uint64 so the grouping sort runs over plain integers instead
+// of a reflect-based comparator. The widths cover every realistic domain
+// (index is already capped at maxStreamIndex); requests outside them fall
+// back to the comparator path.
+const (
+	packNodeBits = 20
+	packIdxBits  = 17
+	packSiteBits = 20
+)
+
+// splitGroups partitions the requests into multicast groups, appending to
+// the provided buffers: groups collects the Group headers, members is the
+// shared backing array their Members slices point into, keys is the
+// reusable packed-key scratch. The result is identical to the historical
+// comparator-based grouping — streams ascending, members ascending — but
+// sorts packed integers, which is several times cheaper. Requests are
+// unique, so the sort order is total and any sort implementation yields
+// the same result. The input slice is never mutated.
+func splitGroups(reqs []Request, groups []Group, members []int, keys []uint64) ([]Group, []int, []uint64) {
+	packable := true
+	for _, r := range reqs {
+		if uint(r.Stream.Site) >= 1<<packSiteBits || uint(r.Stream.Index) >= 1<<packIdxBits || uint(r.Node) >= 1<<packNodeBits {
+			packable = false
+			break
+		}
+	}
+	if !packable {
+		groups, members = splitGroupsSlow(reqs, groups, members)
+		return groups, members, keys
+	}
+	for _, r := range reqs {
+		keys = append(keys, uint64(r.Stream.Site)<<(packIdxBits+packNodeBits)|
+			uint64(r.Stream.Index)<<packNodeBits|uint64(r.Node))
+	}
+	slices.Sort(keys)
+	for i := 0; i < len(keys); {
+		j := i
+		sk := keys[i] >> packNodeBits
+		start := len(members)
+		for ; j < len(keys) && keys[j]>>packNodeBits == sk; j++ {
+			members = append(members, int(keys[j]&(1<<packNodeBits-1)))
+		}
+		id := stream.ID{Site: int(sk >> packIdxBits), Index: int(sk & (1<<packIdxBits - 1))}
+		groups = append(groups, Group{Stream: id, Members: members[start:len(members):len(members)]})
+		i = j
+	}
+	return groups, members, keys
+}
+
+// splitGroupsSlow is the comparator fallback for requests whose fields do
+// not fit the packed-key layout; it copies the input before sorting.
+func splitGroupsSlow(reqs []Request, groups []Group, members []int) ([]Group, []int) {
+	scratch := append([]Request(nil), reqs...)
 	sort.Slice(scratch, func(i, j int) bool {
 		if scratch[i].Stream != scratch[j].Stream {
 			return scratch[i].Stream.Less(scratch[j].Stream)

@@ -69,11 +69,23 @@ type Record struct {
 	// admissions and Rejections its admission denials. The disruption
 	// columns above are per tenant in multi-tenant records: each row
 	// carries its own tenant's latency figures.
-	Tenant     int     `json:"tenant"`
-	SLOClass   string  `json:"slo_class,omitempty"`
-	Admitted   int     `json:"admitted"`
-	Rejections int     `json:"rejections"`
-	ElapsedMs  float64 `json:"elapsed_ms"`
+	Tenant     int    `json:"tenant"`
+	SLOClass   string `json:"slo_class,omitempty"`
+	Admitted   int    `json:"admitted"`
+	Rejections int    `json:"rejections"`
+	// ConstructMs / BatchApplyMs / RouteRebuildMs break the run's overlay
+	// maintenance cost into its phases: initial forest construction,
+	// batched churn application, and routing-table rebuilds. Cluster runs
+	// report the membership plane's accounting summed over every server;
+	// sweep cells report the engine's per-sample totals (route rebuilds
+	// are a control-plane phase, so sweeps leave that column 0).
+	// HeapDeltaBytes is the live-heap growth across the run (negative
+	// when a GC cycle net-shrank the heap mid-measurement).
+	ConstructMs    float64 `json:"construct_ms"`
+	BatchApplyMs   float64 `json:"batch_apply_ms"`
+	RouteRebuildMs float64 `json:"route_rebuild_ms"`
+	HeapDeltaBytes int64   `json:"heap_delta_bytes"`
+	ElapsedMs      float64 `json:"elapsed_ms"`
 }
 
 // CSVHeader is the CSV column order; CSVRow emits values in the same
@@ -86,7 +98,9 @@ var CSVHeader = []string{
 	"disruption_mean_ms", "disruption_max_ms", "delivered_fraction",
 	"shards", "failovers", "failover_recovery_ms",
 	"chaos_schedule", "chaos_events", "chaos_recovery_ms", "retries",
-	"tenant", "slo_class", "admitted", "rejections", "elapsed_ms",
+	"tenant", "slo_class", "admitted", "rejections",
+	"construct_ms", "batch_apply_ms", "route_rebuild_ms", "heap_delta_bytes",
+	"elapsed_ms",
 }
 
 // CSVRow renders the record as one CSV row matching CSVHeader.
@@ -106,6 +120,8 @@ func (r Record) CSVRow() []string {
 		r.ChaosSchedule, strconv.Itoa(r.ChaosEvents), f(r.ChaosRecoveryMs),
 		strconv.FormatInt(r.Retries, 10),
 		strconv.Itoa(r.Tenant), r.SLOClass, strconv.Itoa(r.Admitted), strconv.Itoa(r.Rejections),
+		f(r.ConstructMs), f(r.BatchApplyMs), f(r.RouteRebuildMs),
+		strconv.FormatInt(r.HeapDeltaBytes, 10),
 		strconv.FormatFloat(r.ElapsedMs, 'f', 1, 64),
 	}
 }

@@ -20,7 +20,6 @@ import (
 	"time"
 
 	"github.com/tele3d/tele3d/internal/chaos"
-	"github.com/tele3d/tele3d/internal/geo"
 	"github.com/tele3d/tele3d/internal/sim"
 	"github.com/tele3d/tele3d/internal/stream"
 	"github.com/tele3d/tele3d/internal/topology"
@@ -50,7 +49,7 @@ func BuildCluster(cs ClusterSpec) (*Session, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
-	backbone, err := topology.Backbone(geo.DefaultLatencyModel())
+	backbone, _, err := defaultBackbone()
 	if err != nil {
 		return nil, err
 	}

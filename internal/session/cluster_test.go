@@ -130,6 +130,78 @@ func TestVirtualClusterFiveHundredNodes(t *testing.T) {
 		res.Live.DeliveredGained, res.Sim.MeanDisruptionMs, res.Live.TotalFrames)
 }
 
+// TestVirtualClusterFlashCrowdBatched is the amortized-maintenance scale
+// acceptance test: the same 500-site single-process cluster, but hit with
+// the flash-crowd scenario — the steady churn compressed fivefold into a
+// burst window — while the membership plane batches deltas into 40 ms
+// flush windows instead of pushing per event. Batching amortizes the
+// route rebuilds without changing any admission decision, so the live
+// run must still agree with the event-driven simulator's prediction
+// within LiveSimToleranceMs, and the per-phase maintenance accounting
+// must surface through the cluster result.
+func TestVirtualClusterFlashCrowdBatched(t *testing.T) {
+	if raceEnabled {
+		t.Skip("500-node cluster under the race detector: covered at 100 nodes by CI batch-smoke")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	res, err := RunCluster(ctx, ClusterConfig{
+		Spec: ClusterSpec{Spec: Spec{
+			N: 500, CamerasPerSite: 1, DisplaysPerSite: 1,
+			Algorithm: overlay.RJ{}, Seed: 11,
+		}},
+		Profile:         stream.Profile{Width: 32, Height: 24, FPS: 15, CompressionRatio: 8},
+		DurationMs:      1500,
+		Scenario:        ScenarioFlashCrowd,
+		Churn:           workload.ChurnProfile{RatePerSec: 6, ViewChangeMix: 0.8},
+		FlushIntervalMs: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != ScenarioFlashCrowd || res.Sites != 500 {
+		t.Fatalf("result header: scenario %s, %d sites", res.Scenario, res.Sites)
+	}
+	if res.Live.TotalFrames == 0 {
+		t.Fatal("batched 500-node cluster delivered no frames")
+	}
+	if res.Events == 0 {
+		t.Fatal("flash-crowd trace was empty — pick a seed that churns")
+	}
+	// Batching defers the pushes but must not change a single admission
+	// decision: both planes apply the same trace to the same forest.
+	for i := range res.Live.Events {
+		le, se := res.Live.Events[i], res.Sim.Events[i]
+		if le.GainedAccepted != se.GainedAccepted || le.GainedRejected != se.GainedRejected {
+			t.Errorf("event %d admission: live %d/%d, sim %d/%d",
+				i, le.GainedAccepted, le.GainedRejected, se.GainedAccepted, se.GainedRejected)
+		}
+	}
+	if res.Live.DeliveredGained == 0 || res.Sim.DeliveredGained == 0 {
+		t.Fatalf("delivered gains: live %d, sim %d — trace too quiet to compare",
+			res.Live.DeliveredGained, res.Sim.DeliveredGained)
+	}
+	diff := math.Abs(res.Live.MeanDisruptionMs - res.Sim.MeanDisruptionMs)
+	if diff > LiveSimToleranceMs {
+		t.Errorf("live mean disruption %.1fms vs sim %.1fms: |diff| %.1f exceeds %dms",
+			res.Live.MeanDisruptionMs, res.Sim.MeanDisruptionMs, diff, LiveSimToleranceMs)
+	}
+	// The per-phase accounting must flow out of the membership plane: a
+	// 500-site boot constructs a forest and rebuilds routes, and a batched
+	// flash crowd exercises the batch-apply path.
+	ph := res.Live.Phases
+	if ph.ConstructMs <= 0 || ph.BatchApplyMs <= 0 || ph.RouteRebuildMs <= 0 {
+		t.Errorf("phase accounting incomplete: construct %.3f, batch-apply %.3f, route-rebuild %.3f",
+			ph.ConstructMs, ph.BatchApplyMs, ph.RouteRebuildMs)
+	}
+	t.Logf("500 nodes batched: %d events, live mean %.1fms vs sim %.1fms, phases construct %.1f / batch %.1f / rebuild %.1f ms",
+		res.Events, res.Live.MeanDisruptionMs, res.Sim.MeanDisruptionMs,
+		ph.ConstructMs, ph.BatchApplyMs, ph.RouteRebuildMs)
+}
+
 // TestRunClusterValidation covers config error paths.
 func TestRunClusterValidation(t *testing.T) {
 	ctx := context.Background()

@@ -187,6 +187,12 @@ type LiveResult struct {
 	// nodes performed (registration, failover sweeps, peer reconnects)
 	// — 0 on a healthy run with an undisturbed fabric.
 	Retries int64
+	// Phases sums the per-phase maintenance timings — forest
+	// construction, batched churn application, route rebuilds — across
+	// every membership server the run booted (shards, failover standby,
+	// chaos takeover chains). Wall-clock observability, not part of any
+	// determinism contract.
+	Phases membership.PhaseStats
 }
 
 func (c LiveConfig) withDefaults() LiveConfig {
@@ -665,5 +671,22 @@ func (s *Session) RunLive(ctx context.Context, cfg LiveConfig, events []sim.Even
 	res.ChaosEvents = len(chaosOuts)
 	res.ChaosRecoveryMs = chaos.MaxRecoveryMs(chaosOuts)
 	res.Retries = retry.Total()
+	addPhases := func(srv *membership.Server) {
+		ph := srv.PhaseStats()
+		res.Phases.ConstructMs += ph.ConstructMs
+		res.Phases.BatchApplyMs += ph.BatchApplyMs
+		res.Phases.RouteRebuildMs += ph.RouteRebuildMs
+	}
+	for _, srv := range srvs {
+		addPhases(srv)
+	}
+	if standby != nil {
+		addPhases(standby)
+	}
+	for k := range chains {
+		for _, to := range chains[k] {
+			addPhases(to.srv)
+		}
+	}
 	return res, nil
 }

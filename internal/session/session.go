@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/tele3d/tele3d/internal/fov"
 	"github.com/tele3d/tele3d/internal/geo"
@@ -16,6 +17,31 @@ import (
 	"github.com/tele3d/tele3d/internal/topology"
 	"github.com/tele3d/tele3d/internal/workload"
 )
+
+// sharedBackbone caches the default backbone graph and its all-pairs cost
+// matrix. The graph is immutable after construction and every session uses
+// the same default latency model, so building it once per process removes
+// the dominant fixed cost of Build from churn experiments that assemble
+// hundreds of sessions.
+var sharedBackbone struct {
+	once sync.Once
+	g    *topology.Graph
+	cost [][]float64
+	err  error
+}
+
+// defaultBackbone returns the process-wide default backbone and its
+// all-pairs shortest-path matrix.
+func defaultBackbone() (*topology.Graph, [][]float64, error) {
+	sharedBackbone.once.Do(func() {
+		sharedBackbone.g, sharedBackbone.err = topology.Backbone(geo.DefaultLatencyModel())
+		if sharedBackbone.err != nil {
+			return
+		}
+		sharedBackbone.cost, sharedBackbone.err = sharedBackbone.g.CostMatrix()
+	})
+	return sharedBackbone.g, sharedBackbone.cost, sharedBackbone.err
+}
 
 // MaxRenderStreams is the per-display real-time rendering budget: the
 // paper measures ~10 ms/stream, so a 15 fps display renders at most 6
@@ -93,12 +119,15 @@ func Build(spec Spec) (*Session, error) {
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
 
-	backbone, err := topology.Backbone(geo.DefaultLatencyModel())
+	backbone, allCost, err := defaultBackbone()
 	if err != nil {
 		return nil, err
 	}
-	sites, err := topology.SelectSites(backbone, spec.N, rng)
-	if err != nil {
+	// SelectSitesInto consumes exactly the same rng draws as SelectSites
+	// and reads costs from the cached all-pairs matrix, so seeds keep
+	// their meaning while Build skips the per-call Dijkstra runs.
+	sites := &topology.SiteSet{}
+	if err := backbone.SelectSitesInto(sites, allCost, spec.N, rng); err != nil {
 		return nil, err
 	}
 	return assemble(spec, sites, rng)

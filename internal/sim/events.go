@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"github.com/tele3d/tele3d/internal/overlay"
 	"github.com/tele3d/tele3d/internal/stream"
@@ -124,81 +125,162 @@ type EventResult struct {
 	// session end.
 	FinalAccepted int
 	FinalRejected int
+	// BatchApplyMs is the wall-clock time spent applying control events to
+	// the live forest (the subscribe/unsubscribe mutations, not the frame
+	// replay) — the simulator's half of the per-phase observability the
+	// maintenance pipeline reports. Being a wall-clock measurement it is
+	// the one field of the result outside the determinism contract.
+	BatchApplyMs float64
 }
 
-// evItem is a heap entry: either a frame arrival or a control event.
-// Control events sort before frame arrivals at equal timestamps, so a
-// frame forwarded at exactly the event time already sees the new forest.
-type evItem struct {
-	at      float64
-	control bool
-	node    int
-	stream  stream.ID
-	seq     int // frame sequence, or control-event index
-	ord     int // insertion order: the final, total tie-break
+// propItem is a heap entry for one frame copy in flight between overlay
+// nodes. Source emissions and control events are not heap entries: they
+// are generated from sorted cursors and merged with the heap head, so the
+// heap only ever holds the (small) set of frames currently on the wire.
+type propItem struct {
+	// key is math.Float64bits of the arrival time: times are nonnegative,
+	// so unsigned comparison of the IEEE bits preserves float order while
+	// costing one integer compare in the heap's hot path.
+	key  uint64
+	ord  int32 // push order: the final, total tie-break
+	pair int32 // node*S + stream index
+	seq  int32 // frame sequence
 }
 
-func (a evItem) before(b evItem) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	if a.control != b.control {
-		return a.control
+func (a propItem) before(b propItem) bool {
+	if a.key != b.key {
+		return a.key < b.key
 	}
 	return a.ord < b.ord
 }
 
-// evHeap is a binary min-heap on evItem.before.
-type evHeap []evItem
+// propHeap is a 4-ary min-heap on propItem.before. The wider fan-out
+// halves the tree depth versus a binary heap, which cuts the sift-down
+// cost of pop — the simulator's hottest operation — while pop order is
+// unchanged: before is a total order (ord is unique), so any valid heap
+// shape pops the same sequence.
+type propHeap []propItem
 
-func (h *evHeap) push(e evItem) {
+func (h *propHeap) push(e propItem) {
 	*h = append(*h, e)
-	i := len(*h) - 1
+	a := *h
+	i := len(a) - 1
 	for i > 0 {
-		p := (i - 1) / 2
-		if (*h)[p].before((*h)[i]) {
+		p := (i - 1) / 4
+		if a[p].before(a[i]) {
 			break
 		}
-		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		a[p], a[i] = a[i], a[p]
 		i = p
 	}
 }
 
-func (h *evHeap) pop() evItem {
-	old := *h
-	top := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	*h = old[:n]
+func (h *propHeap) pop() propItem {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a = a[:n]
+	*h = a
 	i := 0
 	for {
-		l, r, smallest := 2*i+1, 2*i+2, i
-		if l < n && (*h)[l].before((*h)[smallest]) {
-			smallest = l
-		}
-		if r < n && (*h)[r].before((*h)[smallest]) {
-			smallest = r
-		}
-		if smallest == i {
+		c := 4*i + 1
+		if c >= n {
 			break
 		}
-		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
-		i = smallest
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if a[j].before(a[m]) {
+				m = j
+			}
+		}
+		if !a[m].before(a[i]) {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
 	}
 	return top
 }
 
-// pendingKey identifies a gained stream awaiting its first delivery.
-type pendingKey struct {
-	node int
-	id   stream.ID
+// propQueue is a calendar queue over propItems: a frame in flight lands in
+// the 1ms bucket of its arrival time, and only the active band — every
+// queued item with arrival before float64(curB+1) — lives in a (tiny)
+// heap. The engine's pushes are monotone: a child's arrival is strictly
+// after the delivery generating it, so the band cursor only moves forward
+// and a pop costs O(band) instead of O(log queue). A push at or before the
+// band goes straight into the band heap, which keeps the minimum in cur
+// whenever cur is non-empty; future buckets hold their items as arena
+// linked lists, newest first, and are heapified wholesale when the cursor
+// reaches them. before is a total order, so the pop sequence is
+// bit-identical to a single global heap's.
+type propQueue struct {
+	cur   propHeap
+	curB  int
+	heads []int32 // bucket -> arena index of its newest item; -1 empty
+	arena []linkedItem
+	free  int32 // freelist of drained arena slots, linked via next; -1 empty
+	size  int
 }
 
-// pendingGain tracks one accepted gained stream until its first frame; a
-// re-subscribe of the same pair overwrites (supersedes) the older entry.
-type pendingGain struct {
-	event int // index into outcomes
-	since float64
+type linkedItem struct {
+	propItem
+	next int32 // previously pushed item of the same bucket
+}
+
+func (q *propQueue) push(e propItem) {
+	q.size++
+	b := int(math.Float64frombits(e.key))
+	if b <= q.curB {
+		q.cur.push(e)
+		return
+	}
+	for b >= len(q.heads) {
+		q.heads = append(q.heads, -1)
+	}
+	if idx := q.free; idx >= 0 {
+		q.free = q.arena[idx].next
+		q.arena[idx] = linkedItem{propItem: e, next: q.heads[b]}
+		q.heads[b] = idx
+		return
+	}
+	idx := int32(len(q.arena))
+	q.arena = append(q.arena, linkedItem{propItem: e, next: q.heads[b]})
+	q.heads[b] = idx
+}
+
+// settle advances the band cursor to the first non-empty bucket and drains
+// it into the band heap, recycling the drained arena slots — the arena
+// stays sized to the peak number of frames simultaneously in flight.
+// Callers guarantee size > 0.
+func (q *propQueue) settle() {
+	for len(q.cur) == 0 {
+		q.curB++
+		for idx := q.heads[q.curB]; idx >= 0; {
+			nxt := q.arena[idx].next
+			q.cur.push(q.arena[idx].propItem)
+			q.arena[idx].next = q.free
+			q.free = idx
+			idx = nxt
+		}
+		q.heads[q.curB] = -1
+	}
+}
+
+// headKey returns the minimum item's key; call only when size > 0.
+func (q *propQueue) headKey() uint64 {
+	q.settle()
+	return q.cur[0].key
+}
+
+func (q *propQueue) pop() propItem {
+	q.settle()
+	q.size--
+	return q.cur.pop()
 }
 
 // RunEvents executes an event-driven simulation: the frame schedule of
@@ -265,48 +347,102 @@ func RunEvents(cfg Config, events []Event) (*EventResult, error) {
 	}
 	sort.Slice(capturedIDs, func(i, j int) bool { return capturedIDs[i].Less(capturedIDs[j]) })
 
-	var heap evHeap
-	ord := 0
-	for _, id := range capturedIDs {
-		for seq := 0; seq < frames; seq++ {
-			heap.push(evItem{at: float64(seq) * interval, node: id.Site, stream: id, seq: seq, ord: ord})
-			ord++
-		}
+	// Dense pair indexing: pair = node*S + stream index into capturedIDs.
+	// Every stream a successful dynamic operation can touch is captured
+	// (gained streams are added above; any stream with live requests has a
+	// tree at start), so per-pair simulation state lives in flat arrays
+	// instead of maps keyed by (node, stream.ID).
+	n := p.N()
+	S := len(capturedIDs)
+	sidx := make(map[stream.ID]int32, S)
+	for i, id := range capturedIDs {
+		sidx[id] = int32(i)
 	}
-	for i, e := range trace {
-		heap.push(evItem{at: e.AtMs, control: true, seq: i, ord: ord})
-		ord++
-	}
+	pairs := n * S
 
 	res := &EventResult{Events: make([]EventOutcome, len(trace))}
 	for i, e := range trace {
 		res.Events[i] = EventOutcome{Index: i, AtMs: e.AtMs, Kind: e.Kind, Node: e.Node}
 	}
 
-	acc := make(map[pendingKey]*DeliveryStats)
-	pending := make(map[pendingKey]pendingGain)
+	acc := make([]DeliveryStats, pairs)
+	// pendingEvent/pendingSince track one accepted gained stream per pair
+	// until its first frame (-1: none); a re-subscribe of the same pair
+	// supersedes the older entry.
+	pendingEvent := make([]int32, pairs)
+	for i := range pendingEvent {
+		pendingEvent[i] = -1
+	}
+	pendingSince := make([]float64, pairs)
 	// delivered dedups frame copies: during a re-attachment a node can be
 	// sent the same frame twice — once in flight from its detached old
 	// parent, once forwarded by its new parent. A real receiver discards
 	// the duplicate and does not re-forward it. The suppression is scoped
 	// to one membership epoch: a pair that unsubscribes and re-subscribes
-	// starts a fresh epoch (epochs bumps on every accepted gain), so a
-	// sequence legitimately re-delivered to the new membership — e.g. via
-	// a slower relay that had not yet forwarded it — is counted again.
-	type deliveryID struct {
-		node  int
-		id    stream.ID
-		seq   int
-		epoch int
-	}
-	delivered := make(map[deliveryID]struct{})
-	epochs := make(map[pendingKey]int)
+	// starts a fresh epoch, so a sequence legitimately re-delivered to the
+	// new membership — e.g. via a slower relay that had not yet forwarded
+	// it — is counted again. Epochs only ever advance, so "new epoch"
+	// reduces to clearing the pair's seen-sequence bitmap.
+	stride := (frames + 63) / 64
+	delivered := make([]uint64, pairs*stride)
 
-	for len(heap) > 0 {
-		item := heap.pop()
-		if item.control {
-			e := trace[item.seq]
-			out := &res.Events[item.seq]
+	// Per-stream tree cache: Tree() lookups dominate the frame loop and
+	// trees only change while a control event runs, so cache lookups and
+	// invalidate the cache after every control event.
+	trees := make([]*overlay.Tree, S)
+	treeKnown := make([]bool, S)
+	lookupTree := func(si int32) *overlay.Tree {
+		if !treeKnown[si] {
+			trees[si] = f.Tree(capturedIDs[si])
+			treeKnown[si] = true
+		}
+		return trees[si]
+	}
+
+	// Event sources, merged in the engine's total order (at, control
+	// before frames, insertion order):
+	//   - control events from the sorted trace (cursor ci);
+	//   - source emissions, generated seq-major then stream-minor — the
+	//     exact (at, ord) order the historical pre-pushed emissions had;
+	//   - in-flight propagations in a calendar queue ordered by
+	//     (at, push order).
+	// Emission insertion orders are always below propagation ones, so at
+	// equal times emissions win; controls win every tie by construction.
+	var pq propQueue
+	pq.heads = make([]int32, int(cfg.DurationMs)+2)
+	for i := range pq.heads {
+		pq.heads[i] = -1
+	}
+	pq.arena = make([]linkedItem, 0, 256)
+	pq.cur = make(propHeap, 0, 64)
+	pq.free = -1
+	var propOrd int32
+	ci := 0
+	eSeq, eSidx := 0, 0
+	if S == 0 {
+		eSeq = frames // no streams: nothing ever emitted
+	}
+
+	for {
+		haveC := ci < len(trace)
+		haveE := eSeq < frames
+		haveP := pq.size > 0
+		if !haveC && !haveE && !haveP {
+			break
+		}
+		eAt := math.Inf(1)
+		if haveE {
+			eAt = float64(eSeq) * interval
+		}
+		pAt := math.Inf(1)
+		if haveP {
+			pAt = math.Float64frombits(pq.headKey())
+		}
+
+		if haveC && trace[ci].AtMs <= eAt && trace[ci].AtMs <= pAt {
+			applyStart := time.Now()
+			e := trace[ci]
+			out := &res.Events[ci]
 			for _, id := range e.Lost {
 				if err := f.Unsubscribe(overlay.Request{Node: e.Node, Stream: id}); err != nil {
 					out.Skipped++
@@ -316,10 +452,12 @@ func RunEvents(cfg Config, events []Event) (*EventResult, error) {
 				// A gain withdrawn before its first frame never delivers:
 				// settle it as Undelivered on its subscribing event so
 				// DeliveredGained + Undelivered always equals GainedAccepted.
-				k := pendingKey{node: e.Node, id: id}
-				if pg, ok := pending[k]; ok {
-					res.Events[pg.event].Undelivered++
-					delete(pending, k)
+				if si, ok := sidx[id]; ok {
+					k := e.Node*S + int(si)
+					if pendingEvent[k] >= 0 {
+						res.Events[pendingEvent[k]].Undelivered++
+						pendingEvent[k] = -1
+					}
 				}
 			}
 			for _, id := range e.Gained {
@@ -331,71 +469,103 @@ func RunEvents(cfg Config, events []Event) (*EventResult, error) {
 				switch r {
 				case overlay.Joined, overlay.AlreadyMember:
 					out.GainedAccepted++
-					k := pendingKey{node: e.Node, id: id}
+					si := sidx[id]
+					k := e.Node*S + int(si)
 					// A new membership epoch: old delivered entries no
 					// longer suppress this subscription's frames. A
 					// superseded pending gain (re-subscribe before any
 					// frame) settles as Undelivered first.
-					epochs[k]++
-					if pg, ok := pending[k]; ok {
-						res.Events[pg.event].Undelivered++
+					clear(delivered[k*stride : (k+1)*stride])
+					if pendingEvent[k] >= 0 {
+						res.Events[pendingEvent[k]].Undelivered++
 					}
-					pending[k] = pendingGain{event: item.seq, since: e.AtMs}
+					pendingEvent[k] = int32(ci)
+					pendingSince[k] = e.AtMs
 				default:
 					out.GainedRejected++
 				}
 			}
+			ci++
+			// The forest may have grown, pruned or recycled trees.
+			clear(treeKnown)
+			res.BatchApplyMs += float64(time.Since(applyStart)) / float64(time.Millisecond)
 			continue
 		}
 
-		t := f.Tree(item.stream)
-		if t == nil || !t.Contains(item.node) {
+		var at float64
+		var node int
+		var si int32
+		var seq int
+		if haveE && eAt <= pAt {
+			at, si, seq = eAt, int32(eSidx), eSeq
+			node = capturedIDs[eSidx].Site
+			eSidx++
+			if eSidx == S {
+				eSidx, eSeq = 0, eSeq+1
+			}
+		} else {
+			item := pq.pop()
+			at, seq = math.Float64frombits(item.key), int(item.seq)
+			node, si = int(item.pair)/S, item.pair%int32(S)
+		}
+
+		t := lookupTree(si)
+		if t == nil || !t.Contains(node) {
 			// The carrier left (or the stream lost its tree) while the
 			// frame was in flight; the frame is discarded.
 			continue
 		}
-		if item.node != t.Source {
-			k := pendingKey{node: item.node, id: item.stream}
-			dk := deliveryID{node: item.node, id: item.stream, seq: item.seq, epoch: epochs[k]}
-			if _, dup := delivered[dk]; dup {
+		if node != t.Source {
+			k := node*S + int(si)
+			word, bit := k*stride+seq/64, uint64(1)<<(seq%64)
+			if delivered[word]&bit != 0 {
 				continue
 			}
-			delivered[dk] = struct{}{}
-			st := acc[k]
-			if st == nil {
-				st = &DeliveryStats{Node: item.node, Stream: item.stream}
-				acc[k] = st
+			delivered[word] |= bit
+			st := &acc[k]
+			if st.Frames == 0 {
+				st.Node, st.Stream = node, capturedIDs[si]
 			}
-			lat := item.at - float64(item.seq)*interval
+			lat := at - float64(seq)*interval
 			st.Frames++
 			st.MeanLatMs += (lat - st.MeanLatMs) / float64(st.Frames)
-			st.MaxLatMs = math.Max(st.MaxLatMs, lat)
+			// Latencies and disruptions are positive finite, so a plain
+			// compare matches math.Max without the NaN/signed-zero checks.
+			if lat > st.MaxLatMs {
+				st.MaxLatMs = lat
+			}
 			res.TotalFrames++
-			res.MaxLatencyMs = math.Max(res.MaxLatencyMs, lat)
-			if pg, ok := pending[k]; ok {
-				d := item.at - pg.since
-				out := &res.Events[pg.event]
+			if lat > res.MaxLatencyMs {
+				res.MaxLatencyMs = lat
+			}
+			if pendingEvent[k] >= 0 {
+				d := at - pendingSince[k]
+				out := &res.Events[pendingEvent[k]]
 				out.DeliveredGained++
 				out.MeanDisruptionMs += (d - out.MeanDisruptionMs) / float64(out.DeliveredGained)
-				out.MaxDisruptionMs = math.Max(out.MaxDisruptionMs, d)
-				delete(pending, k)
+				if d > out.MaxDisruptionMs {
+					out.MaxDisruptionMs = d
+				}
+				pendingEvent[k] = -1
 			}
 		}
-		t.ForEachChild(item.node, func(child int) {
-			heap.push(evItem{
-				at:     item.at + p.Cost[item.node][child] + cfg.HopOverheadMs,
-				node:   child,
-				stream: item.stream,
-				seq:    item.seq,
-				ord:    ord,
+		costRow := p.Cost[node]
+		for _, child := range t.ChildrenRef(node) {
+			pq.push(propItem{
+				key:  math.Float64bits(at + costRow[child] + cfg.HopOverheadMs),
+				ord:  propOrd,
+				pair: int32(child)*int32(S) + si,
+				seq:  int32(seq),
 			})
-			ord++
-		})
+			propOrd++
+		}
 	}
 
 	// Accepted gains that never saw a frame.
-	for _, pg := range pending {
-		res.Events[pg.event].Undelivered++
+	for _, ev := range pendingEvent {
+		if ev >= 0 {
+			res.Events[ev].Undelivered++
+		}
 	}
 	// Aggregate disruption across events in trace order.
 	var sum float64
@@ -409,10 +579,17 @@ func RunEvents(cfg Config, events []Event) (*EventResult, error) {
 		res.MeanDisruptionMs = sum / float64(res.DeliveredGained)
 	}
 
-	for k, st := range acc {
-		if t := f.Tree(k.id); t != nil && t.Contains(k.node) && k.node != t.Source {
+	// Pair order is (node, stream) with streams sorted, so iterating flat
+	// accumulators yields PerSubscription already in its documented order.
+	for k := range acc {
+		st := &acc[k]
+		if st.Frames == 0 {
+			continue
+		}
+		node, si := k/S, int32(k%S)
+		if t := lookupTree(si); t != nil && t.Contains(node) && node != t.Source {
 			h := 0
-			for cur := k.node; cur != t.Source; h++ {
+			for cur := node; cur != t.Source; h++ {
 				parent, ok := t.Parent(cur)
 				if !ok {
 					return nil, fmt.Errorf("sim: tree %s disconnected at %d", t.Stream, cur)
@@ -423,13 +600,6 @@ func RunEvents(cfg Config, events []Event) (*EventResult, error) {
 		}
 		res.PerSubscription = append(res.PerSubscription, *st)
 	}
-	sort.Slice(res.PerSubscription, func(i, j int) bool {
-		a, b := res.PerSubscription[i], res.PerSubscription[j]
-		if a.Node != b.Node {
-			return a.Node < b.Node
-		}
-		return a.Stream.Less(b.Stream)
-	})
 	res.FinalAccepted = f.NumAccepted()
 	res.FinalRejected = f.NumRejected()
 	return res, nil

@@ -52,8 +52,64 @@ type Result struct {
 	MaxLatencyMs float64
 }
 
-// Run executes the simulation over a static forest. The shared event
-// heap (evHeap, events.go) orders frame arrivals by time.
+// evItem is a static-run heap entry: one frame copy at one node.
+type evItem struct {
+	at     float64
+	node   int
+	stream stream.ID
+	seq    int // frame sequence
+	ord    int // insertion order: the final, total tie-break
+}
+
+func (a evItem) before(b evItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.ord < b.ord
+}
+
+// evHeap is a binary min-heap on evItem.before.
+type evHeap []evItem
+
+func (h *evHeap) push(e evItem) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].before((*h)[i]) {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *evHeap) pop() evItem {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r, smallest := 2*i+1, 2*i+2, i
+		if l < n && (*h)[l].before((*h)[smallest]) {
+			smallest = l
+		}
+		if r < n && (*h)[r].before((*h)[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// Run executes the simulation over a static forest. The event heap
+// orders frame arrivals by time.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Forest == nil {
 		return nil, errors.New("sim: nil forest")

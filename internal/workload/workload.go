@@ -362,6 +362,26 @@ func Generate(cfg Config, rng *rand.Rand) (*Workload, error) {
 	// Fill pass: weighted sampling without replacement via exponential
 	// keys (key = U^(1/w); the k largest keys are the sample) until each
 	// site holds SubscribeFraction of the remote streams.
+	//
+	// The weight of stream s_j^q depends only on (j, q), not on the
+	// subscribing node, so the exponents 1/w are precomputed once per
+	// stream — the identical float expressions in the identical order, so
+	// every key is bit-for-bit what the per-node recomputation produced —
+	// leaving one rng-dependent Pow per draw in the loop.
+	invW := make([]float64, totalStreams)
+	for j, s := range sites {
+		for q := 0; q < s.NumStreams; q++ {
+			wgt := 1.0
+			switch cfg.Popularity {
+			case PopularityZipf:
+				wgt = 1 / math.Pow(float64(q+1), cfg.ZipfExponent)
+			case PopularityZipfSites:
+				wgt = 1 / math.Pow(float64(siteRank[j]+1), cfg.ZipfExponent)
+				wgt *= 1 / math.Pow(float64(q+1), 0.5)
+			}
+			invW[offsets[j]+q] = 1 / wgt
+		}
+	}
 	type keyed struct {
 		id  stream.ID
 		key float64
@@ -380,19 +400,11 @@ func Generate(cfg Config, rng *rand.Rand) (*Workload, error) {
 				if row[offsets[j]+q] {
 					continue // already forced by coverage
 				}
-				wgt := 1.0
-				switch cfg.Popularity {
-				case PopularityZipf:
-					wgt = 1 / math.Pow(float64(q+1), cfg.ZipfExponent)
-				case PopularityZipfSites:
-					wgt = 1 / math.Pow(float64(siteRank[j]+1), cfg.ZipfExponent)
-					wgt *= 1 / math.Pow(float64(q+1), 0.5)
-				}
 				u := rng.Float64()
 				for u == 0 {
 					u = rng.Float64()
 				}
-				remote = append(remote, keyed{id: stream.ID{Site: j, Index: q}, key: math.Pow(u, 1/wgt)})
+				remote = append(remote, keyed{id: stream.ID{Site: j, Index: q}, key: math.Pow(u, invW[offsets[j]+q])})
 			}
 		}
 		k := int(math.Round(cfg.SubscribeFraction*float64(totalRemote))) - counts[i]
